@@ -1,0 +1,198 @@
+// Command zeroed runs error detection on a CSV dataset. It detects with
+// the ZeroED pipeline by default or any of the six baselines via -method,
+// and reports precision/recall/F1 when a clean ground-truth CSV is given.
+//
+// Usage:
+//
+//	zeroed -dirty data.csv [-clean truth.csv] [-method zeroed] [-out mask.csv]
+//
+// With -dataset NAME (-dirty omitted), a built-in synthetic benchmark is
+// generated instead, e.g. -dataset Hospital.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/knowledge"
+	"repro/internal/llm"
+	"repro/internal/repair"
+	"repro/internal/table"
+	"repro/internal/zeroed"
+)
+
+func main() {
+	var (
+		dirtyPath = flag.String("dirty", "", "path to the dirty CSV (header row required)")
+		cleanPath = flag.String("clean", "", "optional path to the clean ground-truth CSV for scoring")
+		dataset   = flag.String("dataset", "", "generate a built-in benchmark instead of reading CSVs (Hospital, Flights, Beers, Rayyan, Billionaire, Movies, Tax)")
+		size      = flag.Int("size", 0, "tuple count for -dataset (0 = Table II default)")
+		method    = flag.String("method", "zeroed", "detector: zeroed, dboost, nadeef, katara, raha, activeclean, fmed")
+		model     = flag.String("model", "Qwen2.5-72b", "simulated LLM profile for zeroed/fmed")
+		labelRate = flag.Float64("label-rate", 0.05, "ZeroED LLM label rate")
+		corrK     = flag.Int("corr", 2, "ZeroED correlated attribute count")
+		seed      = flag.Int64("seed", 1, "random seed")
+		outPath   = flag.String("out", "", "optional path to write the predicted error mask as CSV")
+		repairOut = flag.String("repair", "", "optional path to write a repaired copy of the data as CSV")
+	)
+	flag.Parse()
+
+	if err := run(*dirtyPath, *cleanPath, *dataset, *size, *method, *model, *labelRate, *corrK, *seed, *outPath, *repairOut); err != nil {
+		fmt.Fprintln(os.Stderr, "zeroed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dirtyPath, cleanPath, dataset string, size int, method, model string, labelRate float64, corrK int, seed int64, outPath, repairOut string) error {
+	var dirty, clean *table.Dataset
+	var kb *knowledge.Base
+	var fdPairs [][2]int
+
+	switch {
+	case dataset != "":
+		gen := datasets.ByName(dataset)
+		if gen == nil {
+			return fmt.Errorf("unknown dataset %q (have %s)", dataset, strings.Join(datasets.Names(), ", "))
+		}
+		b := gen(size, seed)
+		dirty, clean, kb, fdPairs = b.Dirty, b.Clean, b.KB, b.FDPairs
+		fmt.Printf("generated %s: %d tuples x %d attributes, %.2f%% cell errors\n",
+			b.Name, dirty.NumRows(), dirty.NumCols(), 100*b.ErrorRate())
+	case dirtyPath != "":
+		var err error
+		dirty, err = table.ReadCSVFile("input", dirtyPath)
+		if err != nil {
+			return err
+		}
+		if cleanPath != "" {
+			clean, err = table.ReadCSVFile("truth", cleanPath)
+			if err != nil {
+				return err
+			}
+		}
+		kb = knowledge.NewBase()
+	default:
+		return fmt.Errorf("either -dirty or -dataset is required")
+	}
+
+	profile, ok := llm.ProfileByName(model)
+	if !ok {
+		return fmt.Errorf("unknown model %q", model)
+	}
+
+	var pred [][]bool
+	switch strings.ToLower(method) {
+	case "zeroed":
+		det := zeroed.New(zeroed.Config{
+			LabelRate: labelRate, CorrK: corrK, Profile: profile, Seed: seed,
+		})
+		res, err := det.Detect(dirty)
+		if err != nil {
+			return err
+		}
+		pred = res.Pred
+		fmt.Printf("ZeroED: sampled %d cells, trained on %d cells (%d augmented), %d criteria\n",
+			res.SampledCells, res.TrainingCells, res.AugmentedErrs, res.CriteriaCount)
+		fmt.Printf("LLM usage: %d calls, %d input + %d output tokens; runtime %v\n",
+			res.Usage.Calls, res.Usage.InputTokens, res.Usage.OutputTokens, res.Runtime.Round(1e6))
+	default:
+		m, err := baselineByName(method, profile, kb, fdPairs, dirty, clean)
+		if err != nil {
+			return err
+		}
+		pred, err = m.Detect(dirty)
+		if err != nil {
+			return err
+		}
+	}
+
+	flagged := 0
+	for i := range pred {
+		for j := range pred[i] {
+			if pred[i][j] {
+				flagged++
+			}
+		}
+	}
+	fmt.Printf("flagged %d of %d cells (%.2f%%)\n", flagged, dirty.NumCells(),
+		100*float64(flagged)/float64(dirty.NumCells()))
+
+	if clean != nil {
+		m, err := eval.ComputeAgainst(pred, dirty, clean)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("precision %.3f, recall %.3f, F1 %.3f\n", m.Precision, m.Recall, m.F1)
+	}
+
+	if repairOut != "" {
+		repaired, fixes := repair.New(repair.Config{}).Apply(dirty, pred)
+		if err := repaired.WriteCSVFile(repairOut); err != nil {
+			return err
+		}
+		fmt.Printf("applied %d repairs, wrote repaired data to %s\n", len(fixes), repairOut)
+		if clean != nil {
+			before, _ := table.ErrorRate(dirty, clean)
+			after, _ := table.ErrorRate(repaired, clean)
+			fmt.Printf("error rate: %.4f -> %.4f\n", before, after)
+		}
+	}
+
+	if outPath != "" {
+		mask := table.New("mask", dirty.Attrs)
+		for i := range pred {
+			row := make([]string, len(pred[i]))
+			for j, p := range pred[i] {
+				if p {
+					row[j] = "1"
+				} else {
+					row[j] = "0"
+				}
+			}
+			mask.AppendRow(row)
+		}
+		if err := mask.WriteCSVFile(outPath); err != nil {
+			return err
+		}
+		fmt.Println("wrote mask to", outPath)
+	}
+	return nil
+}
+
+func baselineByName(name string, profile llm.Profile, kb *knowledge.Base, fdPairs [][2]int, dirty, clean *table.Dataset) (baselines.Method, error) {
+	var oracle baselines.LabelOracle
+	if clean != nil {
+		mask, err := table.ErrorMask(dirty, clean)
+		if err != nil {
+			return nil, err
+		}
+		oracle = func(row int) []bool { return mask[row] }
+	}
+	switch strings.ToLower(name) {
+	case "dboost":
+		return baselines.NewDBoost(), nil
+	case "nadeef":
+		return baselines.NewNadeef(fdPairs), nil
+	case "katara":
+		return baselines.NewKatara(kb), nil
+	case "raha":
+		if oracle == nil {
+			return nil, fmt.Errorf("raha needs -clean (it consumes human labels)")
+		}
+		return baselines.NewRaha(oracle), nil
+	case "activeclean":
+		if oracle == nil {
+			return nil, fmt.Errorf("activeclean needs -clean (it consumes human labels)")
+		}
+		return baselines.NewActiveClean(oracle), nil
+	case "fmed", "fm_ed":
+		return baselines.NewFMED(llm.NewClient(profile), kb), nil
+	default:
+		return nil, fmt.Errorf("unknown method %q", name)
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/llm"
+)
+
+func TestRunOnGeneratedDataset(t *testing.T) {
+	dir := t.TempDir()
+	mask := filepath.Join(dir, "mask.csv")
+	repaired := filepath.Join(dir, "repaired.csv")
+	err := run("", "", "Hospital", 250, "zeroed", "Qwen2.5-72b", 0.08, 2, 5, mask, repaired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{mask, repaired} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("expected output file %s: %v", p, err)
+		}
+	}
+	b, err := os.ReadFile(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "ProviderNumber") {
+		t.Error("mask CSV should carry the schema header")
+	}
+}
+
+func TestRunOnCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	dirty := filepath.Join(dir, "dirty.csv")
+	clean := filepath.Join(dir, "clean.csv")
+	var db, cb strings.Builder
+	db.WriteString("Grade,Score\n")
+	cb.WriteString("Grade,Score\n")
+	for i := 0; i < 120; i++ {
+		cb.WriteString("A,90\n")
+		if i == 3 {
+			db.WriteString("A,9000\n") // outlier
+		} else {
+			db.WriteString("A,90\n")
+		}
+	}
+	if err := os.WriteFile(dirty, []byte(db.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(clean, []byte(cb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dirty, clean, "", 0, "dboost", "Qwen2.5-72b", 0.05, 2, 1, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", "", 0, "zeroed", "Qwen2.5-72b", 0.05, 2, 1, "", ""); err == nil {
+		t.Error("missing input must error")
+	}
+	if err := run("", "", "NoSuchSet", 0, "zeroed", "Qwen2.5-72b", 0.05, 2, 1, "", ""); err == nil {
+		t.Error("unknown dataset must error")
+	}
+	if err := run("", "", "Hospital", 100, "zeroed", "NoSuchModel", 0.05, 2, 1, "", ""); err == nil {
+		t.Error("unknown model must error")
+	}
+	if err := run("", "", "Hospital", 100, "nosuchmethod", "Qwen2.5-72b", 0.05, 2, 1, "", ""); err == nil {
+		t.Error("unknown method must error")
+	}
+	// Raha without -clean has no oracle.
+	dir := t.TempDir()
+	dirty := filepath.Join(dir, "d.csv")
+	if err := os.WriteFile(dirty, []byte("A\nx\ny\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dirty, "", "", 0, "raha", "Qwen2.5-72b", 0.05, 2, 1, "", ""); err == nil {
+		t.Error("raha without clean labels must error")
+	}
+}
+
+func TestBaselineByNameAll(t *testing.T) {
+	for _, name := range []string{"dboost", "nadeef", "katara", "fmed"} {
+		m, err := baselineByName(name, llm.Qwen72B, nil, nil, nil, nil)
+		if err != nil || m == nil {
+			t.Errorf("baselineByName(%s) = %v, %v", name, m, err)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "ZeroED: Hybrid
+// Zero-Shot Error Detection Through Large Language Model Reasoning"
+// (Ni et al., ICDE 2025, arXiv:2504.05345).
+//
+// The module root carries the benchmark harness (bench_test.go) that
+// regenerates every table and figure of the paper's evaluation; the
+// implementation lives under internal/ (see DESIGN.md for the system
+// inventory) and the runnable entry points under cmd/ and examples/.
+package repro

@@ -1,0 +1,46 @@
+// Package baselines reimplements the six comparison methods of the paper's
+// Table III from scratch:
+//
+//   - dBoost (Pit-Claudel et al.): statistical outlier detection with
+//     histogram and Gaussian models;
+//   - NADEEF (Ebaid et al.): violations of user-supplied integrity
+//     constraints (FDs) and format patterns;
+//   - KATARA (Chu et al.): knowledge-base-backed column typing and
+//     non-member flagging;
+//   - Raha (Mahdavi et al.): a configuration-free ensemble of detection
+//     strategies with clustering-based label propagation from a small
+//     human labeling budget (its active-learning curve is Fig. 6);
+//   - ActiveClean (Krishnan et al.): downstream-model-driven record
+//     flagging from a small labeled budget;
+//   - FM_ED (Narayan et al.): per-tuple LLM prompting ("Is there an error
+//     in this tuple?").
+//
+// Methods that consume human labels (Raha, ActiveClean) take a LabelOracle,
+// exactly as the paper grants every label-based baseline 2 labeled tuples.
+package baselines
+
+import (
+	"repro/internal/table"
+)
+
+// Method is a cell-level error detector.
+type Method interface {
+	// Name returns the method's display name as used in the paper.
+	Name() string
+	// Detect returns the predicted error mask for the dirty dataset.
+	Detect(d *table.Dataset) ([][]bool, error)
+}
+
+// LabelOracle reveals ground-truth cell labels for one tuple — the stand-in
+// for the human annotator that label-based baselines rely on. Implementations
+// typically close over the benchmark's error mask.
+type LabelOracle func(row int) []bool
+
+// newMask allocates a rows x cols prediction matrix.
+func newMask(d *table.Dataset) [][]bool {
+	m := make([][]bool, d.NumRows())
+	for i := range m {
+		m[i] = make([]bool, d.NumCols())
+	}
+	return m
+}

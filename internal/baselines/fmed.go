@@ -1,0 +1,41 @@
+package baselines
+
+import (
+	"repro/internal/knowledge"
+	"repro/internal/llm"
+	"repro/internal/table"
+)
+
+// FMED reproduces the FM_ED baseline (Narayan et al., "Can foundation
+// models wrangle your data?"): every tuple is serialized into a prompt
+// asking "Is there an error in this tuple?". Because each tuple is judged
+// in isolation, the method catches missing values and typos of entities
+// the model "knows", but has no access to cross-tuple context (patterns,
+// distributions, dependencies) — Table I's characterization — and its
+// input token cost grows linearly with the dataset (Fig. 8).
+type FMED struct {
+	Client *llm.Client
+	KB     *knowledge.Base
+}
+
+// NewFMED builds the baseline over a simulated LLM client and the model's
+// world knowledge.
+func NewFMED(client *llm.Client, kb *knowledge.Base) *FMED {
+	return &FMED{Client: client, KB: kb}
+}
+
+// Name implements Method.
+func (b *FMED) Name() string { return "FM_ED" }
+
+// Detect implements Method. Every tuple costs one LLM call.
+func (b *FMED) Detect(d *table.Dataset) ([][]bool, error) {
+	pred := newMask(d)
+	for i := 0; i < d.NumRows(); i++ {
+		verdicts := b.Client.DetectTupleErrors(d.Attrs, d.Row(i), b.KB)
+		copy(pred[i], verdicts)
+	}
+	return pred, nil
+}
+
+// Usage reports the token cost of all per-tuple prompts.
+func (b *FMED) Usage() llm.Usage { return b.Client.Usage() }

@@ -1,0 +1,275 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/text"
+)
+
+// Raha reproduces the configuration-free Raha detector: a library of
+// unsupervised detection strategies is run over every cell; each cell's
+// strategy-output bit vector becomes its feature; cells of each column are
+// clustered; a small budget of human-labeled tuples seeds cluster labels,
+// which propagate to cluster members. Detection quality therefore scales
+// with the labeling budget — the paper's Fig. 6 sweeps it from 1 to 45
+// tuples, and grants 2 tuples in Table III.
+type Raha struct {
+	// LabelBudget is the number of tuples the human labels (default 2).
+	LabelBudget int
+	// Oracle reveals ground-truth cell labels for a tuple.
+	Oracle LabelOracle
+	Seed   int64
+}
+
+// NewRaha builds Raha with the paper's minimal-effort default of 2 labeled
+// tuples.
+func NewRaha(oracle LabelOracle) *Raha {
+	return &Raha{LabelBudget: 2, Oracle: oracle}
+}
+
+// Name implements Method.
+func (b *Raha) Name() string { return "Raha" }
+
+// Detect implements Method.
+func (b *Raha) Detect(d *table.Dataset) ([][]bool, error) {
+	if b.Oracle == nil {
+		return nil, fmt.Errorf("raha: label oracle required")
+	}
+	budget := b.LabelBudget
+	if budget < 1 {
+		budget = 1
+	}
+	n := d.NumRows()
+	if budget > n {
+		budget = n
+	}
+	rng := rand.New(rand.NewSource(b.Seed + 17))
+
+	// Run the strategy library.
+	feats := strategyFeatures(d)
+
+	// Label budget tuples (seeded sample, as Raha's tuple sampler).
+	labeledRows := rng.Perm(n)[:budget]
+	rowLabels := make(map[int][]bool, budget)
+	for _, r := range labeledRows {
+		rowLabels[r] = b.Oracle(r)
+	}
+
+	pred := newMask(d)
+	for j := 0; j < d.NumCols(); j++ {
+		// Cells sharing an identical strategy-output vector form one
+		// cluster — the fixed point of Raha's feature clustering, since
+		// the vectors are discrete. Labeled cells vote within their
+		// cluster (majority, ties dirty); unlabeled clusters default to
+		// the majority class (clean).
+		group := make(map[string]int, 32)
+		assign := make([]int, n)
+		for i := 0; i < n; i++ {
+			key := bitKey(feats[i][j])
+			g, ok := group[key]
+			if !ok {
+				g = len(group)
+				group[key] = g
+			}
+			assign[i] = g
+		}
+		dirtyVotes := make(map[int]int)
+		cleanVotes := make(map[int]int)
+		for _, r := range labeledRows {
+			g := assign[r]
+			if rowLabels[r][j] {
+				dirtyVotes[g]++
+			} else {
+				cleanVotes[g]++
+			}
+		}
+		// Propagated labels from voted clusters train a per-column
+		// classifier that generalizes to unlabeled clusters (Raha's final
+		// per-column model).
+		var trainX [][]float64
+		var trainY []float64
+		labelOfGroup := make(map[int]bool)
+		for g := range dirtyVotes {
+			labelOfGroup[g] = true
+		}
+		for g := range cleanVotes {
+			if _, ok := labelOfGroup[g]; !ok {
+				labelOfGroup[g] = false
+			}
+		}
+		for g := range labelOfGroup {
+			labelOfGroup[g] = dirtyVotes[g] >= cleanVotes[g] && dirtyVotes[g] > 0
+		}
+		for i := 0; i < n; i++ {
+			g := assign[i]
+			if lbl, ok := labelOfGroup[g]; ok {
+				x := append([]float64{1}, feats[i][j]...)
+				trainX = append(trainX, x)
+				if lbl {
+					trainY = append(trainY, 1)
+				} else {
+					trainY = append(trainY, 0)
+				}
+			}
+		}
+		w, ok := logisticFit(trainX, trainY, 150, 0.8)
+		for i := 0; i < n; i++ {
+			g := assign[i]
+			if lbl, voted := labelOfGroup[g]; voted {
+				pred[i][j] = lbl
+			} else if ok {
+				pred[i][j] = logisticPredict(w, append([]float64{1}, feats[i][j]...)) >= 0.5
+			}
+		}
+	}
+	return pred, nil
+}
+
+// bitKey encodes a strategy bit vector as a compact map key.
+func bitKey(bits []float64) string {
+	b := make([]byte, len(bits))
+	for i, v := range bits {
+		if v > 0.5 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+	}
+	return string(b)
+}
+
+// strategyFeatures runs Raha's strategy library and returns, for each cell,
+// the bit vector of strategy verdicts.
+func strategyFeatures(d *table.Dataset) [][][]float64 {
+	n, m := d.NumRows(), d.NumCols()
+	type colModel struct {
+		valCount map[string]int
+		patCount map[string]int
+		mean     float64
+		std      float64
+		numeric  bool
+		frequent []string
+	}
+	models := make([]colModel, m)
+	for j := 0; j < m; j++ {
+		col := d.Column(j)
+		cm := colModel{valCount: map[string]int{}, patCount: map[string]int{}}
+		for _, v := range col {
+			cm.valCount[v]++
+			cm.patCount[text.Generalize(v, text.L3)]++
+		}
+		if text.IsNumericColumn(col, 0.9) {
+			cm.numeric = true
+			cm.mean, cm.std = stats.MeanStd(stats.NumericColumn(col))
+		}
+		minFreq := n / 100
+		if minFreq < 3 {
+			minFreq = 3
+		}
+		for v, c := range cm.valCount {
+			if c >= minFreq && !text.IsNullLike(v) {
+				cm.frequent = append(cm.frequent, v)
+			}
+		}
+		sortStrs(cm.frequent)
+		if len(cm.frequent) > 100 {
+			cm.frequent = cm.frequent[:100]
+		}
+		models[j] = cm
+	}
+
+	// Mined FDs for the rule-violation strategies.
+	type fdRule struct {
+		det, dep int
+		mapping  map[string]string
+	}
+	var fds []fdRule
+	for det := 0; det < m; det++ {
+		distinct := map[string]bool{}
+		for _, v := range d.Column(det) {
+			distinct[v] = true
+		}
+		if float64(len(distinct)) > 0.5*float64(n) {
+			continue
+		}
+		for dep := 0; dep < m; dep++ {
+			if det == dep {
+				continue
+			}
+			fd := stats.FindFD(d, det, dep)
+			if fd.Support >= 0.95 && len(fd.Mapping) >= 2 {
+				fds = append(fds, fdRule{det, dep, fd.Mapping})
+			}
+		}
+	}
+
+	const numStrategies = 11
+	out := make([][][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([][]float64, m)
+		row := d.Row(i)
+		for j := 0; j < m; j++ {
+			v := row[j]
+			cm := &models[j]
+			f := make([]float64, numStrategies)
+			s := 0
+			mark := func(cond bool) {
+				if cond {
+					f[s] = 1
+				}
+				s++
+			}
+			mark(text.IsNullLike(v))
+			for _, eps := range []float64{0.001, 0.005, 0.02} {
+				mark(float64(cm.valCount[v]) <= eps*float64(n))
+			}
+			pat := text.Generalize(v, text.L3)
+			for _, eps := range []float64{0.001, 0.005, 0.02} {
+				mark(float64(cm.patCount[pat]) <= eps*float64(n))
+			}
+			if cm.numeric {
+				x, ok := text.ParseFloat(v)
+				mark(!ok && !text.IsNullLike(v))
+				mark(ok && cm.std > 0 && (x > cm.mean+3*cm.std || x < cm.mean-3*cm.std))
+			} else {
+				s += 2
+			}
+			// Typo proximity to a frequent value.
+			typo := false
+			if !text.IsNullLike(v) && cm.valCount[v] <= 2 {
+				for _, fv := range cm.frequent {
+					if dist := text.Levenshtein(v, fv); dist > 0 && dist <= 2 {
+						typo = true
+						break
+					}
+				}
+			}
+			mark(typo)
+			// FD violation under any mined rule.
+			viol := false
+			for _, fd := range fds {
+				if fd.dep != j {
+					continue
+				}
+				if want, ok := fd.mapping[row[fd.det]]; ok && v != want {
+					viol = true
+					break
+				}
+			}
+			mark(viol)
+			out[i][j] = f
+		}
+	}
+	return out
+}
+
+func sortStrs(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for k := i; k > 0 && xs[k] < xs[k-1]; k-- {
+			xs[k], xs[k-1] = xs[k-1], xs[k]
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package cluster implements the clustering-based representative sampling
+// of ZeroED Section III-C: k-means with k-means++ seeding (the default),
+// agglomerative clustering, and uniform random sampling (the Table VI
+// comparison points), plus centroid-nearest sample extraction.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Result holds a clustering of n points into k groups.
+type Result struct {
+	// Assign[i] is the cluster id of point i.
+	Assign []int
+	// Centroids[c] is the mean vector of cluster c.
+	Centroids [][]float64
+	// Members[c] lists the point indices in cluster c.
+	Members [][]int
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// KMeans clusters points into k groups using Lloyd's algorithm with
+// k-means++ initialization. The rng makes runs reproducible. k is clamped
+// to len(points). maxIter bounds the Lloyd iterations.
+func KMeans(points [][]float64, k int, rng *rand.Rand, maxIter int) *Result {
+	n := len(points)
+	if n == 0 {
+		return &Result{}
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		k = 1
+	}
+	dim := len(points[0])
+
+	// k-means++ seeding: first centroid uniform, then proportional to
+	// squared distance from the nearest chosen centroid.
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = sqDist(points[i], centroids[0])
+	}
+	for len(centroids) < k {
+		var sum float64
+		for _, d := range d2 {
+			sum += d
+		}
+		var idx int
+		if sum == 0 {
+			idx = rng.Intn(n) // all points coincide with some centroid
+		} else {
+			r := rng.Float64() * sum
+			acc := 0.0
+			idx = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					idx = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[idx]...)
+		centroids = append(centroids, c)
+		for i := range d2 {
+			if d := sqDist(points[i], c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		counts := make([]int, k)
+		for c := range centroids {
+			for j := 0; j < dim; j++ {
+				centroids[c][j] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, x := range p {
+				centroids[c][j] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed empty cluster at the point farthest from its
+				// centroid to keep k effective clusters.
+				far, farD := 0, -1.0
+				for i, p := range points {
+					if d := sqDist(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], points[far])
+				continue
+			}
+			inv := 1.0 / float64(counts[c])
+			for j := range centroids[c] {
+				centroids[c][j] *= inv
+			}
+		}
+	}
+	return finish(assign, centroids, points)
+}
+
+func finish(assign []int, centroids [][]float64, points [][]float64) *Result {
+	members := make([][]int, len(centroids))
+	for i, c := range assign {
+		members[c] = append(members[c], i)
+	}
+	_ = points
+	return &Result{Assign: assign, Centroids: centroids, Members: members}
+}
+
+// CentroidSamples returns, for each non-empty cluster, the index of the
+// member nearest its centroid — ZeroED's representative sample q_cje.
+// The result is sorted ascending for determinism.
+func (r *Result) CentroidSamples(points [][]float64) []int {
+	var out []int
+	for c, mem := range r.Members {
+		if len(mem) == 0 {
+			continue
+		}
+		best, bestD := mem[0], math.Inf(1)
+		for _, i := range mem {
+			if d := sqDist(points[i], r.Centroids[c]); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		out = append(out, best)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RandomSample clusters points trivially: it draws k distinct indices
+// uniformly and assigns every point to its nearest sampled index. This is
+// the "Random" row of Table VI expressed in the same Result shape.
+func RandomSample(points [][]float64, k int, rng *rand.Rand) *Result {
+	n := len(points)
+	if n == 0 {
+		return &Result{}
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		k = 1
+	}
+	perm := rng.Perm(n)[:k]
+	centroids := make([][]float64, k)
+	for c, i := range perm {
+		centroids[c] = append([]float64(nil), points[i]...)
+	}
+	assign := make([]int, n)
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, cen := range centroids {
+			if d := sqDist(p, cen); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+	return finish(assign, centroids, points)
+}
+
+// Agglomerative performs average-linkage hierarchical clustering down to k
+// clusters. To keep the O(n^2)-ish cost tractable on large attributes it
+// first reduces the data to at most maxLeaves seed groups via a fine
+// k-means pass, then merges those groups hierarchically — the standard
+// "hybrid" trick for scalable AGC.
+func Agglomerative(points [][]float64, k int, rng *rand.Rand, maxLeaves int) *Result {
+	n := len(points)
+	if n == 0 {
+		return &Result{}
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		k = 1
+	}
+	if maxLeaves < k {
+		maxLeaves = k
+	}
+
+	// Seed groups.
+	var seed *Result
+	if n <= maxLeaves {
+		assign := make([]int, n)
+		cents := make([][]float64, n)
+		for i := range points {
+			assign[i] = i
+			cents[i] = append([]float64(nil), points[i]...)
+		}
+		seed = finish(assign, cents, points)
+	} else {
+		seed = KMeans(points, maxLeaves, rng, 10)
+	}
+
+	type group struct {
+		centroid []float64
+		size     int
+		members  []int
+		alive    bool
+	}
+	groups := make([]*group, 0, len(seed.Centroids))
+	for c, mem := range seed.Members {
+		if len(mem) == 0 {
+			continue
+		}
+		groups = append(groups, &group{
+			centroid: append([]float64(nil), seed.Centroids[c]...),
+			size:     len(mem),
+			members:  append([]int(nil), mem...),
+			alive:    true,
+		})
+	}
+
+	aliveCount := len(groups)
+	for aliveCount > k {
+		// Find the closest pair of alive groups (average linkage on
+		// centroids weighted by size is equivalent for merged means).
+		bi, bj, bd := -1, -1, math.Inf(1)
+		for i := 0; i < len(groups); i++ {
+			if !groups[i].alive {
+				continue
+			}
+			for j := i + 1; j < len(groups); j++ {
+				if !groups[j].alive {
+					continue
+				}
+				if d := sqDist(groups[i].centroid, groups[j].centroid); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		gi, gj := groups[bi], groups[bj]
+		total := float64(gi.size + gj.size)
+		for x := range gi.centroid {
+			gi.centroid[x] = (gi.centroid[x]*float64(gi.size) + gj.centroid[x]*float64(gj.size)) / total
+		}
+		gi.members = append(gi.members, gj.members...)
+		gi.size += gj.size
+		gj.alive = false
+		aliveCount--
+	}
+
+	assign := make([]int, n)
+	var centroids [][]float64
+	c := 0
+	for _, g := range groups {
+		if !g.alive {
+			continue
+		}
+		for _, i := range g.members {
+			assign[i] = c
+		}
+		centroids = append(centroids, g.centroid)
+		c++
+	}
+	return finish(assign, centroids, points)
+}

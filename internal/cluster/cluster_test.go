@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// threeBlobs builds well-separated 2D clusters around (0,0), (10,0), (0,10).
+func threeBlobs(rng *rand.Rand, per int) ([][]float64, []int) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	var pts [][]float64
+	var truth []int
+	for c, cen := range centers {
+		for i := 0; i < per; i++ {
+			pts = append(pts, []float64{
+				cen[0] + rng.NormFloat64()*0.3,
+				cen[1] + rng.NormFloat64()*0.3,
+			})
+			truth = append(truth, c)
+		}
+	}
+	return pts, truth
+}
+
+// purity measures how well clusters align with the ground-truth blobs.
+func purity(assign, truth []int, k int) float64 {
+	counts := make(map[[2]int]int)
+	for i := range assign {
+		counts[[2]int{assign[i], truth[i]}]++
+	}
+	best := make(map[int]int)
+	for key, c := range counts {
+		if c > best[key[0]] {
+			best[key[0]] = c
+		}
+	}
+	sum := 0
+	for _, c := range best {
+		sum += c
+	}
+	return float64(sum) / float64(len(assign))
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, truth := threeBlobs(rng, 40)
+	res := KMeans(pts, 3, rng, 50)
+	if p := purity(res.Assign, truth, 3); p < 0.99 {
+		t.Errorf("k-means purity = %v, want >= 0.99", p)
+	}
+	if len(res.Centroids) != 3 {
+		t.Errorf("centroids = %d, want 3", len(res.Centroids))
+	}
+}
+
+func TestAgglomerativeRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts, truth := threeBlobs(rng, 40)
+	res := Agglomerative(pts, 3, rng, 60)
+	if p := purity(res.Assign, truth, 3); p < 0.99 {
+		t.Errorf("agglomerative purity = %v, want >= 0.99", p)
+	}
+}
+
+func TestAgglomerativeLargeInputReduces(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts, _ := threeBlobs(rng, 100) // 300 points > maxLeaves
+	res := Agglomerative(pts, 3, rng, 50)
+	if got := len(res.Centroids); got != 3 {
+		t.Errorf("clusters = %d, want 3", got)
+	}
+	if len(res.Assign) != 300 {
+		t.Errorf("assignments = %d, want 300", len(res.Assign))
+	}
+}
+
+func TestRandomSampleShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts, _ := threeBlobs(rng, 10)
+	res := RandomSample(pts, 5, rng)
+	if len(res.Centroids) != 5 {
+		t.Errorf("centroids = %d, want 5", len(res.Centroids))
+	}
+	for _, a := range res.Assign {
+		if a < 0 || a >= 5 {
+			t.Fatalf("assignment %d out of range", a)
+		}
+	}
+}
+
+func TestCentroidSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts, _ := threeBlobs(rng, 20)
+	res := KMeans(pts, 3, rng, 50)
+	samples := res.CentroidSamples(pts)
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(samples))
+	}
+	seen := map[int]bool{}
+	for _, s := range samples {
+		if s < 0 || s >= len(pts) {
+			t.Fatalf("sample index %d out of range", s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate sample %d", s)
+		}
+		seen[s] = true
+	}
+	// Sorted ascending.
+	for i := 1; i < len(samples); i++ {
+		if samples[i] < samples[i-1] {
+			t.Error("samples must be sorted")
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if res := KMeans(nil, 3, rng, 10); len(res.Assign) != 0 {
+		t.Error("empty input should produce empty result")
+	}
+	// k > n clamps.
+	pts := [][]float64{{1}, {2}}
+	res := KMeans(pts, 10, rng, 10)
+	if len(res.Centroids) != 2 {
+		t.Errorf("k clamp: centroids = %d, want 2", len(res.Centroids))
+	}
+	// All-identical points.
+	same := [][]float64{{5, 5}, {5, 5}, {5, 5}, {5, 5}}
+	res = KMeans(same, 2, rng, 10)
+	if len(res.Assign) != 4 {
+		t.Error("identical points must still be assigned")
+	}
+	// k <= 0 becomes 1.
+	res = KMeans(pts, 0, rng, 10)
+	if len(res.Centroids) != 1 {
+		t.Errorf("k=0 should clamp to 1, got %d", len(res.Centroids))
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	pts, _ := threeBlobs(rand.New(rand.NewSource(7)), 30)
+	a := KMeans(pts, 3, rand.New(rand.NewSource(42)), 50)
+	b := KMeans(pts, 3, rand.New(rand.NewSource(42)), 50)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed must give same clustering")
+		}
+	}
+}
+
+// Property: every point is assigned to a valid cluster and every cluster's
+// member list is consistent with the assignment.
+func TestKMeansInvariants(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts, _ := threeBlobs(rng, 15)
+		k := int(kRaw)%6 + 1
+		res := KMeans(pts, k, rng, 20)
+		if len(res.Assign) != len(pts) {
+			return false
+		}
+		count := 0
+		for c, mem := range res.Members {
+			for _, i := range mem {
+				if res.Assign[i] != c {
+					return false
+				}
+				count++
+			}
+		}
+		return count == len(pts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts, _ := threeBlobs(rng, 500)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KMeans(pts, 20, rand.New(rand.NewSource(1)), 25)
+	}
+}

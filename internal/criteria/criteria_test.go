@@ -1,0 +1,360 @@
+package criteria
+
+import (
+	"testing"
+
+	"repro/internal/table"
+)
+
+func row(kv ...string) map[string]string {
+	m := map[string]string{}
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+func TestNotNull(t *testing.T) {
+	c := &Criterion{Kind: KindNotNull, Attr: "x", Name: "nn"}
+	if c.Eval(row("x", ""), "x") {
+		t.Error("empty must fail not_null")
+	}
+	if c.Eval(row("x", "NULL"), "x") {
+		t.Error("NULL placeholder must fail not_null")
+	}
+	if !c.Eval(row("x", "abc"), "x") {
+		t.Error("non-null must pass")
+	}
+}
+
+func TestNullPassesOtherKinds(t *testing.T) {
+	c := &Criterion{Kind: KindRange, Attr: "x", Lo: 0, Hi: 10}
+	if !c.Eval(row("x", ""), "x") {
+		t.Error("null-like value must pass non-null-kind criteria")
+	}
+}
+
+func TestPattern(t *testing.T) {
+	c := &Criterion{Kind: KindPattern, Attr: "x", Patterns: map[string]bool{"D[5]": true}}
+	if !c.Eval(row("x", "80000"), "x") {
+		t.Error("5-digit value must pass D[5]")
+	}
+	if c.Eval(row("x", "80k"), "x") {
+		t.Error("wrong pattern must fail")
+	}
+}
+
+func TestDomain(t *testing.T) {
+	c := &Criterion{Kind: KindDomain, Attr: "x", Domain: map[string]bool{"phd": true, "master": true}}
+	if !c.Eval(row("x", "PhD"), "x") {
+		t.Error("domain check is case-insensitive")
+	}
+	if c.Eval(row("x", "Doctorate"), "x") {
+		t.Error("out-of-domain must fail")
+	}
+}
+
+func TestRange(t *testing.T) {
+	c := &Criterion{Kind: KindRange, Attr: "x", Lo: 1, Hi: 12}
+	if !c.Eval(row("x", "7"), "x") {
+		t.Error("in-range must pass")
+	}
+	if c.Eval(row("x", "25"), "x") {
+		t.Error("out-of-range must fail")
+	}
+	if c.Eval(row("x", "abc"), "x") {
+		t.Error("non-numeric must fail range")
+	}
+}
+
+func TestFD(t *testing.T) {
+	c := &Criterion{Kind: KindFD, Attr: "Capital", DetAttr: "Country",
+		Mapping: map[string]string{"France": "Paris"}}
+	if !c.Eval(row("Country", "France", "Capital", "Paris"), "Capital") {
+		t.Error("consistent FD must pass")
+	}
+	if c.Eval(row("Country", "France", "Capital", "Lyon"), "Capital") {
+		t.Error("violating FD must fail")
+	}
+	if !c.Eval(row("Country", "Japan", "Capital", "Tokyo"), "Capital") {
+		t.Error("unseen determinant must pass (no evidence)")
+	}
+}
+
+func TestCharset(t *testing.T) {
+	c := &Criterion{Kind: KindCharset, Attr: "x", AllowedClasses: map[byte]bool{'D': true}}
+	if !c.Eval(row("x", "12345"), "x") {
+		t.Error("digits must pass digit charset")
+	}
+	if c.Eval(row("x", "12a45"), "x") {
+		t.Error("letter must fail digit charset")
+	}
+}
+
+func TestLength(t *testing.T) {
+	c := &Criterion{Kind: KindLength, Attr: "x", MinLen: 2, MaxLen: 4}
+	if !c.Eval(row("x", "abc"), "x") || c.Eval(row("x", "a"), "x") || c.Eval(row("x", "abcde"), "x") {
+		t.Error("length bounds not enforced")
+	}
+}
+
+func TestTypoDomain(t *testing.T) {
+	c := &Criterion{Kind: KindTypoDomain, Attr: "x",
+		TypoTargets: []string{"Bachelor", "Master"}, MaxDist: 2}
+	if !c.Eval(row("x", "Bachelor"), "x") {
+		t.Error("exact frequent value must pass")
+	}
+	if c.Eval(row("x", "Bechxlor"), "x") {
+		t.Error("near-miss of a frequent value must fail (likely typo)")
+	}
+	if !c.Eval(row("x", "Doctorate"), "x") {
+		t.Error("distant value must pass typo check")
+	}
+}
+
+func TestValueFreq(t *testing.T) {
+	c := &Criterion{Kind: KindValueFreq, Attr: "x", MinCount: 2,
+		Counts: map[string]int{"a": 5, "b": 1}}
+	if !c.Eval(row("x", "a"), "x") || c.Eval(row("x", "b"), "x") {
+		t.Error("value frequency threshold not enforced")
+	}
+}
+
+func TestNumericType(t *testing.T) {
+	c := &Criterion{Kind: KindNumericType, Attr: "x"}
+	if !c.Eval(row("x", "3.14"), "x") || c.Eval(row("x", "pi"), "x") {
+		t.Error("numeric parse criterion wrong")
+	}
+}
+
+func TestSetFeaturesAndPassRate(t *testing.T) {
+	s := &Set{Attr: "x", Criteria: []*Criterion{
+		{Kind: KindNotNull, Attr: "x"},
+		{Kind: KindRange, Attr: "x", Lo: 0, Hi: 10},
+	}}
+	f := s.Features(row("x", "5"))
+	if len(f) != 2 || f[0] != 1 || f[1] != 1 {
+		t.Errorf("Features = %v, want [1 1]", f)
+	}
+	f = s.Features(row("x", "99"))
+	if f[0] != 1 || f[1] != 0 {
+		t.Errorf("Features = %v, want [1 0]", f)
+	}
+	if got := s.PassRate(row("x", "99")); got != 0.5 {
+		t.Errorf("PassRate = %v, want 0.5", got)
+	}
+	empty := &Set{Attr: "x"}
+	if got := empty.PassRate(row("x", "z")); got != 1 {
+		t.Errorf("empty set PassRate = %v, want 1", got)
+	}
+}
+
+func TestAccuracyAndVerifySet(t *testing.T) {
+	good := &Criterion{Kind: KindRange, Attr: "x", Lo: 0, Hi: 100, Name: "good"}
+	bad := &Criterion{Kind: KindRange, Attr: "x", Lo: 0, Hi: 1, Name: "bad"}
+	rows := []map[string]string{row("x", "50"), row("x", "60"), row("x", "70")}
+	if got := AccuracyOnClean(good, "x", rows); got != 1 {
+		t.Errorf("good accuracy = %v, want 1", got)
+	}
+	if got := AccuracyOnClean(bad, "x", rows); got != 0 {
+		t.Errorf("bad accuracy = %v, want 0", got)
+	}
+	s := &Set{Attr: "x", Criteria: []*Criterion{good, bad}}
+	v := VerifySet(s, rows, 0.5)
+	if len(v.Criteria) != 1 || v.Criteria[0].Name != "good" {
+		t.Errorf("VerifySet kept %v", v.Criteria)
+	}
+	if got := AccuracyOnClean(good, "x", nil); got != 1 {
+		t.Errorf("empty rows accuracy = %v, want 1", got)
+	}
+}
+
+func eduDataset() *table.Dataset {
+	d := table.New("t", []string{"Education", "Salary"})
+	for i := 0; i < 30; i++ {
+		d.AppendRow([]string{"Bachelor", "50000"})
+		d.AppendRow([]string{"Master", "70000"})
+		d.AppendRow([]string{"Phd", "90000"})
+	}
+	return d
+}
+
+func allRows(d *table.Dataset) []int {
+	rows := make([]int, d.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}
+
+func TestInduceCategorical(t *testing.T) {
+	d := eduDataset()
+	s := Induce(d, 0, allRows(d), []int{1}, DefaultInduceOptions())
+	if len(s.Criteria) == 0 {
+		t.Fatal("no criteria induced")
+	}
+	kinds := map[Kind]bool{}
+	for _, c := range s.Criteria {
+		kinds[c.Kind] = true
+	}
+	if !kinds[KindDomain] {
+		t.Error("categorical attribute should induce a domain criterion")
+	}
+	if !kinds[KindTypoDomain] {
+		t.Error("categorical attribute should induce a typo criterion")
+	}
+	// Clean value passes everything, typo fails at least one criterion.
+	clean := row("Education", "Master", "Salary", "70000")
+	typo := row("Education", "Mastxr", "Salary", "70000")
+	if got := s.PassRate(clean); got != 1 {
+		t.Errorf("clean PassRate = %v, want 1", got)
+	}
+	if got := s.PassRate(typo); got >= 1 {
+		t.Error("typo must fail at least one criterion")
+	}
+}
+
+func TestInduceNumeric(t *testing.T) {
+	d := eduDataset()
+	s := Induce(d, 1, allRows(d), []int{0}, DefaultInduceOptions())
+	kinds := map[Kind]bool{}
+	for _, c := range s.Criteria {
+		kinds[c.Kind] = true
+	}
+	if !kinds[KindRange] || !kinds[KindNumericType] {
+		t.Errorf("numeric attribute should induce range+numeric criteria, got %v", kinds)
+	}
+	outlier := row("Education", "Phd", "Salary", "9000000")
+	if got := s.PassRate(outlier); got >= 1 {
+		t.Error("extreme outlier must fail at least one criterion")
+	}
+}
+
+func TestInduceFD(t *testing.T) {
+	d := table.New("t", []string{"Country", "Capital", "Pop"})
+	for i := 0; i < 20; i++ {
+		d.AppendRow([]string{"France", "Paris", "67"})
+		d.AppendRow([]string{"Japan", "Tokyo", "125"})
+	}
+	s := Induce(d, 1, allRows(d), []int{0}, DefaultInduceOptions())
+	var fd *Criterion
+	for _, c := range s.Criteria {
+		if c.Kind == KindFD {
+			fd = c
+		}
+	}
+	if fd == nil {
+		t.Fatal("FD criterion not induced from perfectly dependent attribute")
+	}
+	if !fd.Eval(row("Country", "France", "Capital", "Paris"), "Capital") {
+		t.Error("consistent pair must pass")
+	}
+	if fd.Eval(row("Country", "France", "Capital", "Tokyo"), "Capital") {
+		t.Error("rule violation must fail")
+	}
+}
+
+func TestInduceEmptySample(t *testing.T) {
+	d := eduDataset()
+	s := Induce(d, 0, nil, nil, DefaultInduceOptions())
+	if len(s.Criteria) != 0 {
+		t.Error("empty sample should induce nothing")
+	}
+}
+
+func TestRefineDomain(t *testing.T) {
+	s := &Set{Attr: "x", Criteria: []*Criterion{
+		{Kind: KindDomain, Attr: "x", Domain: map[string]bool{"a": true, "bad": true}},
+	}}
+	r := Refine(s, []string{"c"}, []string{"bad"})
+	dom := r.Criteria[0].Domain
+	if !dom["a"] || !dom["c"] || dom["bad"] {
+		t.Errorf("refined domain = %v", dom)
+	}
+	// Original untouched.
+	if !s.Criteria[0].Domain["bad"] {
+		t.Error("Refine must not mutate input")
+	}
+}
+
+func TestRefineRangeExpands(t *testing.T) {
+	s := &Set{Attr: "x", Criteria: []*Criterion{
+		{Kind: KindRange, Attr: "x", Lo: 10, Hi: 20},
+	}}
+	r := Refine(s, []string{"5", "25"}, nil)
+	c := r.Criteria[0]
+	if c.Lo != 5 || c.Hi != 25 {
+		t.Errorf("range = [%v,%v], want [5,25]", c.Lo, c.Hi)
+	}
+}
+
+func TestRefinePatternKeepsCleanShared(t *testing.T) {
+	s := &Set{Attr: "x", Criteria: []*Criterion{
+		{Kind: KindPattern, Attr: "x", Patterns: map[string]bool{"D[5]": true}},
+	}}
+	// An error value shares D[5] with a clean value: pattern stays.
+	r := Refine(s, []string{"12345"}, []string{"99999"})
+	if !r.Criteria[0].Patterns["D[5]"] {
+		t.Error("pattern shared with clean values must not be dropped")
+	}
+	// An error-only pattern is dropped.
+	s2 := &Set{Attr: "x", Criteria: []*Criterion{
+		{Kind: KindPattern, Attr: "x", Patterns: map[string]bool{"D[5]": true, "u[3]": true}},
+	}}
+	r2 := Refine(s2, []string{"12345"}, []string{"abc"})
+	if r2.Criteria[0].Patterns["u[3]"] {
+		t.Error("error-only pattern must be dropped")
+	}
+}
+
+// Property: Features length always equals the criteria count and contains
+// only 0/1 values.
+func TestFeaturesShapeProperty(t *testing.T) {
+	d := eduDataset()
+	s := Induce(d, 0, allRows(d), []int{1}, DefaultInduceOptions())
+	for i := 0; i < d.NumRows(); i += 7 {
+		f := s.Features(d.RowMap(i))
+		if len(f) != len(s.Criteria) {
+			t.Fatalf("features len %d != criteria %d", len(f), len(s.Criteria))
+		}
+		for _, b := range f {
+			if b != 0 && b != 1 {
+				t.Fatalf("non-binary feature %v", b)
+			}
+		}
+	}
+}
+
+func TestVerifySetThresholdEdge(t *testing.T) {
+	// A criterion passing exactly 50% of clean rows survives at 0.5.
+	c := &Criterion{Kind: KindRange, Attr: "x", Lo: 0, Hi: 10, Name: "edge"}
+	rows := []map[string]string{row("x", "5"), row("x", "50")}
+	s := &Set{Attr: "x", Criteria: []*Criterion{c}}
+	if v := VerifySet(s, rows, 0.5); len(v.Criteria) != 1 {
+		t.Error("criterion at exactly the threshold must survive")
+	}
+	if v := VerifySet(s, rows, 0.51); len(v.Criteria) != 0 {
+		t.Error("criterion below the threshold must be removed")
+	}
+}
+
+func TestInduceDeterministic(t *testing.T) {
+	d := eduDataset()
+	a := Induce(d, 0, allRows(d), []int{1}, DefaultInduceOptions())
+	b := Induce(d, 0, allRows(d), []int{1}, DefaultInduceOptions())
+	if len(a.Criteria) != len(b.Criteria) {
+		t.Fatal("induction must be deterministic")
+	}
+	for i := range a.Criteria {
+		if a.Criteria[i].Name != b.Criteria[i].Name || a.Criteria[i].Kind != b.Criteria[i].Kind {
+			t.Fatal("criterion order/content must be deterministic")
+		}
+	}
+}
+
+func TestUnknownKindPasses(t *testing.T) {
+	c := &Criterion{Kind: Kind("future"), Attr: "x"}
+	if !c.Eval(row("x", "anything"), "x") {
+		t.Error("unknown criterion kinds must default to pass (forward compatibility)")
+	}
+}

@@ -1,0 +1,35 @@
+package criteria_test
+
+import (
+	"fmt"
+
+	"repro/internal/criteria"
+)
+
+// The Fig. 4 Flights example: an hour-range check expressed as a criterion
+// instead of a generated Python function.
+func ExampleCriterion_Eval() {
+	c := &criteria.Criterion{
+		Kind: criteria.KindRange, Attr: "ArrHour",
+		Name: "is_clean_hour_range", Lo: 1, Hi: 12,
+	}
+	fmt.Println(c.Eval(map[string]string{"ArrHour": "7"}, "ArrHour"))
+	fmt.Println(c.Eval(map[string]string{"ArrHour": "25"}, "ArrHour"))
+	// Output:
+	// true
+	// false
+}
+
+// The Fig. 4 Hospital example: cross-attribute consistency via a
+// dependency criterion.
+func ExampleCriterion_Eval_crossAttribute() {
+	c := &criteria.Criterion{
+		Kind: criteria.KindFD, Attr: "Condition",
+		Name:    "is_clean_consistent_with_measure_code",
+		DetAttr: "MeasureCode",
+		Mapping: map[string]string{"SCIP-INF-1": "surgical infection prevention"},
+	}
+	row := map[string]string{"MeasureCode": "SCIP-INF-1", "Condition": "pneumonia"}
+	fmt.Println(c.Eval(row, "Condition"))
+	// Output: false
+}

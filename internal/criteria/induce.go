@@ -1,0 +1,342 @@
+package criteria
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/text"
+)
+
+// InduceOptions tunes criterion induction from a data sample. Defaults
+// reflect the conservative "only flag with high confidence" instruction in
+// the paper's prompts.
+type InduceOptions struct {
+	// PatternCoverage: frequent L3 patterns are accumulated (most frequent
+	// first) until this share of sampled values is covered; those patterns
+	// become the allowed set.
+	PatternCoverage float64
+	// CategoricalMaxDistinctRatio: an attribute is treated as categorical
+	// when distinct/sample values is below this ratio.
+	CategoricalMaxDistinctRatio float64
+	// RangeIQRFactor widens the numeric [Q1,Q3] window by this multiple of
+	// the IQR on each side (Tukey-style fences).
+	RangeIQRFactor float64
+	// FDMinSupport is the minimum majority support for inducing an FD
+	// criterion from a correlated attribute.
+	FDMinSupport float64
+	// TypoMaxDist bounds the edit distance for near-miss typo detection.
+	TypoMaxDist int
+	// MinFrequentCount is the minimum occurrences for a value to be a typo
+	// target / domain member.
+	MinFrequentCount int
+}
+
+// DefaultInduceOptions returns the defaults used by the pipeline.
+func DefaultInduceOptions() InduceOptions {
+	return InduceOptions{
+		PatternCoverage:             0.90,
+		CategoricalMaxDistinctRatio: 0.20,
+		RangeIQRFactor:              3.0,
+		FDMinSupport:                0.85,
+		TypoMaxDist:                 2,
+		MinFrequentCount:            2,
+	}
+}
+
+// Induce derives the criteria set F_i for attribute j of d by analyzing
+// the sampled rows (tuple indices into d) together with the correlated
+// attributes corr (indices). This is the deterministic analogue of the
+// paper's criteria-reasoning prompt: "given task description, common error
+// descriptions, and serialized sample tuples, emit executable checks".
+func Induce(d *table.Dataset, j int, sampleRows []int, corr []int, opt InduceOptions) *Set {
+	attr := d.Attrs[j]
+	set := &Set{Attr: attr}
+	values := make([]string, len(sampleRows))
+	for i, r := range sampleRows {
+		values[i] = d.Value(r, j)
+	}
+	n := len(values)
+	if n == 0 {
+		return set
+	}
+
+	// 1. Nullability: only demand non-null when the sample is almost
+	// entirely non-null (otherwise empties are plausibly legitimate).
+	nulls := 0
+	for _, v := range values {
+		if text.IsNullLike(v) {
+			nulls++
+		}
+	}
+	if float64(nulls)/float64(n) < 0.3 {
+		set.Criteria = append(set.Criteria, &Criterion{
+			Kind: KindNotNull, Attr: attr, Name: "is_clean_not_null",
+		})
+	}
+
+	nonNull := make([]string, 0, n)
+	for _, v := range values {
+		if !text.IsNullLike(v) {
+			nonNull = append(nonNull, v)
+		}
+	}
+	if len(nonNull) == 0 {
+		return set
+	}
+
+	// 2. Pattern criterion: allow the most frequent L3 patterns up to the
+	// coverage target.
+	patCounts := map[string]int{}
+	for _, v := range nonNull {
+		patCounts[text.Generalize(v, text.L3)]++
+	}
+	allowed := coverSet(patCounts, len(nonNull), opt.PatternCoverage)
+	if len(allowed) > 0 && len(allowed) < len(patCounts) {
+		set.Criteria = append(set.Criteria, &Criterion{
+			Kind: KindPattern, Attr: attr, Name: "is_clean_format", Patterns: allowed,
+		})
+	}
+
+	// 3. Charset criterion: character classes seen in the dominant
+	// patterns only.
+	classes := map[byte]bool{}
+	for _, v := range nonNull {
+		if allowed == nil || allowed[text.Generalize(v, text.L3)] || len(allowed) == 0 {
+			for _, r := range v {
+				classes[classOf(r)] = true
+			}
+		}
+	}
+	if len(classes) > 0 && len(classes) < 4 {
+		set.Criteria = append(set.Criteria, &Criterion{
+			Kind: KindCharset, Attr: attr, Name: "is_clean_charset", AllowedClasses: classes,
+		})
+	}
+
+	// 4. Length criterion from the sampled length distribution.
+	lens := make([]float64, len(nonNull))
+	for i, v := range nonNull {
+		lens[i] = float64(len([]rune(v)))
+	}
+	lo := int(stats.Quantile(lens, 0.02))
+	hi := int(stats.Quantile(lens, 0.98) + 0.5)
+	if hi > lo {
+		set.Criteria = append(set.Criteria, &Criterion{
+			Kind: KindLength, Attr: attr, Name: "is_clean_length",
+			MinLen: maxInt(lo-2, 0), MaxLen: hi + 2,
+		})
+	}
+
+	// 5. Numeric attributes: range fences (the Flights hour-range example
+	// of Fig. 4 is a special case of this).
+	if text.IsNumericColumn(nonNull, 0.9) {
+		nums := stats.NumericColumn(nonNull)
+		q1 := stats.Quantile(nums, 0.25)
+		q3 := stats.Quantile(nums, 0.75)
+		iqr := q3 - q1
+		span := iqr
+		if span == 0 {
+			span = (q3 + q1) * 0.25
+			if span < 1 {
+				span = 1
+			}
+		}
+		set.Criteria = append(set.Criteria, &Criterion{
+			Kind: KindRange, Attr: attr, Name: "is_clean_value_range",
+			Lo: q1 - opt.RangeIQRFactor*span, Hi: q3 + opt.RangeIQRFactor*span,
+		})
+		set.Criteria = append(set.Criteria, &Criterion{
+			Kind: KindNumericType, Attr: attr, Name: "is_clean_numeric",
+		})
+	} else {
+		// 6. Categorical attributes: domain + typo proximity.
+		distinct := map[string]int{}
+		for _, v := range nonNull {
+			distinct[strings.ToLower(v)]++
+		}
+		if float64(len(distinct))/float64(len(nonNull)) <= opt.CategoricalMaxDistinctRatio {
+			domain := map[string]bool{}
+			var typoTargets []string
+			for v, c := range distinct {
+				if c >= opt.MinFrequentCount {
+					domain[v] = true
+				}
+			}
+			for _, v := range nonNull {
+				if distinct[strings.ToLower(v)] >= opt.MinFrequentCount {
+					typoTargets = append(typoTargets, v)
+				}
+			}
+			typoTargets = dedupe(typoTargets)
+			if len(domain) > 0 {
+				set.Criteria = append(set.Criteria, &Criterion{
+					Kind: KindDomain, Attr: attr, Name: "is_clean_in_domain", Domain: domain,
+				})
+			}
+			if len(typoTargets) > 0 {
+				set.Criteria = append(set.Criteria, &Criterion{
+					Kind: KindTypoDomain, Attr: attr, Name: "is_clean_no_near_miss",
+					TypoTargets: typoTargets, MaxDist: opt.TypoMaxDist,
+				})
+			}
+		}
+	}
+
+	// 7. FD criteria against correlated attributes (the Hospital
+	// MeasureCode consistency example of Fig. 4). Mappings are induced
+	// from the full dataset restricted to the sampled rows.
+	sub := table.New(d.Name, d.Attrs)
+	for _, r := range sampleRows {
+		sub.AppendRow(d.Row(r))
+	}
+	for _, q := range corr {
+		if q == j {
+			continue
+		}
+		fd := stats.FindFD(sub, q, j)
+		if fd.Support >= opt.FDMinSupport && len(fd.Mapping) > 0 {
+			set.Criteria = append(set.Criteria, &Criterion{
+				Kind: KindFD, Attr: attr,
+				Name:    fmt.Sprintf("is_clean_consistent_with_%s", sanitize(d.Attrs[q])),
+				DetAttr: d.Attrs[q], Mapping: fd.Mapping,
+			})
+		}
+	}
+	return set
+}
+
+// Refine performs the contrastive in-context enhancement of Algorithm 1
+// (Lines 4-7): given values labeled clean and values labeled erroneous for
+// the attribute, it tightens or relaxes the criteria so that clean values
+// pass and known errors fail where possible. It returns a new Set; the
+// input is not mutated.
+func Refine(s *Set, cleanVals, errVals []string) *Set {
+	out := &Set{Attr: s.Attr}
+	for _, c := range s.Criteria {
+		rc := *c // shallow copy; maps are rebuilt below when mutated
+		switch c.Kind {
+		case KindDomain:
+			// Remove error values from the allowed domain; admit clean
+			// values the sample missed.
+			nd := map[string]bool{}
+			for v := range c.Domain {
+				nd[v] = true
+			}
+			for _, v := range cleanVals {
+				if !text.IsNullLike(v) {
+					nd[strings.ToLower(v)] = true
+				}
+			}
+			for _, v := range errVals {
+				delete(nd, strings.ToLower(v))
+			}
+			rc.Domain = nd
+		case KindPattern:
+			np := map[string]bool{}
+			for p := range c.Patterns {
+				np[p] = true
+			}
+			for _, v := range cleanVals {
+				if !text.IsNullLike(v) {
+					np[text.Generalize(v, text.L3)] = true
+				}
+			}
+			// Only drop a pattern on error evidence when no clean value
+			// shares it.
+			cleanPats := map[string]bool{}
+			for _, v := range cleanVals {
+				cleanPats[text.Generalize(v, text.L3)] = true
+			}
+			for _, v := range errVals {
+				p := text.Generalize(v, text.L3)
+				if !cleanPats[p] {
+					delete(np, p)
+				}
+			}
+			rc.Patterns = np
+		case KindRange:
+			// Expand to include all clean numerics.
+			for _, v := range cleanVals {
+				if f, ok := text.ParseFloat(v); ok {
+					if f < rc.Lo {
+						rc.Lo = f
+					}
+					if f > rc.Hi {
+						rc.Hi = f
+					}
+				}
+			}
+		case KindTypoDomain:
+			targets := append([]string(nil), c.TypoTargets...)
+			for _, v := range cleanVals {
+				if !text.IsNullLike(v) {
+					targets = append(targets, v)
+				}
+			}
+			rc.TypoTargets = dedupe(targets)
+		}
+		out.Criteria = append(out.Criteria, &rc)
+	}
+	return out
+}
+
+// coverSet returns the smallest prefix of patterns (by descending count)
+// whose cumulative share reaches coverage.
+func coverSet(counts map[string]int, total int, coverage float64) map[string]bool {
+	type pc struct {
+		p string
+		c int
+	}
+	ps := make([]pc, 0, len(counts))
+	for p, c := range counts {
+		ps = append(ps, pc{p, c})
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].c != ps[b].c {
+			return ps[a].c > ps[b].c
+		}
+		return ps[a].p < ps[b].p
+	})
+	out := map[string]bool{}
+	acc := 0
+	for _, e := range ps {
+		if float64(acc)/float64(total) >= coverage {
+			break
+		}
+		out[e.p] = true
+		acc += e.c
+	}
+	return out
+}
+
+func dedupe(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			return r
+		}
+		return '_'
+	}, s)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

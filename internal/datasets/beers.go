@@ -1,0 +1,78 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/errgen"
+	"repro/internal/knowledge"
+	"repro/internal/table"
+)
+
+// Beers generates the Beers benchmark: 2,410 tuples over 11 attributes with
+// ~13% cell errors dominated by pattern violations (Table II). BreweryID
+// functionally determines BreweryName, BreweryCity, and BreweryState.
+func Beers(n int, seed int64) *Bench {
+	if n <= 0 {
+		n = 2410
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrs := []string{
+		"ID", "BeerName", "Style", "ABV", "IBU", "Ounces",
+		"BreweryID", "BreweryName", "BreweryCity", "BreweryState", "ServedIn",
+	}
+	clean := table.New("Beers", attrs)
+
+	cities := sortedKeys(cityState)
+	type brewery struct{ name, city, state string }
+	numBreweries := 80
+	breweries := make([]brewery, numBreweries)
+	for i := range breweries {
+		city := cities[rng.Intn(len(cities))]
+		breweries[i] = brewery{
+			name:  fmt.Sprintf("%s %s Brewing Company", pick(rng, beerAdjectives), pick(rng, breweryNouns)),
+			city:  city,
+			state: cityState[city],
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		b := rng.Intn(numBreweries)
+		abv := 0.035 + rng.Float64()*0.06
+		clean.AppendRow([]string{
+			fmt.Sprintf("%d", 1000+i),
+			fmt.Sprintf("%s %s", pick(rng, beerAdjectives), pick(rng, beerNouns)),
+			pick(rng, beerStyles),
+			fmt.Sprintf("%.3f", abv),
+			fmt.Sprintf("%d", 10+rng.Intn(90)),
+			[]string{"12.0", "16.0"}[rng.Intn(2)],
+			fmt.Sprintf("%d", 100+b),
+			breweries[b].name,
+			breweries[b].city,
+			breweries[b].state,
+			[]string{"can", "bottle"}[rng.Intn(2)],
+		})
+	}
+
+	fdPairs := [][2]int{
+		{6, 7}, // BreweryID -> BreweryName
+		{6, 8}, // BreweryID -> BreweryCity
+		{6, 9}, // BreweryID -> BreweryState
+	}
+	dirty, log := errgen.Inject(clean, errgen.Spec{
+		Rates: map[errgen.Type]float64{
+			errgen.Missing:          0.009,
+			errgen.PatternViolation: 0.07,
+			errgen.Typo:             0.024,
+			errgen.Outlier:          0.011,
+			errgen.RuleViolation:    0.011,
+		},
+		NumericCols: []int{3, 4}, // ABV, IBU
+		FDPairs:     fdPairs,
+		Seed:        seed + 1,
+	})
+
+	// No relevant KB for Beers (KATARA scores zero in the paper).
+	return &Bench{Name: "Beers", Clean: clean, Dirty: dirty, Log: log,
+		KB: knowledge.NewBase(), FDPairs: fdPairs}
+}

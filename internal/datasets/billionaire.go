@@ -1,0 +1,97 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/errgen"
+	"repro/internal/knowledge"
+	"repro/internal/table"
+)
+
+// Billionaire generates the Billionaire benchmark: 2,615 tuples over 22
+// attributes with ~9.8% injected cell errors of all five types (Table II;
+// the paper injects errors into this dataset with the BigDaMa error
+// generator, which internal/errgen reproduces). Country determines Region
+// and Citizenship correlates with Country.
+func Billionaire(n int, seed int64) *Bench {
+	if n <= 0 {
+		n = 2615
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrs := []string{
+		"Name", "Rank", "Year", "CompanyName", "CompanyFounded",
+		"CompanyRelationship", "CompanySector", "CompanyType", "Age",
+		"Gender", "Citizenship", "Country", "Region", "GDP", "WealthType",
+		"WorthBillions", "HowCategory", "HowIndustry", "WasFounder",
+		"Inherited", "Education", "MaritalStatus",
+	}
+	clean := table.New("Billionaire", attrs)
+
+	countryRegion := map[string]string{
+		"United States": "North America", "Canada": "North America",
+		"Mexico": "North America", "Brazil": "South America",
+		"Germany": "Europe", "France": "Europe", "United Kingdom": "Europe",
+		"Italy": "Europe", "Russia": "Europe",
+		"China": "East Asia", "Japan": "East Asia", "India": "South Asia",
+	}
+	countryGDP := map[string]string{}
+	for i, c := range countries {
+		countryGDP[c] = fmt.Sprintf("%d", 1000+i*850)
+	}
+	relationships := []string{"founder", "relation", "chairman", "investor"}
+	companyTypes := []string{"new", "aquired", "privatization"}
+
+	for i := 0; i < n; i++ {
+		country := pick(rng, countries)
+		first := pick(rng, firstNames)
+		last := pick(rng, lastNames)
+		founded := 1900 + rng.Intn(110)
+		clean.AppendRow([]string{
+			first + " " + last,
+			fmt.Sprintf("%d", 1+rng.Intn(1500)),
+			fmt.Sprintf("%d", []int{1996, 2001, 2014}[rng.Intn(3)]),
+			last + " " + []string{"Group", "Holdings", "Industries", "Capital", "Corp"}[rng.Intn(5)],
+			fmt.Sprintf("%d", founded),
+			pick(rng, relationships),
+			pick(rng, industries),
+			pick(rng, companyTypes),
+			fmt.Sprintf("%d", 30+rng.Intn(60)),
+			[]string{"male", "female"}[rng.Intn(2)],
+			country,
+			country,
+			countryRegion[country],
+			countryGDP[country],
+			pick(rng, wealthSources),
+			fmt.Sprintf("%.1f", 1.0+rng.Float64()*70),
+			pick(rng, wealthSources),
+			pick(rng, industries),
+			[]string{"true", "false"}[rng.Intn(2)],
+			[]string{"not inherited", "father", "3rd generation"}[rng.Intn(3)],
+			pick(rng, educations),
+			pick(rng, maritalStatuses),
+		})
+	}
+
+	fdPairs := [][2]int{
+		{11, 12}, // Country -> Region
+		{11, 13}, // Country -> GDP
+	}
+	dirty, log := errgen.Inject(clean, errgen.Spec{
+		Rates: map[errgen.Type]float64{
+			errgen.Missing:          0.024,
+			errgen.PatternViolation: 0.025,
+			errgen.Typo:             0.013,
+			errgen.Outlier:          0.030,
+			errgen.RuleViolation:    0.006,
+		},
+		NumericCols: []int{1, 4, 8, 15}, // Rank, CompanyFounded, Age, WorthBillions
+		FDPairs:     fdPairs,
+		Seed:        seed + 1,
+	})
+
+	kb := knowledge.NewBase()
+	kb.AddEntities("Country", countries...)
+	kb.AddEntities("Citizenship", countries...)
+	return &Bench{Name: "Billionaire", Clean: clean, Dirty: dirty, Log: log, KB: kb, FDPairs: fdPairs}
+}

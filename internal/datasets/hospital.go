@@ -1,0 +1,98 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/errgen"
+	"repro/internal/knowledge"
+	"repro/internal/table"
+)
+
+// Hospital generates the Hospital benchmark: 1,000 tuples over 20
+// attributes with ~4.8% cell errors and no missing values (Table II).
+// Its signature dependencies are MeasureCode -> {MeasureName, Condition}
+// (the paper's Fig. 4 example), ZipCode -> City, and City -> State.
+func Hospital(n int, seed int64) *Bench {
+	if n <= 0 {
+		n = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrs := []string{
+		"ProviderNumber", "HospitalName", "Address", "City", "State",
+		"ZipCode", "CountyName", "PhoneNumber", "HospitalType",
+		"HospitalOwner", "EmergencyService", "Condition", "MeasureCode",
+		"MeasureName", "Score", "Sample", "StateAvg", "Quarter", "Year",
+		"Rating",
+	}
+	clean := table.New("Hospital", attrs)
+
+	zips := sortedKeys(zipCity)
+	codes := make([]string, 0, len(hospitalMeasures))
+	for c := range hospitalMeasures {
+		codes = append(codes, c)
+	}
+	sortStrings(codes)
+	hospSuffix := []string{"General Hospital", "Memorial Hospital", "Regional Medical Center", "Community Hospital"}
+	streets := []string{"Main St", "Oak Ave", "Washington Blvd", "Park Rd", "Lake Dr", "Church St"}
+
+	for i := 0; i < n; i++ {
+		zip := pick(rng, zips)
+		city := zipCity[zip]
+		state := cityState[city]
+		code := pick(rng, codes)
+		measure := hospitalMeasures[code]
+		score := 55 + rng.Intn(45)
+		row := []string{
+			fmt.Sprintf("%05d", 10000+rng.Intn(80000)),
+			city + " " + pick(rng, hospSuffix),
+			fmt.Sprintf("%d %s", 100+rng.Intn(9800), pick(rng, streets)),
+			city,
+			state,
+			zip,
+			city + " County",
+			fmt.Sprintf("%d%07d", 200+rng.Intn(700), rng.Intn(10000000)),
+			pick(rng, hospitalTypes),
+			pick(rng, hospitalOwners),
+			[]string{"Yes", "No"}[rng.Intn(2)],
+			measure[1],
+			code,
+			measure[0],
+			fmt.Sprintf("%d%%", score),
+			fmt.Sprintf("%d patients", 10+rng.Intn(490)),
+			fmt.Sprintf("%d%%", 60+rng.Intn(35)),
+			fmt.Sprintf("Q%d", 1+rng.Intn(4)),
+			fmt.Sprintf("%d", 2010+rng.Intn(5)),
+			fmt.Sprintf("%d", 1+rng.Intn(5)),
+		}
+		clean.AppendRow(row)
+	}
+
+	fdPairs := [][2]int{
+		{12, 13}, // MeasureCode -> MeasureName
+		{12, 11}, // MeasureCode -> Condition
+		{5, 3},   // ZipCode -> City
+		{3, 4},   // City -> State
+	}
+	dirty, log := errgen.Inject(clean, errgen.Spec{
+		Rates: map[errgen.Type]float64{
+			errgen.Typo:             0.013,
+			errgen.PatternViolation: 0.013,
+			errgen.Outlier:          0.011,
+			errgen.RuleViolation:    0.011,
+		},
+		NumericCols: []int{18, 19}, // Year, Rating
+		FDPairs:     fdPairs,
+		Seed:        seed + 1,
+	})
+
+	kb := knowledge.NewBase()
+	for city, state := range cityState {
+		kb.AddEntities("City", city)
+		kb.AddEntities("State", state)
+	}
+	for _, m := range hospitalMeasures {
+		kb.AddEntities("Condition", m[1])
+	}
+	return &Bench{Name: "Hospital", Clean: clean, Dirty: dirty, Log: log, KB: kb, FDPairs: fdPairs}
+}

@@ -1,0 +1,67 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/errgen"
+	"repro/internal/knowledge"
+	"repro/internal/table"
+)
+
+// Movies generates the Movies benchmark (Magellan repository): 7,390
+// tuples over 17 attributes with ~5% cell errors and no rule violations
+// (Table II reports RV 0 for Movies).
+func Movies(n int, seed int64) *Bench {
+	if n <= 0 {
+		n = 7390
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrs := []string{
+		"MovieID", "Title", "Year", "ReleaseDate", "Director", "Creator",
+		"Actor1", "Actor2", "Genre", "Duration", "Language", "Country",
+		"RatingValue", "RatingCount", "Certificate", "Studio", "Gross",
+	}
+	clean := table.New("Movies", attrs)
+
+	studios := []string{"Universal", "Paramount", "Warner Bros", "Columbia", "Lionsgate", "A24", "Focus"}
+	for i := 0; i < n; i++ {
+		year := 1970 + rng.Intn(50)
+		clean.AppendRow([]string{
+			fmt.Sprintf("tt%07d", 100000+i),
+			fmt.Sprintf("The %s %s", pick(rng, movieWords1), pick(rng, movieWords2)),
+			fmt.Sprintf("%d", year),
+			fmt.Sprintf("%d-%02d-%02d", year, 1+rng.Intn(12), 1+rng.Intn(28)),
+			pick(rng, firstNames) + " " + pick(rng, lastNames),
+			pick(rng, firstNames) + " " + pick(rng, lastNames),
+			pick(rng, firstNames) + " " + pick(rng, lastNames),
+			pick(rng, firstNames) + " " + pick(rng, lastNames),
+			pick(rng, movieGenres),
+			fmt.Sprintf("%d min", 75+rng.Intn(90)),
+			pick(rng, movieLanguages),
+			pick(rng, countries),
+			fmt.Sprintf("%.1f", 3.0+rng.Float64()*6.5),
+			fmt.Sprintf("%d", 500+rng.Intn(900000)),
+			pick(rng, certificates),
+			pick(rng, studios),
+			fmt.Sprintf("$%dM", 1+rng.Intn(400)),
+		})
+	}
+
+	dirty, log := errgen.Inject(clean, errgen.Spec{
+		Rates: map[errgen.Type]float64{
+			errgen.Missing:          0.022,
+			errgen.PatternViolation: 0.013,
+			errgen.Typo:             0.002,
+			errgen.Outlier:          0.013,
+			// Movies has no rule violations in Table II.
+		},
+		NumericCols: []int{2, 12, 13}, // Year, RatingValue, RatingCount
+		FDPairs:     [][2]int{},
+		Seed:        seed + 1,
+	})
+
+	// No relevant KB for Movies (KATARA scores zero in the paper).
+	return &Bench{Name: "Movies", Clean: clean, Dirty: dirty, Log: log,
+		KB: knowledge.NewBase(), FDPairs: nil}
+}

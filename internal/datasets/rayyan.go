@@ -1,0 +1,71 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/errgen"
+	"repro/internal/knowledge"
+	"repro/internal/table"
+)
+
+// Rayyan generates the Rayyan benchmark: 1,000 bibliographic tuples over
+// 11 attributes with ~29% cell errors, dominated by missing values
+// (Table II). Journal functionally determines the ISSN and abbreviation.
+func Rayyan(n int, seed int64) *Bench {
+	if n <= 0 {
+		n = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrs := []string{
+		"ArticleID", "Title", "Journal", "ISSN", "Volume", "Issue",
+		"Pages", "Year", "Language", "JournalAbbrev", "CreatedAt",
+	}
+	clean := table.New("Rayyan", attrs)
+
+	jNames := sortedKeys(journals)
+	issn := map[string]string{}
+	for i, j := range jNames {
+		issn[j] = fmt.Sprintf("%04d-%04d", 1000+i*37, 2000+i*53)
+	}
+
+	for i := 0; i < n; i++ {
+		j := pick(rng, jNames)
+		first := 100 + rng.Intn(900)
+		year := 1995 + rng.Intn(25)
+		clean.AppendRow([]string{
+			fmt.Sprintf("%d", 50000+i),
+			fmt.Sprintf("A %s %s in adults", pick(rng, paperTopics), pick(rng, paperSubjects)),
+			j,
+			issn[j],
+			fmt.Sprintf("%d", 1+rng.Intn(60)),
+			fmt.Sprintf("%d", 1+rng.Intn(12)),
+			fmt.Sprintf("%d-%d", first, first+3+rng.Intn(20)),
+			fmt.Sprintf("%d", year),
+			pick(rng, languages),
+			journals[j],
+			fmt.Sprintf("%d-%02d-%02d", year, 1+rng.Intn(12), 1+rng.Intn(28)),
+		})
+	}
+
+	fdPairs := [][2]int{
+		{2, 3}, // Journal -> ISSN
+		{2, 9}, // Journal -> JournalAbbrev
+	}
+	dirty, log := errgen.Inject(clean, errgen.Spec{
+		Rates: map[errgen.Type]float64{
+			errgen.Missing:          0.15,
+			errgen.PatternViolation: 0.06,
+			errgen.Typo:             0.032,
+			errgen.Outlier:          0.028,
+			errgen.RuleViolation:    0.02,
+		},
+		NumericCols: []int{4, 7}, // Volume, Year
+		FDPairs:     fdPairs,
+		Seed:        seed + 1,
+	})
+
+	// No relevant KB for Rayyan (KATARA scores zero in the paper).
+	return &Bench{Name: "Rayyan", Clean: clean, Dirty: dirty, Log: log,
+		KB: knowledge.NewBase(), FDPairs: fdPairs}
+}

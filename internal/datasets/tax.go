@@ -1,0 +1,99 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/errgen"
+	"repro/internal/knowledge"
+	"repro/internal/table"
+)
+
+// Tax generates the Tax benchmark (BART repository): by default 200,000
+// tuples over 22 attributes with a very low error rate (~0.1%, Table II).
+// It exists for the scalability evaluations (Fig. 7 and Fig. 8); call it
+// with smaller n for subset sweeps. Zip -> City, City -> State, and
+// State -> Rate are its signature dependencies (the paper's motivating
+// example "Name determines Gender" appears here too).
+func Tax(n int, seed int64) *Bench {
+	if n <= 0 {
+		n = 200000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attrs := []string{
+		"FName", "LName", "Gender", "AreaCode", "Phone", "City", "State",
+		"Zip", "MaritalStatus", "HasChild", "Salary", "Rate", "SingleExemp",
+		"MarriedExemp", "ChildExemp", "Education", "Occupation", "Employer",
+		"YearsEmployed", "AccountType", "Email", "DOB",
+	}
+	clean := table.New("Tax", attrs)
+
+	zips := sortedKeys(zipCity)
+	occupations := []string{"Engineer", "Teacher", "Nurse", "Accountant", "Manager", "Clerk", "Analyst", "Technician"}
+	employers := []string{"Acme Corp", "Globex", "Initech", "Umbrella LLC", "Stark Industries", "Wayne Enterprises"}
+	// Deterministic first-name -> gender, the paper's Fig. 1 dependency.
+	genderOf := func(first string) string {
+		if len(first)%2 == 0 {
+			return "F"
+		}
+		return "M"
+	}
+
+	for i := 0; i < n; i++ {
+		zip := pick(rng, zips)
+		city := zipCity[zip]
+		state := cityState[city]
+		first := pick(rng, firstNames)
+		salary := 20000 + rng.Intn(180000)
+		clean.AppendRow([]string{
+			first,
+			pick(rng, lastNames),
+			genderOf(first),
+			fmt.Sprintf("%d", 200+rng.Intn(700)),
+			fmt.Sprintf("%03d-%04d", 100+rng.Intn(900), rng.Intn(10000)),
+			city,
+			state,
+			zip,
+			pick(rng, maritalStatuses),
+			[]string{"Y", "N"}[rng.Intn(2)],
+			fmt.Sprintf("%d", salary),
+			stateTaxRate[state],
+			fmt.Sprintf("%d", 2000+500*rng.Intn(5)),
+			fmt.Sprintf("%d", 4000+500*rng.Intn(5)),
+			fmt.Sprintf("%d", 1000+250*rng.Intn(5)),
+			pick(rng, educations),
+			pick(rng, occupations),
+			pick(rng, employers),
+			fmt.Sprintf("%d", 1+rng.Intn(35)),
+			[]string{"checking", "savings"}[rng.Intn(2)],
+			fmt.Sprintf("%s.%d@example.com", first, rng.Intn(1000)),
+			fmt.Sprintf("%d-%02d-%02d", 1950+rng.Intn(50), 1+rng.Intn(12), 1+rng.Intn(28)),
+		})
+	}
+
+	fdPairs := [][2]int{
+		{7, 5},  // Zip -> City
+		{5, 6},  // City -> State
+		{6, 11}, // State -> Rate
+		{0, 2},  // FName -> Gender
+	}
+	dirty, log := errgen.Inject(clean, errgen.Spec{
+		Rates: map[errgen.Type]float64{
+			errgen.Missing:          0.0004,
+			errgen.Typo:             0.0004,
+			errgen.PatternViolation: 0.0004,
+			errgen.Outlier:          0.0002,
+			errgen.RuleViolation:    0.0002,
+		},
+		NumericCols: []int{10, 18}, // Salary, YearsEmployed
+		FDPairs:     fdPairs,
+		Seed:        seed + 1,
+	})
+
+	kb := knowledge.NewBase()
+	for city, state := range cityState {
+		kb.AddEntities("City", city)
+		kb.AddEntities("State", state)
+	}
+	return &Bench{Name: "Tax", Clean: clean, Dirty: dirty, Log: log, KB: kb, FDPairs: fdPairs}
+}

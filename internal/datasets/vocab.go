@@ -1,0 +1,171 @@
+package datasets
+
+// Shared vocabularies for the synthetic generators. They stand in for the
+// real-world entity universes of the benchmark datasets; the knowledge
+// package exposes slices of them as KATARA knowledge bases / LLM world
+// knowledge.
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Carol", "Karen", "Daniel",
+	"Nancy", "Matthew", "Lisa", "Anthony", "Betty", "Mark", "Margaret",
+	"Donald", "Sandra", "Steven", "Ashley", "Paul", "Kimberly", "Andrew",
+	"Emily", "Joshua", "Donna", "Kenneth", "Michelle",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+}
+
+// cityState pairs each city with its state code (an FD the Hospital and
+// Tax generators rely on).
+var cityState = map[string]string{
+	"Birmingham": "AL", "Montgomery": "AL", "Mobile": "AL", "Huntsville": "AL",
+	"Phoenix": "AZ", "Tucson": "AZ", "Mesa": "AZ",
+	"Los Angeles": "CA", "San Diego": "CA", "San Jose": "CA", "Sacramento": "CA",
+	"Denver": "CO", "Aurora": "CO",
+	"Miami": "FL", "Tampa": "FL", "Orlando": "FL",
+	"Atlanta": "GA", "Savannah": "GA",
+	"Chicago": "IL", "Springfield": "IL",
+	"Boston": "MA", "Worcester": "MA",
+	"Detroit": "MI", "Lansing": "MI",
+	"New York": "NY", "Buffalo": "NY", "Rochester": "NY",
+	"Houston": "TX", "Dallas": "TX", "Austin": "TX", "El Paso": "TX",
+	"Seattle": "WA", "Spokane": "WA",
+}
+
+// zipCity maps synthetic 5-digit zips to cities (Zip -> City FD).
+var zipCity = func() map[string]string {
+	m := map[string]string{}
+	zip := 10001
+	for _, c := range sortedKeysStr(cityState) {
+		m[itoa5(zip)] = c
+		zip += 137
+		m[itoa5(zip)] = c
+		zip += 211
+	}
+	return m
+}()
+
+func itoa5(n int) string {
+	s := ""
+	for i := 0; i < 5; i++ {
+		s = string(rune('0'+n%10)) + s
+		n /= 10
+	}
+	return s
+}
+
+func sortedKeysStr(m map[string]string) []string { return sortedKeys(m) }
+
+// hospitalMeasures maps measure codes to (measure name, condition), the
+// paper's Fig. 4 Hospital consistency example.
+var hospitalMeasures = map[string][2]string{
+	"SCIP-INF-1": {"prophylactic antibiotic received within one hour prior to surgical incision", "surgical infection prevention"},
+	"SCIP-INF-2": {"prophylactic antibiotic selection for surgical patients", "surgical infection prevention"},
+	"SCIP-INF-3": {"prophylactic antibiotics discontinued within 24 hours after surgery", "surgical infection prevention"},
+	"AMI-1":      {"aspirin at arrival", "heart attack"},
+	"AMI-2":      {"aspirin prescribed at discharge", "heart attack"},
+	"AMI-3":      {"ace inhibitor or arb for lvsd", "heart attack"},
+	"AMI-4":      {"adult smoking cessation advice", "heart attack"},
+	"PN-1":       {"oxygenation assessment", "pneumonia"},
+	"PN-2":       {"pneumococcal vaccination", "pneumonia"},
+	"PN-3":       {"blood cultures performed", "pneumonia"},
+	"HF-1":       {"discharge instructions", "heart failure"},
+	"HF-2":       {"evaluation of lvs function", "heart failure"},
+}
+
+var hospitalTypes = []string{"Acute Care Hospitals", "Critical Access Hospitals", "Childrens"}
+var hospitalOwners = []string{
+	"Government - Hospital District or Authority", "Voluntary non-profit - Private",
+	"Proprietary", "Government - State", "Voluntary non-profit - Church",
+}
+
+// airlines and airports feed the Flights generator.
+var airlines = []string{"AA", "UA", "DL", "WN", "B6", "AS", "NK"}
+var airports = []string{"JFK", "LAX", "ORD", "DFW", "DEN", "SFO", "SEA", "ATL", "BOS", "MIA"}
+
+// beerStyles and breweries feed the Beers generator; brewery id determines
+// name/city/state.
+var beerStyles = []string{
+	"American IPA", "American Pale Ale", "American Porter", "American Stout",
+	"Hefeweizen", "Saison", "Pilsner", "Amber Ale", "Brown Ale", "Witbier",
+	"Double IPA", "Kolsch", "Oatmeal Stout", "Fruit Beer", "Cream Ale",
+}
+var beerAdjectives = []string{
+	"Hoppy", "Golden", "Dark", "Wild", "Lazy", "Rugged", "Smooth", "Bold",
+	"Crisp", "Hazy", "Roasty", "Juicy", "Funky", "Mellow", "Bright",
+}
+var beerNouns = []string{
+	"Trail", "River", "Canyon", "Summit", "Harvest", "Anchor", "Bison",
+	"Raven", "Prairie", "Lantern", "Compass", "Orchard", "Thunder", "Meadow",
+}
+var breweryNouns = []string{
+	"Valley", "Mountain", "Harbor", "Union", "Granite", "Cedar", "Copper",
+	"Iron", "Maple", "Stone", "Ridge", "Falls",
+}
+
+// journals feed the Rayyan generator.
+var journals = map[string]string{
+	"Journal of Clinical Epidemiology":      "J Clin Epidemiol",
+	"The Lancet":                            "Lancet",
+	"British Medical Journal":               "BMJ",
+	"Annals of Internal Medicine":           "Ann Intern Med",
+	"Journal of the American Medical Assoc": "JAMA",
+	"New England Journal of Medicine":       "N Engl J Med",
+	"Cochrane Database of Systematic Rev":   "Cochrane Database Syst Rev",
+	"PLOS Medicine":                         "PLoS Med",
+}
+var languages = []string{"eng", "eng", "eng", "eng", "fre", "ger", "spa", "chi"}
+var paperTopics = []string{
+	"randomized trial of", "systematic review of", "meta-analysis of",
+	"cohort study of", "case-control study of", "diagnostic accuracy of",
+}
+var paperSubjects = []string{
+	"statin therapy", "influenza vaccination", "cognitive behavioural therapy",
+	"antibiotic prophylaxis", "screening colonoscopy", "smoking cessation",
+	"blood pressure control", "insulin titration", "stroke rehabilitation",
+}
+
+// industries and countries feed the Billionaire generator.
+var industries = []string{
+	"Technology", "Retail", "Finance", "Energy", "Real Estate", "Media",
+	"Healthcare", "Manufacturing", "Telecom", "Consumer Goods",
+}
+var countries = []string{
+	"United States", "China", "Germany", "India", "France", "Brazil",
+	"United Kingdom", "Japan", "Canada", "Italy", "Mexico", "Russia",
+}
+var wealthSources = []string{"self made", "inherited", "inherited and growing"}
+
+// movieGenres and directors feed the Movies generator.
+var movieGenres = []string{
+	"Drama", "Comedy", "Action", "Thriller", "Romance", "Horror",
+	"Documentary", "Animation", "Crime", "Sci-Fi",
+}
+var movieWords1 = []string{
+	"Silent", "Broken", "Midnight", "Golden", "Lost", "Hidden", "Crimson",
+	"Winter", "Electric", "Burning", "Paper", "Distant", "Savage", "Gentle",
+}
+var movieWords2 = []string{
+	"Horizon", "Promise", "Garden", "Empire", "Letters", "Shadows", "Voyage",
+	"Harvest", "Echoes", "Station", "Crossing", "Return", "Anthem", "Mirror",
+}
+var movieLanguages = []string{"English", "English", "English", "French", "Spanish", "Mandarin", "Hindi"}
+var certificates = []string{"PG", "PG-13", "R", "G", "NR"}
+
+// tax rates per state (State -> Rate FD used by the Tax generator).
+var stateTaxRate = map[string]string{
+	"AL": "5.00", "AZ": "4.50", "CA": "9.30", "CO": "4.63", "FL": "0.00",
+	"GA": "5.75", "IL": "4.95", "MA": "5.00", "MI": "4.25", "NY": "6.85",
+	"TX": "0.00", "WA": "0.00",
+}
+
+var maritalStatuses = []string{"S", "M", "M", "S", "W", "D"}
+var educations = []string{"High School", "Bachelor", "Master", "Phd", "Associate"}

@@ -1,0 +1,146 @@
+// Package embed provides the semantic embedding substrate of ZeroED's
+// feature representation. The paper uses pre-trained FastText word vectors;
+// offline we reproduce FastText's own construction — a word vector is the
+// sum of its character n-gram vectors — with deterministic feature-hashed
+// n-gram vectors instead of pre-trained ones. Similar strings still map to
+// nearby vectors, which is the only property the pipeline depends on
+// (clustering locality and classifier input).
+package embed
+
+import (
+	"math"
+
+	"repro/internal/text"
+)
+
+// DefaultDim is the embedding dimensionality used by the pipeline. Small
+// enough to keep feature vectors compact, large enough for hashed n-grams
+// to rarely collide destructively.
+const DefaultDim = 32
+
+// Embedder turns cell values into fixed-size dense vectors.
+type Embedder struct {
+	dim  int
+	minN int
+	maxN int
+}
+
+// New creates an embedder with the given dimension. Character n-grams of
+// length 3..6 are used, FastText's defaults.
+func New(dim int) *Embedder {
+	if dim <= 0 {
+		dim = DefaultDim
+	}
+	return &Embedder{dim: dim, minN: 3, maxN: 6}
+}
+
+// Dim returns the embedding dimensionality.
+func (e *Embedder) Dim() int { return e.dim }
+
+// fnv1a64 is the 64-bit FNV-1a hash, inlined to avoid allocations in the
+// hot loop.
+func fnv1a64(s string) uint64 {
+	const offset = 14695981039346656037
+	const prime = 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// addNgram accumulates the hashed vector of one n-gram into acc. Each
+// n-gram deterministically contributes ±1/sqrt(dim) per coordinate, derived
+// from successive bits of iterated hashes — a random-projection sketch.
+func (e *Embedder) addNgram(acc []float64, gram string) {
+	h := fnv1a64(gram)
+	scale := 1.0 / math.Sqrt(float64(e.dim))
+	for i := 0; i < e.dim; i++ {
+		if i%64 == 0 && i > 0 {
+			h = fnv1a64(gram + string(rune('a'+i/64)))
+		}
+		if (h>>(uint(i)%64))&1 == 1 {
+			acc[i] += scale
+		} else {
+			acc[i] -= scale
+		}
+	}
+}
+
+// wordVector embeds a single token as the normalized sum of its padded
+// character n-gram vectors (FastText's subword model).
+func (e *Embedder) wordVector(tok string) []float64 {
+	acc := make([]float64, e.dim)
+	padded := "<" + tok + ">"
+	rs := []rune(padded)
+	count := 0
+	for n := e.minN; n <= e.maxN; n++ {
+		if n > len(rs) {
+			break
+		}
+		for i := 0; i+n <= len(rs); i++ {
+			e.addNgram(acc, string(rs[i:i+n]))
+			count++
+		}
+	}
+	if count == 0 {
+		// Token shorter than the smallest n-gram window: hash it whole.
+		e.addNgram(acc, padded)
+		count = 1
+	}
+	normalize(acc)
+	return acc
+}
+
+// Embed returns the semantic vector for a cell value: tokenize, drop stop
+// words, average the token vectors (Section III-B's f_sem). Null-like or
+// token-free values embed to the zero vector, which keeps them clustered
+// together.
+func (e *Embedder) Embed(value string) []float64 {
+	toks := text.Tokenize(value)
+	acc := make([]float64, e.dim)
+	if len(toks) == 0 {
+		return acc
+	}
+	for _, t := range toks {
+		wv := e.wordVector(t)
+		for i, x := range wv {
+			acc[i] += x
+		}
+	}
+	inv := 1.0 / float64(len(toks))
+	for i := range acc {
+		acc[i] *= inv
+	}
+	return acc
+}
+
+// Cosine returns the cosine similarity between two vectors, 0 when either
+// is zero.
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+func normalize(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	if n == 0 {
+		return
+	}
+	inv := 1.0 / math.Sqrt(n)
+	for i := range v {
+		v[i] *= inv
+	}
+}

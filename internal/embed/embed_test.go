@@ -1,0 +1,140 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	e := New(32)
+	a := e.Embed("Bob Johnson")
+	b := e.Embed("Bob Johnson")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding must be deterministic")
+		}
+	}
+}
+
+func TestDim(t *testing.T) {
+	if got := New(0).Dim(); got != DefaultDim {
+		t.Errorf("default dim = %d, want %d", got, DefaultDim)
+	}
+	if got := len(New(16).Embed("x")); got != 16 {
+		t.Errorf("len(Embed) = %d, want 16", got)
+	}
+}
+
+func TestEmptyAndNullEmbedToZero(t *testing.T) {
+	e := New(32)
+	for _, v := range []string{"", "   ", "---"} {
+		vec := e.Embed(v)
+		for _, x := range vec {
+			if x != 0 {
+				t.Errorf("Embed(%q) should be zero vector", v)
+				break
+			}
+		}
+	}
+}
+
+func TestSimilarStringsCloser(t *testing.T) {
+	e := New(64)
+	bachelor := e.Embed("Bachelor")
+	variant := e.Embed("Bachelors") // shares nearly all n-grams
+	other := e.Embed("Pneumonia")   // unrelated word
+	simVariant := Cosine(bachelor, variant)
+	simOther := Cosine(bachelor, other)
+	if simVariant <= simOther+0.2 {
+		t.Errorf("variant similarity %v should clearly exceed unrelated similarity %v", simVariant, simOther)
+	}
+}
+
+func TestIdenticalCosineOne(t *testing.T) {
+	e := New(32)
+	v := e.Embed("surgical infection prevention")
+	if got := Cosine(v, v); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Cosine(v,v) = %v, want 1", got)
+	}
+}
+
+func TestCosineZeroVector(t *testing.T) {
+	if got := Cosine([]float64{0, 0}, []float64{1, 2}); got != 0 {
+		t.Errorf("Cosine with zero vector = %v, want 0", got)
+	}
+}
+
+func TestShortTokens(t *testing.T) {
+	e := New(32)
+	// Single-character tokens are shorter than the minimum n-gram after
+	// padding still works (padded "x" -> "<x>" has length 3).
+	v := e.Embed("x")
+	var n float64
+	for _, c := range v {
+		n += c * c
+	}
+	if n == 0 {
+		t.Error("single-char token should not embed to zero")
+	}
+}
+
+// Property: cosine similarity of any two embeddings lies in [-1, 1] and
+// embeddings are bounded (averaged unit vectors).
+func TestEmbedBoundsProperty(t *testing.T) {
+	e := New(32)
+	f := func(a, b string) bool {
+		if len(a) > 24 {
+			a = a[:24]
+		}
+		if len(b) > 24 {
+			b = b[:24]
+		}
+		va, vb := e.Embed(a), e.Embed(b)
+		c := Cosine(va, vb)
+		if c < -1-1e-9 || c > 1+1e-9 {
+			return false
+		}
+		var n float64
+		for _, x := range va {
+			n += x * x
+		}
+		return n <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEmbed(b *testing.B) {
+	e := New(DefaultDim)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Embed("surgical infection prevention measure code")
+	}
+}
+
+// FuzzEmbed checks the embedder never panics and always returns the
+// configured dimensionality with bounded norm.
+func FuzzEmbed(f *testing.F) {
+	for _, s := range []string{"", "Bob Johnson", "日本語テスト", "\x00\xff\xfe", "a"} {
+		f.Add(s)
+	}
+	e := New(16)
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 64 {
+			s = s[:64]
+		}
+		v := e.Embed(s)
+		if len(v) != 16 {
+			t.Fatalf("dim %d, want 16", len(v))
+		}
+		var norm float64
+		for _, x := range v {
+			norm += x * x
+		}
+		if norm > 1+1e-9 || math.IsNaN(norm) {
+			t.Fatalf("norm %v out of bounds", norm)
+		}
+	})
+}

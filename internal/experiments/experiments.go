@@ -1,0 +1,146 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section IV): Table III (method comparison), Table IV
+// (ablations), Table V (LLM choices), Table VI (clustering methods),
+// Fig. 6 (Raha active-learning curve), Fig. 7 (runtime), Fig. 8 (token
+// cost), Fig. 9 (label-rate sweep), Fig. 10 (correlated-attribute sweep),
+// and Fig. 11 (per-error-type performance). Each experiment returns
+// structured results and can render itself in the paper's layout; the
+// cmd/experiments binary and the root-level benchmarks are thin wrappers.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/zeroed"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies the Table II default dataset sizes (1.0 = paper
+	// sizes). Smaller scales keep experiment wall-clock manageable.
+	Scale float64
+	// Seed drives dataset generation and method randomness.
+	Seed int64
+	// Out receives the rendered table/figure; nil discards output.
+	Out io.Writer
+	// TaxSizes overrides the Fig. 7b/8b Tax subset sweep (default: the
+	// paper's 50k/100k/150k/200k, scaled).
+	TaxSizes []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// scaledSize converts a Table II default size under the scale factor,
+// keeping at least 200 tuples so statistics stay meaningful.
+func (o Options) scaledSize(def int) int {
+	n := int(float64(def) * o.Scale)
+	if n < 200 {
+		n = 200
+	}
+	if n > def {
+		n = def
+	}
+	return n
+}
+
+// defaultSizes are the Table II tuple counts.
+var defaultSizes = map[string]int{
+	"Hospital": 1000, "Flights": 2376, "Beers": 2410, "Rayyan": 1000,
+	"Billionaire": 2615, "Movies": 7390, "Tax": 200000,
+}
+
+// comparisonBenches generates the six Table III datasets at scaled sizes.
+func comparisonBenches(o Options) []*datasets.Bench {
+	var out []*datasets.Bench
+	for _, e := range datasets.Registry() {
+		if e.Name == "Tax" {
+			continue
+		}
+		out = append(out, e.Gen(o.scaledSize(defaultSizes[e.Name]), o.Seed))
+	}
+	return out
+}
+
+// zeroedConfig is the paper-default ZeroED configuration.
+func zeroedConfig(seed int64) zeroed.Config {
+	return zeroed.Config{Seed: seed}
+}
+
+// runZeroED executes ZeroED with the given config and scores it.
+func runZeroED(b *datasets.Bench, cfg zeroed.Config) (eval.Metrics, *zeroed.Result, error) {
+	res, err := zeroed.New(cfg).Detect(b.Dirty)
+	if err != nil {
+		return eval.Metrics{}, nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	m, err := eval.ComputeAgainst(res.Pred, b.Dirty, b.Clean)
+	if err != nil {
+		return eval.Metrics{}, nil, err
+	}
+	return m, res, nil
+}
+
+// methodSet builds the six baselines for a benchmark, sharing the label
+// oracle the paper grants label-based methods.
+func methodSet(b *datasets.Bench, seed int64) []baselines.Method {
+	mask := b.Mask()
+	oracle := baselines.LabelOracle(func(row int) []bool { return mask[row] })
+	raha := baselines.NewRaha(oracle)
+	raha.Seed = seed
+	ac := baselines.NewActiveClean(oracle)
+	ac.Seed = seed
+	return []baselines.Method{
+		baselines.NewDBoost(),
+		baselines.NewNadeef(b.FDPairs),
+		baselines.NewKatara(b.KB),
+		ac,
+		raha,
+		baselines.NewFMED(llm.NewClient(llm.Qwen72B), b.KB),
+	}
+}
+
+// runMethod scores one baseline on one benchmark with wall-clock timing.
+func runMethod(m baselines.Method, b *datasets.Bench) (eval.Metrics, time.Duration, error) {
+	start := time.Now()
+	pred, err := m.Detect(b.Dirty)
+	el := time.Since(start)
+	if err != nil {
+		return eval.Metrics{}, el, fmt.Errorf("%s on %s: %w", m.Name(), b.Name, err)
+	}
+	met, err := eval.ComputeAgainst(pred, b.Dirty, b.Clean)
+	return met, el, err
+}
+
+// taxSizes resolves the Fig. 7b/8b subset sweep.
+func (o Options) taxSizes() []int {
+	if len(o.TaxSizes) > 0 {
+		return append([]int(nil), o.TaxSizes...)
+	}
+	var out []int
+	for _, base := range []int{50000, 100000, 150000, 200000} {
+		out = append(out, o.scaledSize(base))
+	}
+	return out
+}
+
+// benchByName generates one scaled benchmark by dataset name.
+func benchByName(name string, o Options) *datasets.Bench {
+	gen := datasets.ByName(name)
+	if gen == nil {
+		panic("experiments: unknown dataset " + name)
+	}
+	return gen(o.scaledSize(defaultSizes[name]), o.Seed)
+}

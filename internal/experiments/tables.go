@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/zeroed"
+)
+
+// Table3Result holds the method-comparison grid: Cells[method][dataset].
+type Table3Result struct {
+	Datasets []string
+	Methods  []string
+	Cells    map[string]map[string]eval.Metrics
+}
+
+// Table3 reproduces the paper's headline comparison (Table III): seven
+// methods across six datasets, reporting precision/recall/F1.
+func Table3(o Options) (*Table3Result, error) {
+	o = o.withDefaults()
+	res := &Table3Result{Cells: map[string]map[string]eval.Metrics{}}
+	benches := comparisonBenches(o)
+	for _, b := range benches {
+		res.Datasets = append(res.Datasets, b.Name)
+	}
+	fmt.Fprintln(o.Out, "Table III: performance comparison of error detection methods")
+	fmt.Fprintln(o.Out, eval.Header(res.Datasets))
+
+	addRow := func(name string, cells map[string]eval.Metrics) {
+		res.Methods = append(res.Methods, name)
+		res.Cells[name] = cells
+		row := make([]eval.Metrics, len(benches))
+		for i, b := range benches {
+			row[i] = cells[b.Name]
+		}
+		fmt.Fprintln(o.Out, eval.Row(name, row))
+	}
+
+	// Baselines.
+	for mi := 0; mi < 6; mi++ {
+		var name string
+		cells := map[string]eval.Metrics{}
+		for _, b := range benches {
+			methods := methodSet(b, o.Seed)
+			m := methods[mi]
+			name = m.Name()
+			met, _, err := runMethod(m, b)
+			if err != nil {
+				return nil, err
+			}
+			cells[b.Name] = met
+		}
+		addRow(name, cells)
+	}
+
+	// ZeroED.
+	cells := map[string]eval.Metrics{}
+	for _, b := range benches {
+		met, _, err := runZeroED(b, zeroedConfig(o.Seed))
+		if err != nil {
+			return nil, err
+		}
+		cells[b.Name] = met
+	}
+	addRow("ZeroED", cells)
+	return res, nil
+}
+
+// Wins counts the datasets on which the given method has the top F1.
+func (t *Table3Result) Wins(method string) int {
+	wins := 0
+	for _, d := range t.Datasets {
+		best, bestF1 := "", -1.0
+		for _, m := range t.Methods {
+			if f := t.Cells[m][d].F1; f > bestF1 {
+				best, bestF1 = m, f
+			}
+		}
+		if best == method {
+			wins++
+		}
+	}
+	return wins
+}
+
+// Ablation identifies one Table IV row.
+type Ablation struct {
+	Name string
+	Mod  func(*zeroed.Config)
+}
+
+// Ablations lists the paper's four component removals.
+func Ablations() []Ablation {
+	return []Ablation{
+		{"w/o Guid.", func(c *zeroed.Config) { c.DisableGuidelines = true }},
+		{"w/o Crit.", func(c *zeroed.Config) { c.DisableCriteria = true }},
+		{"w/o Corr.", func(c *zeroed.Config) { c.DisableCorrelated = true }},
+		{"w/o Veri.", func(c *zeroed.Config) { c.DisableVerification = true }},
+	}
+}
+
+// Table4Result holds ablation metrics: Cells[ablation][dataset]; the
+// "ZeroED" row is the full pipeline.
+type Table4Result struct {
+	Datasets []string
+	Rows     []string
+	Cells    map[string]map[string]eval.Metrics
+}
+
+// Table4 reproduces the ablation study (Table IV).
+func Table4(o Options) (*Table4Result, error) {
+	o = o.withDefaults()
+	res := &Table4Result{Cells: map[string]map[string]eval.Metrics{}}
+	benches := comparisonBenches(o)
+	for _, b := range benches {
+		res.Datasets = append(res.Datasets, b.Name)
+	}
+	fmt.Fprintln(o.Out, "Table IV: ablation study of ZeroED")
+	fmt.Fprintln(o.Out, eval.Header(res.Datasets))
+
+	rows := append(Ablations(), Ablation{"ZeroED", func(*zeroed.Config) {}})
+	for _, abl := range rows {
+		cells := map[string]eval.Metrics{}
+		rowMetrics := make([]eval.Metrics, len(benches))
+		for i, b := range benches {
+			cfg := zeroedConfig(o.Seed)
+			abl.Mod(&cfg)
+			met, _, err := runZeroED(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells[b.Name] = met
+			rowMetrics[i] = met
+		}
+		res.Rows = append(res.Rows, abl.Name)
+		res.Cells[abl.Name] = cells
+		fmt.Fprintln(o.Out, eval.Row(abl.Name, rowMetrics))
+	}
+	return res, nil
+}
+
+// Table5Result holds the LLM-comparison grid: Cells[model][dataset].
+type Table5Result struct {
+	Datasets []string
+	Models   []string
+	Cells    map[string]map[string]eval.Metrics
+}
+
+// Table5 reproduces the model comparison (Table V): ZeroED with each
+// simulated LLM profile.
+func Table5(o Options) (*Table5Result, error) {
+	o = o.withDefaults()
+	res := &Table5Result{Cells: map[string]map[string]eval.Metrics{}}
+	benches := comparisonBenches(o)
+	for _, b := range benches {
+		res.Datasets = append(res.Datasets, b.Name)
+	}
+	fmt.Fprintln(o.Out, "Table V: detection performance of ZeroED with different LLMs")
+	fmt.Fprintln(o.Out, eval.Header(res.Datasets))
+
+	for _, p := range llm.Profiles() {
+		cells := map[string]eval.Metrics{}
+		rowMetrics := make([]eval.Metrics, len(benches))
+		for i, b := range benches {
+			cfg := zeroedConfig(o.Seed)
+			cfg.Profile = p
+			met, _, err := runZeroED(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells[b.Name] = met
+			rowMetrics[i] = met
+		}
+		res.Models = append(res.Models, p.Name)
+		res.Cells[p.Name] = cells
+		fmt.Fprintln(o.Out, eval.Row(p.Name, rowMetrics))
+	}
+	return res, nil
+}
+
+// MeanF1 averages a model's F1 across datasets.
+func (t *Table5Result) MeanF1(model string) float64 {
+	var s float64
+	for _, d := range t.Datasets {
+		s += t.Cells[model][d].F1
+	}
+	return s / float64(len(t.Datasets))
+}
+
+// Table6Result holds the clustering-method grid: Cells[method][dataset]
+// over Flights, Billionaire, and Movies.
+type Table6Result struct {
+	Datasets []string
+	Samplers []string
+	Cells    map[string]map[string]eval.Metrics
+}
+
+// Table6 reproduces the clustering-method comparison (Table VI).
+func Table6(o Options) (*Table6Result, error) {
+	o = o.withDefaults()
+	res := &Table6Result{Cells: map[string]map[string]eval.Metrics{}}
+	names := []string{"Flights", "Billionaire", "Movies"}
+	res.Datasets = names
+	fmt.Fprintln(o.Out, "Table VI: performance with different clustering methods")
+	fmt.Fprintln(o.Out, eval.Header(names))
+
+	samplers := []struct {
+		label string
+		s     zeroed.Sampler
+	}{
+		{"Random", zeroed.SamplerRandom},
+		{"AGC", zeroed.SamplerAgglomerative},
+		{"k-Means", zeroed.SamplerKMeans},
+	}
+	for _, sp := range samplers {
+		cells := map[string]eval.Metrics{}
+		rowMetrics := make([]eval.Metrics, len(names))
+		for i, n := range names {
+			b := benchByName(n, o)
+			cfg := zeroedConfig(o.Seed)
+			cfg.Sampler = sp.s
+			met, _, err := runZeroED(b, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells[n] = met
+			rowMetrics[i] = met
+		}
+		res.Samplers = append(res.Samplers, sp.label)
+		res.Cells[sp.label] = cells
+		fmt.Fprintln(o.Out, eval.Row(sp.label, rowMetrics))
+	}
+	return res, nil
+}

@@ -1,0 +1,233 @@
+// Package feature implements ZeroED's feature representation (Section
+// III-B). Each cell gets a base vector f_base = f_stat ⊕ f_pat ⊕ f_sem ⊕
+// f_cri:
+//
+//   - f_stat: value frequency plus vicinity frequencies against the top-k
+//     NMI-correlated attributes (the paper defines vicinity frequency over
+//     all attributes; restricting to the correlated set is the same
+//     efficiency argument Section III-B makes for the unified
+//     representation, and keeps Tax-scale memory bounded);
+//   - f_pat: pattern frequencies at generalization levels L1..L3;
+//   - f_sem: hashed-subword embedding (FastText substitute);
+//   - f_cri: binary criteria-adherence features, padded/truncated to a
+//     fixed width so that one classifier can consume all attributes.
+//
+// The unified representation concatenates the cell's base vector with the
+// base vectors of its correlated attributes' values in the same tuple:
+// Feat(D[i,j]) = f_base(D[i,j]) ⊕ { f_base(D[i,q]) : q ∈ R_aj }.
+package feature
+
+import (
+	"repro/internal/criteria"
+	"repro/internal/embed"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/text"
+	"sync"
+)
+
+// MaxCriteriaFeatures is the fixed width of the criteria-adherence block.
+// Attributes with fewer criteria are padded with 1.0 ("passes"), which is
+// the neutral value; extra criteria beyond the cap are ignored.
+const MaxCriteriaFeatures = 12
+
+// nmiSampleCap bounds the rows used for the NMI matrix; correlations
+// stabilize long before Tax-scale row counts.
+const nmiSampleCap = 20000
+
+// Config tunes the extractor.
+type Config struct {
+	// EmbedDim is the semantic embedding width (default embed.DefaultDim).
+	EmbedDim int
+	// CorrK is the number of correlated attributes per attribute
+	// (the paper's default is 2).
+	CorrK int
+	// DisableCorrelated zeroes the correlated-attribute context — the
+	// "w/o Corr." ablation of Table IV. Feature dimensions stay identical
+	// so the classifier shape is unchanged.
+	DisableCorrelated bool
+	// DisableCriteria pads the criteria block with the neutral value —
+	// the "w/o Crit." ablation.
+	DisableCriteria bool
+}
+
+// DefaultConfig mirrors the paper's defaults.
+func DefaultConfig() Config {
+	return Config{EmbedDim: embed.DefaultDim, CorrK: 2}
+}
+
+// Extractor derives feature vectors for every cell of one dataset.
+type Extractor struct {
+	d    *table.Dataset
+	cfg  Config
+	emb  *embed.Embedder
+	cf   *stats.ColumnFrequencies
+	nmi  [][]float64
+	corr [][]int // top-k correlated attribute indices per attribute
+
+	criteriaSets []*criteria.Set // per attribute, may contain nils
+
+	// Per-column embedding memos. Each column has its own lock so that
+	// per-attribute pipeline workers can share the extractor: a worker for
+	// attribute j also touches the caches of j's correlated attributes.
+	embMu    []sync.Mutex
+	embCache []map[string][]float64
+}
+
+// NewExtractor scans the dataset, computes frequency tables and the NMI
+// correlation structure, and prepares embedding caches.
+func NewExtractor(d *table.Dataset, cfg Config) *Extractor {
+	if cfg.EmbedDim <= 0 {
+		cfg.EmbedDim = embed.DefaultDim
+	}
+	if cfg.CorrK < 0 {
+		cfg.CorrK = 0
+	}
+	if cfg.CorrK > d.NumCols()-1 {
+		cfg.CorrK = d.NumCols() - 1
+	}
+	e := &Extractor{
+		d:   d,
+		cfg: cfg,
+		emb: embed.New(cfg.EmbedDim),
+		cf:  stats.NewColumnFrequencies(d),
+	}
+	nmiData := d
+	if d.NumRows() > nmiSampleCap {
+		nmiData = d.Subset(nmiSampleCap)
+	}
+	e.nmi = stats.NMIMatrix(nmiData)
+	e.corr = make([][]int, d.NumCols())
+	for j := range e.corr {
+		e.corr[j] = stats.TopKCorrelated(e.nmi, j, cfg.CorrK)
+		e.cf.BuildCoOccur(d, j, e.corr[j])
+	}
+	e.criteriaSets = make([]*criteria.Set, d.NumCols())
+	e.embMu = make([]sync.Mutex, d.NumCols())
+	e.embCache = make([]map[string][]float64, d.NumCols())
+	for j := range e.embCache {
+		e.embCache[j] = make(map[string][]float64)
+	}
+	return e
+}
+
+// Correlated returns the top-k NMI-correlated attribute indices for
+// attribute j (the set R_aj).
+func (e *Extractor) Correlated(j int) []int { return e.corr[j] }
+
+// NMI returns the attribute correlation matrix.
+func (e *Extractor) NMI() [][]float64 { return e.nmi }
+
+// SetCriteria installs the (LLM-derived) criteria set for attribute j so
+// that subsequent feature vectors carry its adherence bits.
+func (e *Extractor) SetCriteria(j int, s *criteria.Set) { e.criteriaSets[j] = s }
+
+// BaseDim returns the per-cell base feature dimensionality.
+func (e *Extractor) BaseDim() int {
+	return 1 + e.cfg.CorrK + 3 + e.cfg.EmbedDim + MaxCriteriaFeatures
+}
+
+// Dim returns the unified feature dimensionality: base*(1+k).
+func (e *Extractor) Dim() int { return e.BaseDim() * (1 + e.cfg.CorrK) }
+
+// base writes f_base(D[i,j]) into out (length BaseDim).
+func (e *Extractor) base(i, j int, rowMap map[string]string, out []float64) {
+	v := e.d.Value(i, j)
+	p := 0
+	// f_stat: value frequency then vicinity frequencies.
+	out[p] = e.cf.ValueFrequency(j, v)
+	p++
+	for _, q := range e.corr[j] {
+		out[p] = e.cf.VicinityFrequency(j, q, v, e.d.Value(i, q))
+		p++
+	}
+	for p < 1+e.cfg.CorrK { // fewer correlated attrs than k (tiny schemas)
+		out[p] = 0
+		p++
+	}
+	// f_pat: L1..L3 pattern frequencies.
+	out[p] = e.cf.PatternFrequency(j, v, text.L1)
+	out[p+1] = e.cf.PatternFrequency(j, v, text.L2)
+	out[p+2] = e.cf.PatternFrequency(j, v, text.L3)
+	p += 3
+	// f_sem: memoized embedding (per-column lock; see embCache).
+	e.embMu[j].Lock()
+	emb, ok := e.embCache[j][v]
+	if !ok {
+		emb = e.emb.Embed(v)
+		e.embCache[j][v] = emb
+	}
+	e.embMu[j].Unlock()
+	copy(out[p:], emb)
+	p += e.cfg.EmbedDim
+	// f_cri: criteria adherence, padded with the neutral pass value.
+	set := e.criteriaSets[j]
+	wrote := 0
+	if set != nil && !e.cfg.DisableCriteria {
+		for _, c := range set.Criteria {
+			if wrote >= MaxCriteriaFeatures {
+				break
+			}
+			if c.Eval(rowMap, set.Attr) {
+				out[p+wrote] = 1
+			} else {
+				out[p+wrote] = 0
+			}
+			wrote++
+		}
+	}
+	for ; wrote < MaxCriteriaFeatures; wrote++ {
+		out[p+wrote] = 1
+	}
+}
+
+// Feature returns the unified feature vector for cell (i, j).
+func (e *Extractor) Feature(i, j int) []float64 {
+	out := make([]float64, e.Dim())
+	rowMap := e.d.RowMap(i)
+	bd := e.BaseDim()
+	e.base(i, j, rowMap, out[:bd])
+	if !e.cfg.DisableCorrelated {
+		for idx, q := range e.corr[j] {
+			e.base(i, q, rowMap, out[(1+idx)*bd:(2+idx)*bd])
+		}
+	}
+	return out
+}
+
+// RowFeatures returns the unified feature vectors for all cells of row i,
+// computing each base vector exactly once. This is the memory-bounded path
+// used for full-dataset prediction.
+func (e *Extractor) RowFeatures(i int) [][]float64 {
+	m := e.d.NumCols()
+	bd := e.BaseDim()
+	rowMap := e.d.RowMap(i)
+	bases := make([][]float64, m)
+	flat := make([]float64, m*bd)
+	for j := 0; j < m; j++ {
+		bases[j] = flat[j*bd : (j+1)*bd]
+		e.base(i, j, rowMap, bases[j])
+	}
+	out := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		f := make([]float64, e.Dim())
+		copy(f, bases[j])
+		if !e.cfg.DisableCorrelated {
+			for idx, q := range e.corr[j] {
+				copy(f[(1+idx)*bd:], bases[q])
+			}
+		}
+		out[j] = f
+	}
+	return out
+}
+
+// ColumnFeatures materializes unified features for the given rows of one
+// attribute — the clustering input for sampling (Section III-C).
+func (e *Extractor) ColumnFeatures(j int, rows []int) [][]float64 {
+	out := make([][]float64, len(rows))
+	for idx, i := range rows {
+		out[idx] = e.Feature(i, j)
+	}
+	return out
+}

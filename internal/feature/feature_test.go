@@ -1,0 +1,162 @@
+package feature
+
+import (
+	"testing"
+
+	"repro/internal/criteria"
+	"repro/internal/table"
+)
+
+func sample() *table.Dataset {
+	d := table.New("tax", []string{"Name", "Gender", "Education", "Salary"})
+	names := []string{"Alice", "Bob", "Carol", "Dave"}
+	genders := []string{"F", "M", "F", "M"}
+	edus := []string{"Phd", "Master", "Bachelor", "Master"}
+	for r := 0; r < 25; r++ {
+		for i := range names {
+			d.AppendRow([]string{names[i], genders[i], edus[i], "50000"})
+		}
+	}
+	return d
+}
+
+func TestDimensions(t *testing.T) {
+	e := NewExtractor(sample(), Config{EmbedDim: 16, CorrK: 2})
+	wantBase := 1 + 2 + 3 + 16 + MaxCriteriaFeatures
+	if got := e.BaseDim(); got != wantBase {
+		t.Errorf("BaseDim = %d, want %d", got, wantBase)
+	}
+	if got := e.Dim(); got != wantBase*3 {
+		t.Errorf("Dim = %d, want %d", got, wantBase*3)
+	}
+	f := e.Feature(0, 0)
+	if len(f) != e.Dim() {
+		t.Errorf("len(Feature) = %d, want %d", len(f), e.Dim())
+	}
+}
+
+func TestCorrKClamp(t *testing.T) {
+	e := NewExtractor(sample(), Config{EmbedDim: 8, CorrK: 99})
+	if got := len(e.Correlated(0)); got != 3 {
+		t.Errorf("CorrK clamp: got %d correlated attrs, want 3", got)
+	}
+}
+
+func TestNameGenderCorrelation(t *testing.T) {
+	e := NewExtractor(sample(), DefaultConfig())
+	// Name determines Gender exactly; Gender must be among Name's top-2.
+	found := false
+	for _, q := range e.Correlated(0) {
+		if q == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Gender not in Name's correlated set %v", e.Correlated(0))
+	}
+}
+
+func TestRowFeaturesMatchesFeature(t *testing.T) {
+	e := NewExtractor(sample(), Config{EmbedDim: 8, CorrK: 2})
+	rf := e.RowFeatures(3)
+	for j := 0; j < 4; j++ {
+		f := e.Feature(3, j)
+		if len(rf[j]) != len(f) {
+			t.Fatalf("row feature dim mismatch at col %d", j)
+		}
+		for k := range f {
+			if rf[j][k] != f[k] {
+				t.Fatalf("RowFeatures != Feature at col %d index %d", j, k)
+			}
+		}
+	}
+}
+
+func TestCriteriaFeaturesWired(t *testing.T) {
+	d := sample()
+	d.SetValue(0, 3, "99") // a salary that will fail a range criterion
+	e := NewExtractor(d, Config{EmbedDim: 8, CorrK: 1})
+	set := &criteria.Set{Attr: "Salary", Criteria: []*criteria.Criterion{
+		{Kind: criteria.KindRange, Attr: "Salary", Lo: 10000, Hi: 90000},
+	}}
+	e.SetCriteria(3, set)
+	critStart := 1 + 1 + 3 + 8
+	bad := e.Feature(0, 3)
+	good := e.Feature(1, 3)
+	if bad[critStart] != 0 {
+		t.Errorf("failing criterion bit = %v, want 0", bad[critStart])
+	}
+	if good[critStart] != 1 {
+		t.Errorf("passing criterion bit = %v, want 1", good[critStart])
+	}
+	// Padding is neutral 1.0.
+	if bad[critStart+1] != 1 {
+		t.Errorf("padding bit = %v, want 1", bad[critStart+1])
+	}
+}
+
+func TestDisableCriteriaAblation(t *testing.T) {
+	d := sample()
+	d.SetValue(0, 3, "99")
+	e := NewExtractor(d, Config{EmbedDim: 8, CorrK: 1, DisableCriteria: true})
+	set := &criteria.Set{Attr: "Salary", Criteria: []*criteria.Criterion{
+		{Kind: criteria.KindRange, Attr: "Salary", Lo: 10000, Hi: 90000},
+	}}
+	e.SetCriteria(3, set)
+	critStart := 1 + 1 + 3 + 8
+	f := e.Feature(0, 3)
+	if f[critStart] != 1 {
+		t.Error("w/o Crit. ablation must pad criteria block with neutral 1s")
+	}
+	if len(f) != e.Dim() {
+		t.Error("ablation must not change dimensionality")
+	}
+}
+
+func TestDisableCorrelatedAblation(t *testing.T) {
+	e := NewExtractor(sample(), Config{EmbedDim: 8, CorrK: 2, DisableCorrelated: true})
+	f := e.Feature(0, 0)
+	bd := e.BaseDim()
+	for i := bd; i < len(f); i++ {
+		if f[i] != 0 {
+			t.Fatal("w/o Corr. ablation must zero the correlated blocks")
+		}
+	}
+}
+
+func TestValueFrequencyFeature(t *testing.T) {
+	e := NewExtractor(sample(), Config{EmbedDim: 8, CorrK: 1})
+	f := e.Feature(0, 0) // "Alice" appears 25/100 times
+	if f[0] != 0.25 {
+		t.Errorf("value frequency = %v, want 0.25", f[0])
+	}
+	// Vicinity: Gender "F" given... index 1 is vicinity w.r.t. top-1
+	// correlated attr; Alice co-occurs with F always and F appears 50
+	// times, so count(Alice|F)/count(F) = 25/50 when Gender is top corr.
+	if e.Correlated(0)[0] == 1 && f[1] != 0.5 {
+		t.Errorf("vicinity frequency = %v, want 0.5", f[1])
+	}
+}
+
+func TestColumnFeatures(t *testing.T) {
+	e := NewExtractor(sample(), Config{EmbedDim: 8, CorrK: 1})
+	rows := []int{0, 1, 2}
+	feats := e.ColumnFeatures(2, rows)
+	if len(feats) != 3 {
+		t.Fatalf("got %d feature vectors, want 3", len(feats))
+	}
+	for _, f := range feats {
+		if len(f) != e.Dim() {
+			t.Fatal("column feature dim mismatch")
+		}
+	}
+}
+
+func BenchmarkRowFeatures(b *testing.B) {
+	e := NewExtractor(sample(), DefaultConfig())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.RowFeatures(i % 100)
+	}
+}

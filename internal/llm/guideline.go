@@ -1,0 +1,74 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FDRule is a rule-violation check inside a guideline: the determinant
+// attribute's value implies an expected value for the guided attribute.
+type FDRule struct {
+	DetAttr string
+	Support float64
+	Mapping map[string]string
+}
+
+// Guideline is the structured form of the paper's per-attribute error
+// detection guideline (Fig. 5): for every error type it carries the
+// concrete, data-specific checks the labeler applies. The rendered Text is
+// what a real LLM would have produced; its length feeds token accounting.
+type Guideline struct {
+	Attr        string
+	Explanation string
+
+	// Missing values: when the attribute is essentially always populated,
+	// a null is an error.
+	MissingRate     float64
+	MissingExpected bool
+
+	// Pattern violations: shape = run-length-free L2 class sequence.
+	DominantShapes map[string]bool
+	ShapeStrict    bool // dominant shapes cover enough data to flag deviants
+
+	// Outliers: numeric fences.
+	Numeric bool
+	Lo, Hi  float64
+
+	// Typos + domain: frequent values for near-miss comparison.
+	Domain       map[string]bool // lowercased frequent values
+	DomainStrict bool            // attribute is categorical
+	TypoTargets  []string
+	RareShare    map[string]float64 // value -> share, for outlier-by-rarity
+	// TokenVocab holds the attribute's frequent tokens for free-text
+	// columns, enabling word-level typo reasoning ("systematic reviw") the
+	// way a language model spots misspellings inside longer values.
+	TokenVocab map[string]bool
+
+	// Rule violations.
+	FDs []FDRule
+
+	// Text is the rendered guideline document.
+	Text string
+}
+
+// Render produces the guideline document the paper's Fig. 5 sketches,
+// grounding each abstract error type in the induced data-specific checks.
+func (g *Guideline) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Guideline for attribute %q\n", g.Attr)
+	fmt.Fprintf(&b, "Explanation: %s\n", g.Explanation)
+	fmt.Fprintf(&b, "**Error Type 1: Missing values**\n- observed missing rate: %.3f\n- treat nulls as errors: %v\n", g.MissingRate, !g.MissingExpected)
+	fmt.Fprintf(&b, "**Error Type 2: Pattern violations**\n- dominant shapes: %d (strict=%v)\n", len(g.DominantShapes), g.ShapeStrict)
+	if g.Numeric {
+		fmt.Fprintf(&b, "**Error Type 3: Outliers**\n- valid numeric range: [%g, %g]\n", g.Lo, g.Hi)
+	} else {
+		fmt.Fprintf(&b, "**Error Type 3: Outliers**\n- non-numeric attribute; rarity-based detection\n")
+	}
+	fmt.Fprintf(&b, "**Error Type 4: Typos**\n- %d frequent reference values (strict=%v)\n", len(g.TypoTargets), g.DomainStrict)
+	fmt.Fprintf(&b, "**Error Type 5: Rule violations**\n- %d dependency rules:", len(g.FDs))
+	for _, fd := range g.FDs {
+		fmt.Fprintf(&b, " %s->%s (support %.2f, %d mappings);", fd.DetAttr, g.Attr, fd.Support, len(fd.Mapping))
+	}
+	b.WriteString("\nBy systematically identifying these errors, the attribute can be cleaned for further analysis.\n")
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package llm
+
+// Profile describes a simulated model's capability. The knobs reproduce the
+// ordering observed in the paper's Table V: Qwen2.5-72b best, the Llama
+// family close behind, small models noisier, and GPT-4o-mini trigger-happy
+// (many false "error" labels, hence its low precision in the paper).
+type Profile struct {
+	// Name is the model identifier, e.g. "Qwen2.5-72b".
+	Name string
+	// LabelFlipClean is the probability of mislabeling a genuinely clean
+	// value as an error (hurts precision).
+	LabelFlipClean float64
+	// LabelFlipError is the probability of mislabeling a genuinely
+	// erroneous value as clean (hurts recall).
+	LabelFlipError float64
+	// CriteriaSkill in (0,1] is the probability each induced criterion
+	// survives; weaker models "forget" checks they should have written.
+	CriteriaSkill float64
+	// GuidelineSkill in (0,1] scales how much of the distribution analysis
+	// the model exploits when labeling; below 1 the model ignores some
+	// contextual checks (FDs first, then ranges).
+	GuidelineSkill float64
+	// Seed makes all stochastic behaviour reproducible.
+	Seed int64
+}
+
+// Built-in model profiles matching the paper's Table V lineup.
+var (
+	Qwen72B = Profile{
+		Name: "Qwen2.5-72b", LabelFlipClean: 0.005, LabelFlipError: 0.04,
+		CriteriaSkill: 1.0, GuidelineSkill: 1.0, Seed: 72,
+	}
+	Llama70B = Profile{
+		Name: "Llama3.1-70b", LabelFlipClean: 0.015, LabelFlipError: 0.08,
+		CriteriaSkill: 0.95, GuidelineSkill: 0.95, Seed: 70,
+	}
+	Llama8B = Profile{
+		Name: "Llama3.1-8b", LabelFlipClean: 0.02, LabelFlipError: 0.12,
+		CriteriaSkill: 0.85, GuidelineSkill: 0.9, Seed: 8,
+	}
+	Qwen7B = Profile{
+		Name: "Qwen2.5-7b", LabelFlipClean: 0.06, LabelFlipError: 0.25,
+		CriteriaSkill: 0.7, GuidelineSkill: 0.7, Seed: 7,
+	}
+	GPT4oMini = Profile{
+		Name: "GPT-4o-mini", LabelFlipClean: 0.18, LabelFlipError: 0.15,
+		CriteriaSkill: 0.8, GuidelineSkill: 0.75, Seed: 40,
+	}
+)
+
+// Profiles lists the built-in models in the order Table V reports them.
+func Profiles() []Profile {
+	return []Profile{GPT4oMini, Llama8B, Llama70B, Qwen7B, Qwen72B}
+}
+
+// ProfileByName looks up a built-in profile; the second result reports
+// whether it exists.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

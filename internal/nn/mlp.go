@@ -1,0 +1,339 @@
+// Package nn implements the paper's error detector: a two-hidden-layer
+// multilayer perceptron with ReLU activations and a sigmoid output, trained
+// with the binary cross-entropy objective of Section III-D using Adam and
+// mini-batches. It is written from scratch on float64 slices — no external
+// ML dependencies — and is deterministic for a given seed.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config controls MLP shape and training.
+type Config struct {
+	Hidden1   int     // width of the first hidden layer
+	Hidden2   int     // width of the second hidden layer
+	LR        float64 // Adam learning rate
+	Epochs    int
+	BatchSize int
+	Seed      int64
+	L2        float64 // weight decay
+}
+
+// DefaultConfig mirrors the paper's "simple MLP" setup sized for the
+// feature dimensions this pipeline produces.
+func DefaultConfig() Config {
+	return Config{Hidden1: 64, Hidden2: 32, LR: 1e-3, Epochs: 30, BatchSize: 32, Seed: 1, L2: 1e-5}
+}
+
+// MLP is a 2-hidden-layer binary classifier.
+type MLP struct {
+	cfg     Config
+	in      int
+	w1, w2  [][]float64 // layer weights
+	w3      []float64   // output weights
+	b1, b2  []float64
+	b3      float64
+	trained bool
+}
+
+// New creates an MLP for the given input dimension with seeded He
+// initialization.
+func New(in int, cfg Config) *MLP {
+	if cfg.Hidden1 <= 0 || cfg.Hidden2 <= 0 {
+		def := DefaultConfig()
+		if cfg.Hidden1 <= 0 {
+			cfg.Hidden1 = def.Hidden1
+		}
+		if cfg.Hidden2 <= 0 {
+			cfg.Hidden2 = def.Hidden2
+		}
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 1e-3
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &MLP{cfg: cfg, in: in}
+	m.w1 = heInit(rng, cfg.Hidden1, in)
+	m.w2 = heInit(rng, cfg.Hidden2, cfg.Hidden1)
+	m.w3 = heVec(rng, cfg.Hidden2)
+	m.b1 = make([]float64, cfg.Hidden1)
+	m.b2 = make([]float64, cfg.Hidden2)
+	return m
+}
+
+func heInit(rng *rand.Rand, rows, cols int) [][]float64 {
+	scale := math.Sqrt(2.0 / float64(max(cols, 1)))
+	w := make([][]float64, rows)
+	for i := range w {
+		w[i] = make([]float64, cols)
+		for j := range w[i] {
+			w[i][j] = rng.NormFloat64() * scale
+		}
+	}
+	return w
+}
+
+func heVec(rng *rand.Rand, cols int) []float64 {
+	scale := math.Sqrt(2.0 / float64(max(cols, 1)))
+	w := make([]float64, cols)
+	for j := range w {
+		w[j] = rng.NormFloat64() * scale
+	}
+	return w
+}
+
+func sigmoid(x float64) float64 {
+	// Numerically stable sigmoid.
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// forward computes activations; h1 and h2 receive post-ReLU activations.
+func (m *MLP) forward(x []float64, h1, h2 []float64) float64 {
+	for i, row := range m.w1 {
+		s := m.b1[i]
+		for j, w := range row {
+			s += w * x[j]
+		}
+		if s < 0 {
+			s = 0
+		}
+		h1[i] = s
+	}
+	for i, row := range m.w2 {
+		s := m.b2[i]
+		for j, w := range row {
+			s += w * h1[j]
+		}
+		if s < 0 {
+			s = 0
+		}
+		h2[i] = s
+	}
+	out := m.b3
+	for j, w := range m.w3 {
+		out += w * h2[j]
+	}
+	return sigmoid(out)
+}
+
+// adamState holds first/second moment estimates for one parameter tensor.
+type adamState struct {
+	m, v []float64
+	t    int
+}
+
+func newAdam(n int) *adamState { return &adamState{m: make([]float64, n), v: make([]float64, n)} }
+
+func (a *adamState) step(params, grads []float64, lr float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	a.t++
+	bc1 := 1 - math.Pow(beta1, float64(a.t))
+	bc2 := 1 - math.Pow(beta2, float64(a.t))
+	for i := range params {
+		g := grads[i]
+		a.m[i] = beta1*a.m[i] + (1-beta1)*g
+		a.v[i] = beta2*a.v[i] + (1-beta2)*g*g
+		params[i] -= lr * (a.m[i] / bc1) / (math.Sqrt(a.v[i]/bc2) + eps)
+	}
+}
+
+// Train fits the MLP on features X and binary labels y (1 = error). It
+// returns the final epoch's mean cross-entropy loss.
+func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
+	if len(X) == 0 {
+		return 0, fmt.Errorf("nn: empty training set")
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("nn: %d samples but %d labels", len(X), len(y))
+	}
+	for i, x := range X {
+		if len(x) != m.in {
+			return 0, fmt.Errorf("nn: sample %d has dim %d, want %d", i, len(x), m.in)
+		}
+	}
+	h1n, h2n := m.cfg.Hidden1, m.cfg.Hidden2
+	rng := rand.New(rand.NewSource(m.cfg.Seed + 7))
+
+	// Flatten parameter views for Adam.
+	optW1 := newAdam(h1n * m.in)
+	optW2 := newAdam(h2n * h1n)
+	optW3 := newAdam(h2n)
+	optB1 := newAdam(h1n)
+	optB2 := newAdam(h2n)
+	optB3 := newAdam(1)
+
+	gradW1 := make([]float64, h1n*m.in)
+	gradW2 := make([]float64, h2n*h1n)
+	gradW3 := make([]float64, h2n)
+	gradB1 := make([]float64, h1n)
+	gradB2 := make([]float64, h2n)
+	gradB3 := make([]float64, 1)
+	flatW1 := make([]float64, h1n*m.in)
+	flatW2 := make([]float64, h2n*h1n)
+
+	h1 := make([]float64, h1n)
+	h2 := make([]float64, h2n)
+	d2 := make([]float64, h2n)
+	d1 := make([]float64, h1n)
+
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	var lastLoss float64
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss := 0.0
+		for start := 0; start < len(idx); start += m.cfg.BatchSize {
+			end := min(start+m.cfg.BatchSize, len(idx))
+			bs := float64(end - start)
+			zero(gradW1)
+			zero(gradW2)
+			zero(gradW3)
+			zero(gradB1)
+			zero(gradB2)
+			gradB3[0] = 0
+
+			for _, i := range idx[start:end] {
+				x := X[i]
+				p := m.forward(x, h1, h2)
+				t := y[i]
+				epochLoss += bceLoss(t, p)
+				// dL/dlogit for sigmoid + BCE.
+				dOut := (p - t) / bs
+				for j := range m.w3 {
+					gradW3[j] += dOut * h2[j]
+					d2[j] = dOut * m.w3[j]
+					if h2[j] <= 0 {
+						d2[j] = 0
+					}
+				}
+				gradB3[0] += dOut
+				for j := range d1 {
+					d1[j] = 0
+				}
+				for r := range m.w2 {
+					if d2[r] == 0 {
+						continue
+					}
+					base := r * h1n
+					for c := range m.w2[r] {
+						gradW2[base+c] += d2[r] * h1[c]
+						d1[c] += d2[r] * m.w2[r][c]
+					}
+					gradB2[r] += d2[r]
+				}
+				for r := range d1 {
+					if h1[r] <= 0 {
+						d1[r] = 0
+					}
+				}
+				for r := range m.w1 {
+					if d1[r] == 0 {
+						continue
+					}
+					base := r * m.in
+					for c := range m.w1[r] {
+						gradW1[base+c] += d1[r] * x[c]
+					}
+					gradB1[r] += d1[r]
+				}
+			}
+
+			// L2 decay + Adam updates on flattened views.
+			flatten(m.w1, flatW1)
+			addL2(gradW1, flatW1, m.cfg.L2)
+			optW1.step(flatW1, gradW1, m.cfg.LR)
+			unflatten(flatW1, m.w1)
+
+			flatten(m.w2, flatW2)
+			addL2(gradW2, flatW2, m.cfg.L2)
+			optW2.step(flatW2, gradW2, m.cfg.LR)
+			unflatten(flatW2, m.w2)
+
+			addL2(gradW3, m.w3, m.cfg.L2)
+			optW3.step(m.w3, gradW3, m.cfg.LR)
+			optB1.step(m.b1, gradB1, m.cfg.LR)
+			optB2.step(m.b2, gradB2, m.cfg.LR)
+			b3 := []float64{m.b3}
+			optB3.step(b3, gradB3, m.cfg.LR)
+			m.b3 = b3[0]
+		}
+		lastLoss = epochLoss / float64(len(idx))
+	}
+	m.trained = true
+	return lastLoss, nil
+}
+
+func bceLoss(t, p float64) float64 {
+	const eps = 1e-12
+	return -(t*math.Log(p+eps) + (1-t)*math.Log(1-p+eps))
+}
+
+func zero(xs []float64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+func flatten(w [][]float64, out []float64) {
+	k := 0
+	for _, row := range w {
+		copy(out[k:], row)
+		k += len(row)
+	}
+}
+
+func unflatten(flat []float64, w [][]float64) {
+	k := 0
+	for _, row := range w {
+		copy(row, flat[k:k+len(row)])
+		k += len(row)
+	}
+}
+
+func addL2(grads, params []float64, l2 float64) {
+	if l2 == 0 {
+		return
+	}
+	for i := range grads {
+		grads[i] += l2 * params[i]
+	}
+}
+
+// Predict returns the error probability for a single feature vector.
+func (m *MLP) Predict(x []float64) float64 {
+	h1 := make([]float64, m.cfg.Hidden1)
+	h2 := make([]float64, m.cfg.Hidden2)
+	return m.forward(x, h1, h2)
+}
+
+// PredictBatch returns error probabilities for many feature vectors,
+// reusing scratch buffers.
+func (m *MLP) PredictBatch(X [][]float64) []float64 {
+	h1 := make([]float64, m.cfg.Hidden1)
+	h2 := make([]float64, m.cfg.Hidden2)
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.forward(x, h1, h2)
+	}
+	return out
+}
+
+// Trained reports whether Train has completed successfully.
+func (m *MLP) Trained() bool { return m.trained }

@@ -1,0 +1,252 @@
+// Package repair turns ZeroED detections into repair suggestions — the
+// downstream half of the data-cleaning loop the paper's introduction
+// motivates (and the subject of the authors' companion work on automatic
+// data repair). Given a dirty dataset and a predicted error mask, the
+// repairer proposes a replacement value per flagged cell using the same
+// evidence the detector reasons over: functional dependencies mined from
+// the unflagged portion of the data, frequent-value domains for typo
+// correction, and column medians for numeric outliers. Cells without a
+// confident fix are left untouched (repair must not invent data).
+package repair
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/text"
+)
+
+// Strategy names the evidence used for one repair.
+type Strategy string
+
+// Repair strategies, in the priority order Apply tries them.
+const (
+	StrategyFD     Strategy = "fd"     // dependency-implied value
+	StrategyTypo   Strategy = "typo"   // nearest frequent value
+	StrategyMedian Strategy = "median" // numeric column median
+	StrategyMode   Strategy = "mode"   // dominant categorical value
+	StrategyNone   Strategy = "none"   // no confident fix
+)
+
+// Fix is one proposed repair.
+type Fix struct {
+	Row, Col int
+	Old, New string
+	Strategy Strategy
+}
+
+// Config tunes the repairer.
+type Config struct {
+	// FDMinSupport is the minimum support for a mined dependency to drive
+	// repairs (default 0.9).
+	FDMinSupport float64
+	// TypoMaxDist bounds edit distance for typo correction (default 2).
+	TypoMaxDist int
+	// MinFrequent is the minimum occurrences for a repair-target value
+	// (default 3).
+	MinFrequent int
+	// ModeMinShare is the minimum share of the dominant value for
+	// mode-based missing-value repair (default 0.9).
+	ModeMinShare float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.FDMinSupport <= 0 {
+		c.FDMinSupport = 0.9
+	}
+	if c.TypoMaxDist <= 0 {
+		c.TypoMaxDist = 2
+	}
+	if c.MinFrequent <= 0 {
+		c.MinFrequent = 3
+	}
+	if c.ModeMinShare <= 0 {
+		c.ModeMinShare = 0.9
+	}
+	return c
+}
+
+// Repairer proposes fixes for flagged cells.
+type Repairer struct {
+	cfg Config
+}
+
+// New creates a repairer; zero config fields assume defaults.
+func New(cfg Config) *Repairer { return &Repairer{cfg: cfg.withDefaults()} }
+
+// columnEvidence is the per-attribute repair knowledge mined from cells
+// the detector did NOT flag (trusting detected-clean data only).
+type columnEvidence struct {
+	frequent   []string // frequent values, by descending count
+	counts     map[string]int
+	numeric    bool
+	median     float64
+	mode       string
+	modeShare  float64
+	totalClean int
+}
+
+// Propose returns repair suggestions for every flagged cell it can fix
+// confidently. It does not modify the dataset.
+func (r *Repairer) Propose(d *table.Dataset, mask [][]bool) []Fix {
+	m := d.NumCols()
+	ev := make([]columnEvidence, m)
+	for j := 0; j < m; j++ {
+		ev[j] = mineColumn(d, mask, j, r.cfg)
+	}
+
+	// Mine dependencies on the unflagged rows only.
+	var fds []fdRule
+	cleanView := unflaggedSubset(d, mask)
+	for det := 0; det < m; det++ {
+		if ev[det].totalClean == 0 || len(ev[det].counts) > cleanView.NumRows()/2 {
+			continue // near-key determinants repair nothing reliably
+		}
+		for dep := 0; dep < m; dep++ {
+			if det == dep {
+				continue
+			}
+			fd := stats.FindFD(cleanView, det, dep)
+			if fd.Support >= r.cfg.FDMinSupport && len(fd.Mapping) >= 2 {
+				fds = append(fds, fdRule{det, dep, fd.Mapping})
+			}
+		}
+	}
+
+	var fixes []Fix
+	for i := 0; i < d.NumRows(); i++ {
+		for j := 0; j < m; j++ {
+			if !mask[i][j] {
+				continue
+			}
+			old := d.Value(i, j)
+			if fix, strat := r.fixCell(d, i, j, old, &ev[j], fds, mask); strat != StrategyNone && fix != old {
+				fixes = append(fixes, Fix{Row: i, Col: j, Old: old, New: fix, Strategy: strat})
+			}
+		}
+	}
+	return fixes
+}
+
+type fdRule struct {
+	det, dep int
+	mapping  map[string]string
+}
+
+// fixCell tries the repair strategies in priority order.
+func (r *Repairer) fixCell(d *table.Dataset, i, j int, old string, ev *columnEvidence, fds []fdRule, mask [][]bool) (string, Strategy) {
+	// 1. Dependency-implied value: the strongest evidence — an unflagged
+	// determinant value whose group has a dominant dependent value.
+	for _, fd := range fds {
+		if fd.dep != j || mask[i][fd.det] {
+			continue
+		}
+		if want, ok := fd.mapping[d.Value(i, fd.det)]; ok && want != "" {
+			return want, StrategyFD
+		}
+	}
+	// 2. Typo correction: nearest frequent value within the edit bound.
+	if !text.IsNullLike(old) {
+		bestVal, bestDist := "", r.cfg.TypoMaxDist+1
+		lo := strings.ToLower(old)
+		for _, fv := range ev.frequent {
+			dist := text.Levenshtein(lo, strings.ToLower(fv))
+			if dist > 0 && dist < bestDist {
+				bestVal, bestDist = fv, dist
+			}
+		}
+		if bestVal != "" {
+			return bestVal, StrategyTypo
+		}
+	}
+	// 3. Numeric outliers: column median.
+	if ev.numeric && !text.IsNullLike(old) {
+		if _, ok := text.ParseFloat(old); ok {
+			return formatFloat(ev.median), StrategyMedian
+		}
+	}
+	// 4. Missing values in near-constant columns: the dominant value.
+	if text.IsNullLike(old) && ev.modeShare >= r.cfg.ModeMinShare && ev.mode != "" {
+		return ev.mode, StrategyMode
+	}
+	return "", StrategyNone
+}
+
+// Apply copies the dataset and applies all proposed fixes, returning the
+// repaired copy and the fixes.
+func (r *Repairer) Apply(d *table.Dataset, mask [][]bool) (*table.Dataset, []Fix) {
+	fixes := r.Propose(d, mask)
+	out := d.Clone()
+	for _, f := range fixes {
+		out.SetValue(f.Row, f.Col, f.New)
+	}
+	return out, fixes
+}
+
+// mineColumn builds repair evidence for one attribute from unflagged cells.
+func mineColumn(d *table.Dataset, mask [][]bool, j int, cfg Config) columnEvidence {
+	ev := columnEvidence{counts: map[string]int{}}
+	var vals []string
+	for i := 0; i < d.NumRows(); i++ {
+		if mask[i][j] {
+			continue
+		}
+		v := d.Value(i, j)
+		if text.IsNullLike(v) {
+			continue
+		}
+		vals = append(vals, v)
+		ev.counts[v]++
+	}
+	ev.totalClean = len(vals)
+	if ev.totalClean == 0 {
+		return ev
+	}
+	for v, c := range ev.counts {
+		if c >= cfg.MinFrequent {
+			ev.frequent = append(ev.frequent, v)
+		}
+		if c > ev.counts[ev.mode] || (c == ev.counts[ev.mode] && v < ev.mode) {
+			ev.mode = v
+		}
+	}
+	sort.Slice(ev.frequent, func(a, b int) bool {
+		ca, cb := ev.counts[ev.frequent[a]], ev.counts[ev.frequent[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return ev.frequent[a] < ev.frequent[b]
+	})
+	if len(ev.frequent) > 200 {
+		ev.frequent = ev.frequent[:200]
+	}
+	ev.modeShare = float64(ev.counts[ev.mode]) / float64(ev.totalClean)
+	if text.IsNumericColumn(vals, 0.9) {
+		ev.numeric = true
+		ev.median = stats.Quantile(stats.NumericColumn(vals), 0.5)
+	}
+	return ev
+}
+
+// unflaggedSubset builds a dataset view with flagged cells nulled out so
+// dependency mining ignores them.
+func unflaggedSubset(d *table.Dataset, mask [][]bool) *table.Dataset {
+	out := table.New(d.Name, d.Attrs)
+	for i := 0; i < d.NumRows(); i++ {
+		row := append([]string(nil), d.Row(i)...)
+		for j := range row {
+			if mask[i][j] {
+				row[j] = ""
+			}
+		}
+		out.AppendRow(row)
+	}
+	return out
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

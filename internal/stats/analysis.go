@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/table"
+	"repro/internal/text"
+)
+
+// AttributeProfile is the structured result of "executing the LLM-generated
+// distribution-analysis functions" over a whole attribute (Fig. 5 of the
+// paper). It summarizes exactly the signals the guideline-generation and
+// labeling steps consume: missing-value rate, dominant formats, frequent
+// values, numeric range, and the strongest functional dependency evidence.
+type AttributeProfile struct {
+	Attr          string
+	Total         int
+	Missing       int
+	Distinct      int
+	TopValues     []ValueCount // most frequent values, descending
+	RareValues    []ValueCount // values with frequency below 1%
+	TopPatterns   []ValueCount // most frequent L3 patterns
+	DominantShare float64      // share of the single most frequent L3 pattern
+	Numeric       bool
+	Min, Max      float64 // numeric range (valid when Numeric)
+	Mean, Std     float64
+	Q1, Q3        float64
+}
+
+// ValueCount pairs a value (or pattern) with its occurrence count.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// topCounts returns the top-k entries of a count map by descending count,
+// ties broken lexicographically for determinism.
+func topCounts(m map[string]int, k int) []ValueCount {
+	out := make([]ValueCount, 0, len(m))
+	for v, c := range m {
+		out = append(out, ValueCount{v, c})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Value < out[b].Value
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// ProfileAttribute runs the full-dataset distribution analysis for one
+// attribute. This is the deterministic stand-in for executing the paper's
+// generated Python analysis functions over the dirty CSV.
+func ProfileAttribute(d *table.Dataset, j int) *AttributeProfile {
+	col := d.Column(j)
+	p := &AttributeProfile{Attr: d.Attrs[j], Total: len(col)}
+
+	valueCounts := make(map[string]int)
+	patternCounts := make(map[string]int)
+	for _, v := range col {
+		valueCounts[v]++
+		patternCounts[text.Generalize(v, text.L3)]++
+		if text.IsNullLike(v) {
+			p.Missing++
+		}
+	}
+	p.Distinct = len(valueCounts)
+	p.TopValues = topCounts(valueCounts, 10)
+	p.TopPatterns = topCounts(patternCounts, 5)
+	if len(p.TopPatterns) > 0 && p.Total > 0 {
+		p.DominantShare = float64(p.TopPatterns[0].Count) / float64(p.Total)
+	}
+	for v, c := range valueCounts {
+		if float64(c)/float64(p.Total) < 0.01 {
+			p.RareValues = append(p.RareValues, ValueCount{v, c})
+		}
+	}
+	sort.Slice(p.RareValues, func(a, b int) bool { return p.RareValues[a].Value < p.RareValues[b].Value })
+	if len(p.RareValues) > 50 {
+		p.RareValues = p.RareValues[:50]
+	}
+
+	if text.IsNumericColumn(col, 0.85) {
+		nums := NumericColumn(col)
+		if len(nums) > 0 {
+			p.Numeric = true
+			p.Min, p.Max = nums[0], nums[0]
+			for _, x := range nums {
+				if x < p.Min {
+					p.Min = x
+				}
+				if x > p.Max {
+					p.Max = x
+				}
+			}
+			p.Mean, p.Std = MeanStd(nums)
+			p.Q1 = Quantile(nums, 0.25)
+			p.Q3 = Quantile(nums, 0.75)
+		}
+	}
+	return p
+}
+
+// Report renders the profile as the textual "analysis results" string that
+// would be embedded in the guideline-generation prompt. Its length feeds
+// token accounting.
+func (p *AttributeProfile) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**Analysis results for %q:**\n", p.Attr)
+	fmt.Fprintf(&b, "Total records: %d\n", p.Total)
+	fmt.Fprintf(&b, "Missing values: %d (%.2f%%)\n", p.Missing, 100*float64(p.Missing)/float64(max(p.Total, 1)))
+	fmt.Fprintf(&b, "Distinct values: %d\n", p.Distinct)
+	fmt.Fprintf(&b, "Top values: ")
+	for i, vc := range p.TopValues {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%q x%d", vc.Value, vc.Count)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "Top patterns (L3): ")
+	for i, vc := range p.TopPatterns {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s x%d", vc.Value, vc.Count)
+	}
+	fmt.Fprintf(&b, "\nDominant pattern share: %.3f\n", p.DominantShare)
+	if p.Numeric {
+		fmt.Fprintf(&b, "Numeric range: [%g, %g], mean %.3f, std %.3f, IQR [%.3f, %.3f]\n",
+			p.Min, p.Max, p.Mean, p.Std, p.Q1, p.Q3)
+	}
+	fmt.Fprintf(&b, "Rare values (<1%%): %d shown\n", len(p.RareValues))
+	return b.String()
+}
+
+// FDCandidate describes evidence that attribute Det functionally determines
+// attribute Dep: for each determinant value the dominant dependent value
+// covers Support of rows on average.
+type FDCandidate struct {
+	Det, Dep int
+	Support  float64 // average share of the majority dependent value
+	// Mapping holds, for each determinant value seen at least twice, the
+	// majority dependent value.
+	Mapping map[string]string
+}
+
+// FindFD measures how well column det determines column dep in d. It
+// returns a candidate with the majority mapping and its average support.
+// This powers both the simulated LLM's rule-violation reasoning and the
+// NADEEF baseline's automatic constraint mining.
+func FindFD(d *table.Dataset, det, dep int) FDCandidate {
+	groups := make(map[string]map[string]int)
+	for i := 0; i < d.NumRows(); i++ {
+		dv := d.Value(i, det)
+		if text.IsNullLike(dv) {
+			continue
+		}
+		g := groups[dv]
+		if g == nil {
+			g = make(map[string]int)
+			groups[dv] = g
+		}
+		g[d.Value(i, dep)]++
+	}
+	cand := FDCandidate{Det: det, Dep: dep, Mapping: make(map[string]string)}
+	totalWeight, weightedSupport := 0.0, 0.0
+	for dv, g := range groups {
+		n := 0
+		bestV, bestC := "", 0
+		for v, c := range g {
+			n += c
+			if c > bestC || (c == bestC && v < bestV) {
+				bestV, bestC = v, c
+			}
+		}
+		if n < 2 {
+			continue // singleton groups carry no dependency evidence
+		}
+		cand.Mapping[dv] = bestV
+		totalWeight += float64(n)
+		weightedSupport += float64(bestC)
+	}
+	if totalWeight > 0 {
+		cand.Support = weightedSupport / totalWeight
+	}
+	return cand
+}

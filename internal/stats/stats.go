@@ -1,0 +1,292 @@
+// Package stats implements the statistical machinery of ZeroED's feature
+// representation and attribute-correlation analysis: value, vicinity and
+// pattern frequencies (Section III-B), entropy and normalized mutual
+// information between attributes, and quantile/histogram summaries used by
+// the distribution-analysis step of guideline generation.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/table"
+	"repro/internal/text"
+)
+
+// ColumnFrequencies precomputes per-attribute counts used by the frequency
+// features so that feature extraction is O(cells), not O(cells^2).
+type ColumnFrequencies struct {
+	// Value[j][v] is the occurrence count of value v in attribute j.
+	Value []map[string]int
+	// Pattern[level-1][j][p] is the occurrence count of generalized
+	// pattern p at level L1..L3 in attribute j.
+	Pattern [3]map[int]map[string]int
+	// CoOccur[j][q][pair] counts co-occurrences "vj\x00vq" between
+	// attributes j and q; used for vicinity frequencies and NMI.
+	CoOccur map[[2]int]map[[2]string]int
+	n       int
+}
+
+// NewColumnFrequencies scans the dataset once and builds all count tables.
+func NewColumnFrequencies(d *table.Dataset) *ColumnFrequencies {
+	m := d.NumCols()
+	cf := &ColumnFrequencies{
+		Value:   make([]map[string]int, m),
+		CoOccur: make(map[[2]int]map[[2]string]int),
+		n:       d.NumRows(),
+	}
+	for lvl := 0; lvl < 3; lvl++ {
+		cf.Pattern[lvl] = make(map[int]map[string]int, m)
+	}
+	for j := 0; j < m; j++ {
+		cf.Value[j] = make(map[string]int)
+		for lvl := 0; lvl < 3; lvl++ {
+			cf.Pattern[lvl][j] = make(map[string]int)
+		}
+	}
+	for i := 0; i < d.NumRows(); i++ {
+		row := d.Row(i)
+		for j := 0; j < m; j++ {
+			v := row[j]
+			cf.Value[j][v]++
+			for lvl := 0; lvl < 3; lvl++ {
+				p := text.Generalize(v, text.PatternLevel(lvl+1))
+				cf.Pattern[lvl][j][p]++
+			}
+		}
+	}
+	return cf
+}
+
+// BuildCoOccur populates pairwise co-occurrence counts between attribute j
+// and each attribute in others. Computed lazily because only correlated
+// attribute pairs need it.
+func (cf *ColumnFrequencies) BuildCoOccur(d *table.Dataset, j int, others []int) {
+	for _, q := range others {
+		key := [2]int{j, q}
+		if _, ok := cf.CoOccur[key]; ok {
+			continue
+		}
+		counts := make(map[[2]string]int)
+		for i := 0; i < d.NumRows(); i++ {
+			counts[[2]string{d.Value(i, j), d.Value(i, q)}]++
+		}
+		cf.CoOccur[key] = counts
+	}
+}
+
+// ValueFrequency returns count(v in attr j) / N, the paper's value
+// frequency for D[i,j].
+func (cf *ColumnFrequencies) ValueFrequency(j int, v string) float64 {
+	if cf.n == 0 {
+		return 0
+	}
+	return float64(cf.Value[j][v]) / float64(cf.n)
+}
+
+// VicinityFrequency returns count(vj co-occurring with vq) / count(vq):
+// how often the value vq in attribute q determines vj in attribute j.
+// BuildCoOccur must have been called for the (j,q) pair.
+func (cf *ColumnFrequencies) VicinityFrequency(j, q int, vj, vq string) float64 {
+	denom := cf.Value[q][vq]
+	if denom == 0 {
+		return 0
+	}
+	co := cf.CoOccur[[2]int{j, q}]
+	if co == nil {
+		return 0
+	}
+	return float64(co[[2]string{vj, vq}]) / float64(denom)
+}
+
+// PatternFrequency returns the fraction of values in attribute j whose
+// generalized pattern at the given level matches that of v.
+func (cf *ColumnFrequencies) PatternFrequency(j int, v string, level text.PatternLevel) float64 {
+	if cf.n == 0 {
+		return 0
+	}
+	p := text.Generalize(v, level)
+	return float64(cf.Pattern[level-1][j][p]) / float64(cf.n)
+}
+
+// Entropy computes the Shannon entropy (nats) of an attribute's empirical
+// value distribution. The accumulation is order-independent (terms are
+// sorted before summing) so results are bit-identical across runs despite
+// Go's randomized map iteration.
+func Entropy(values []string) float64 {
+	counts := make(map[string]int)
+	for _, v := range values {
+		counts[v]++
+	}
+	n := float64(len(values))
+	if n == 0 {
+		return 0
+	}
+	terms := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		p := float64(c) / n
+		terms = append(terms, -p*math.Log(p))
+	}
+	return stableSum(terms)
+}
+
+// stableSum adds terms in sorted order, making float accumulation
+// independent of the (randomized) map iteration that produced them.
+func stableSum(terms []float64) float64 {
+	sort.Float64s(terms)
+	s := 0.0
+	for _, t := range terms {
+		s += t
+	}
+	return s
+}
+
+// MutualInformation computes I(X;Y) in nats from two parallel columns.
+func MutualInformation(x, y []string) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	n := float64(len(x))
+	px := make(map[string]float64)
+	py := make(map[string]float64)
+	pxy := make(map[[2]string]float64)
+	for i := range x {
+		px[x[i]]++
+		py[y[i]]++
+		pxy[[2]string{x[i], y[i]}]++
+	}
+	terms := make([]float64, 0, len(pxy))
+	for k, c := range pxy {
+		pj := c / n
+		terms = append(terms, pj*math.Log(pj/((px[k[0]]/n)*(py[k[1]]/n))))
+	}
+	mi := stableSum(terms)
+	if mi < 0 {
+		mi = 0 // guard against floating-point round-off
+	}
+	return mi
+}
+
+// NMI computes the normalized mutual information of Section III-B:
+// I(X;Y)/sqrt(H(X)H(Y)), in [0,1]. Degenerate (constant) attributes have
+// zero entropy and yield NMI 0.
+func NMI(x, y []string) float64 {
+	hx, hy := Entropy(x), Entropy(y)
+	if hx == 0 || hy == 0 {
+		return 0
+	}
+	v := MutualInformation(x, y) / math.Sqrt(hx*hy)
+	if v > 1 {
+		v = 1 // floating-point guard
+	}
+	return v
+}
+
+// NMIMatrix computes pairwise NMI between all attributes of d.
+func NMIMatrix(d *table.Dataset) [][]float64 {
+	m := d.NumCols()
+	cols := make([][]string, m)
+	for j := 0; j < m; j++ {
+		cols[j] = d.Column(j)
+	}
+	mat := make([][]float64, m)
+	for j := range mat {
+		mat[j] = make([]float64, m)
+	}
+	for a := 0; a < m; a++ {
+		for b := a; b < m; b++ {
+			var v float64
+			if a == b {
+				v = 1
+			} else {
+				v = NMI(cols[a], cols[b])
+			}
+			mat[a][b] = v
+			mat[b][a] = v
+		}
+	}
+	return mat
+}
+
+// TopKCorrelated returns the indices of the k attributes with the highest
+// NMI to attribute j (excluding j itself), forming the correlative
+// attribute set R_aj of Section III-B. Ties break by attribute index for
+// determinism.
+func TopKCorrelated(nmi [][]float64, j, k int) []int {
+	type pair struct {
+		idx int
+		v   float64
+	}
+	var ps []pair
+	for q := range nmi[j] {
+		if q == j {
+			continue
+		}
+		ps = append(ps, pair{q, nmi[j][q]})
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].v != ps[b].v {
+			return ps[a].v > ps[b].v
+		}
+		return ps[a].idx < ps[b].idx
+	})
+	if k > len(ps) {
+		k = len(ps)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ps[i].idx
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0..1) of the sorted copy of xs using
+// linear interpolation. Empty input yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MeanStd returns the mean and (population) standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// NumericColumn extracts all parseable numeric values from a column.
+func NumericColumn(values []string) []float64 {
+	var out []float64
+	for _, v := range values {
+		if f, ok := text.ParseFloat(v); ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}

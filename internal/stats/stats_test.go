@@ -1,0 +1,275 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/table"
+	"repro/internal/text"
+)
+
+func sample() *table.Dataset {
+	d := table.New("tax", []string{"Name", "Gender", "Salary"})
+	d.AppendRow([]string{"Bob", "M", "80000"})
+	d.AppendRow([]string{"Carol", "F", "60000"})
+	d.AppendRow([]string{"Dave", "M", "64000"})
+	d.AppendRow([]string{"Carol", "F", "60000"})
+	return d
+}
+
+func TestValueFrequency(t *testing.T) {
+	cf := NewColumnFrequencies(sample())
+	if got := cf.ValueFrequency(0, "Carol"); got != 0.5 {
+		t.Errorf("ValueFrequency(Carol) = %v, want 0.5", got)
+	}
+	if got := cf.ValueFrequency(0, "Zed"); got != 0 {
+		t.Errorf("ValueFrequency(Zed) = %v, want 0", got)
+	}
+}
+
+func TestVicinityFrequency(t *testing.T) {
+	d := sample()
+	cf := NewColumnFrequencies(d)
+	cf.BuildCoOccur(d, 1, []int{0})
+	// Carol always co-occurs with F: count(F|Carol)/count(Carol) = 2/2.
+	if got := cf.VicinityFrequency(1, 0, "F", "Carol"); got != 1 {
+		t.Errorf("VicinityFrequency(F|Carol) = %v, want 1", got)
+	}
+	// M given Carol never happens.
+	if got := cf.VicinityFrequency(1, 0, "M", "Carol"); got != 0 {
+		t.Errorf("VicinityFrequency(M|Carol) = %v, want 0", got)
+	}
+}
+
+func TestPatternFrequency(t *testing.T) {
+	cf := NewColumnFrequencies(sample())
+	// All four salaries are D[5] at L3.
+	if got := cf.PatternFrequency(2, "80000", text.L3); got != 1 {
+		t.Errorf("PatternFrequency = %v, want 1", got)
+	}
+	if got := cf.PatternFrequency(2, "8000x", text.L3); got != 0 {
+		t.Errorf("PatternFrequency for unseen pattern = %v, want 0", got)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if got := Entropy([]string{"a", "a", "a"}); got != 0 {
+		t.Errorf("Entropy(constant) = %v, want 0", got)
+	}
+	got := Entropy([]string{"a", "b"})
+	if math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Errorf("Entropy(uniform 2) = %v, want ln2", got)
+	}
+}
+
+func TestNMIPerfectDependence(t *testing.T) {
+	x := []string{"a", "b", "a", "b"}
+	y := []string{"1", "2", "1", "2"}
+	if got := NMI(x, y); math.Abs(got-1) > 1e-9 {
+		t.Errorf("NMI(perfectly dependent) = %v, want 1", got)
+	}
+}
+
+func TestNMIIndependence(t *testing.T) {
+	x := []string{"a", "a", "b", "b"}
+	y := []string{"1", "2", "1", "2"}
+	if got := NMI(x, y); got > 1e-9 {
+		t.Errorf("NMI(independent) = %v, want ~0", got)
+	}
+}
+
+func TestNMIDegenerateColumn(t *testing.T) {
+	if got := NMI([]string{"a", "a"}, []string{"1", "2"}); got != 0 {
+		t.Errorf("NMI with constant column = %v, want 0", got)
+	}
+}
+
+// Property: NMI is symmetric and within [0,1].
+func TestNMIProperties(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		x := make([]string, n)
+		y := make([]string, n)
+		for i := 0; i < n; i++ {
+			x[i] = string(rune('a' + xs[i]%4))
+			y[i] = string(rune('p' + ys[i]%4))
+		}
+		a, b := NMI(x, y), NMI(y, x)
+		return math.Abs(a-b) < 1e-9 && a >= 0 && a <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKCorrelated(t *testing.T) {
+	nmi := [][]float64{
+		{1, 0.9, 0.1, 0.5},
+		{0.9, 1, 0.2, 0.3},
+		{0.1, 0.2, 1, 0.7},
+		{0.5, 0.3, 0.7, 1},
+	}
+	got := TopKCorrelated(nmi, 0, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("TopKCorrelated = %v, want [1 3]", got)
+	}
+	// k larger than available attributes clamps.
+	if got := TopKCorrelated(nmi, 0, 10); len(got) != 3 {
+		t.Errorf("TopKCorrelated clamp = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v, want 5", got)
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Errorf("interpolated median = %v, want 1.5", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Errorf("MeanStd = %v, %v, want 5, 2", mean, std)
+	}
+}
+
+func TestProfileAttribute(t *testing.T) {
+	d := table.New("t", []string{"Salary"})
+	for i := 0; i < 99; i++ {
+		d.AppendRow([]string{"50000"})
+	}
+	d.AppendRow([]string{""})
+	p := ProfileAttribute(d, 0)
+	if p.Missing != 1 {
+		t.Errorf("Missing = %d, want 1", p.Missing)
+	}
+	if !p.Numeric {
+		t.Error("mostly-numeric column should profile as numeric")
+	}
+	if p.TopValues[0].Value != "50000" || p.TopValues[0].Count != 99 {
+		t.Errorf("TopValues = %v", p.TopValues)
+	}
+	if p.DominantShare < 0.9 {
+		t.Errorf("DominantShare = %v, want >= 0.9", p.DominantShare)
+	}
+	if rep := p.Report(); len(rep) == 0 {
+		t.Error("Report is empty")
+	}
+}
+
+func TestFindFD(t *testing.T) {
+	d := table.New("t", []string{"Country", "Capital"})
+	for i := 0; i < 10; i++ {
+		d.AppendRow([]string{"France", "Paris"})
+		d.AppendRow([]string{"Japan", "Tokyo"})
+	}
+	d.AppendRow([]string{"France", "Lyon"}) // one violation
+	fd := FindFD(d, 0, 1)
+	if fd.Mapping["France"] != "Paris" || fd.Mapping["Japan"] != "Tokyo" {
+		t.Errorf("Mapping = %v", fd.Mapping)
+	}
+	if fd.Support <= 0.9 || fd.Support >= 1 {
+		t.Errorf("Support = %v, want in (0.9, 1)", fd.Support)
+	}
+}
+
+func TestFindFDIgnoresNulls(t *testing.T) {
+	d := table.New("t", []string{"A", "B"})
+	d.AppendRow([]string{"", "x"})
+	d.AppendRow([]string{"", "y"})
+	fd := FindFD(d, 0, 1)
+	if len(fd.Mapping) != 0 {
+		t.Errorf("null determinants should be skipped, got %v", fd.Mapping)
+	}
+}
+
+func TestNMIMatrixSymmetricUnitDiagonal(t *testing.T) {
+	mat := NMIMatrix(sample())
+	for a := range mat {
+		if mat[a][a] != 1 {
+			t.Errorf("diag[%d] = %v, want 1", a, mat[a][a])
+		}
+		for b := range mat {
+			if mat[a][b] != mat[b][a] {
+				t.Errorf("matrix not symmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+	// Name determines Gender in the sample, so NMI should be high.
+	if mat[0][1] < 0.8 {
+		t.Errorf("NMI(Name,Gender) = %v, want high", mat[0][1])
+	}
+}
+
+// Property: per-column value frequencies of distinct values sum to 1.
+func TestValueFrequencySumsToOne(t *testing.T) {
+	d := sample()
+	cf := NewColumnFrequencies(d)
+	for j := 0; j < d.NumCols(); j++ {
+		seen := map[string]bool{}
+		sum := 0.0
+		for _, v := range d.Column(j) {
+			if !seen[v] {
+				seen[v] = true
+				sum += cf.ValueFrequency(j, v)
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("col %d: distinct value frequencies sum to %v, want 1", j, sum)
+		}
+	}
+}
+
+// Property: pattern frequency of an observed value is always positive and
+// never exceeds 1.
+func TestPatternFrequencyBounds(t *testing.T) {
+	d := sample()
+	cf := NewColumnFrequencies(d)
+	for j := 0; j < d.NumCols(); j++ {
+		for _, v := range d.Column(j) {
+			for _, lvl := range []text.PatternLevel{text.L1, text.L2, text.L3} {
+				f := cf.PatternFrequency(j, v, lvl)
+				if f <= 0 || f > 1 {
+					t.Fatalf("pattern frequency %v out of (0,1]", f)
+				}
+			}
+		}
+	}
+}
+
+func TestStableSumOrderIndependent(t *testing.T) {
+	a := []float64{0.1, 0.2, 0.3, 1e-17, -0.3}
+	b := []float64{-0.3, 1e-17, 0.3, 0.2, 0.1}
+	if stableSum(append([]float64(nil), a...)) != stableSum(append([]float64(nil), b...)) {
+		t.Error("stableSum must be order independent")
+	}
+}
+
+func TestEntropyDeterministicAcrossRuns(t *testing.T) {
+	vals := []string{"a", "b", "c", "a", "b", "a", "d", "e", "f", "g"}
+	first := Entropy(vals)
+	for i := 0; i < 50; i++ {
+		if Entropy(vals) != first {
+			t.Fatal("Entropy must be bit-identical across calls")
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadCSV parses a dataset from CSV with a header row. The dataset name is
+// taken from the caller, not the file.
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table: csv has no header row")
+	}
+	d := New(name, records[0])
+	for i, rec := range records[1:] {
+		if len(rec) != len(d.Attrs) {
+			return nil, fmt.Errorf("table: row %d has %d fields, want %d", i+1, len(rec), len(d.Attrs))
+		}
+		d.AppendRow(rec)
+	}
+	return d, nil
+}
+
+// ReadCSVFile loads a dataset from a CSV file path.
+func ReadCSVFile(name, path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(name, f)
+}
+
+// WriteCSV serializes the dataset as CSV with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.Attrs); err != nil {
+		return err
+	}
+	for _, row := range d.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the dataset to a CSV file path.
+func (d *Dataset) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.WriteCSV(f)
+}

@@ -1,0 +1,176 @@
+// Package table provides the tabular dataset model used throughout the
+// ZeroED reproduction: a dataset is a named relation with a flat string
+// schema and string-valued cells, matching the representation used by the
+// paper (Section II): D = {t1..tN} over Attrs = {a1..aM}, with D[i,j]
+// denoting the cell value of attribute aj in tuple ti.
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cell identifies one cell of a dataset by row and column index.
+type Cell struct {
+	Row int
+	Col int
+}
+
+// Dataset is a dirty or clean relational table. All values are strings;
+// NULLs are represented as empty strings, following the paper's
+// serialization convention.
+type Dataset struct {
+	Name  string
+	Attrs []string
+	Rows  [][]string
+}
+
+// New creates an empty dataset with the given schema.
+func New(name string, attrs []string) *Dataset {
+	return &Dataset{Name: name, Attrs: attrs}
+}
+
+// NumRows returns the number of tuples.
+func (d *Dataset) NumRows() int { return len(d.Rows) }
+
+// NumCols returns the number of attributes.
+func (d *Dataset) NumCols() int { return len(d.Attrs) }
+
+// NumCells returns the total number of cells.
+func (d *Dataset) NumCells() int { return len(d.Rows) * len(d.Attrs) }
+
+// Value returns the cell value of attribute col in tuple row.
+func (d *Dataset) Value(row, col int) string { return d.Rows[row][col] }
+
+// SetValue overwrites a single cell.
+func (d *Dataset) SetValue(row, col int, v string) { d.Rows[row][col] = v }
+
+// AppendRow adds a tuple. It panics if the arity does not match the schema,
+// because that is always a programming error in this codebase.
+func (d *Dataset) AppendRow(row []string) {
+	if len(row) != len(d.Attrs) {
+		panic(fmt.Sprintf("table: row arity %d does not match schema arity %d", len(row), len(d.Attrs)))
+	}
+	d.Rows = append(d.Rows, row)
+}
+
+// ColIndex returns the index of the named attribute, or -1 if absent.
+func (d *Dataset) ColIndex(attr string) int {
+	for i, a := range d.Attrs {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns a copy of all values in the given column.
+func (d *Dataset) Column(col int) []string {
+	out := make([]string, len(d.Rows))
+	for i, r := range d.Rows {
+		out[i] = r[col]
+	}
+	return out
+}
+
+// Clone deep-copies the dataset. Mutating the clone never affects the
+// original, which matters when injecting errors into a clean ground truth.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{Name: d.Name, Attrs: append([]string(nil), d.Attrs...)}
+	c.Rows = make([][]string, len(d.Rows))
+	for i, r := range d.Rows {
+		c.Rows[i] = append([]string(nil), r...)
+	}
+	return c
+}
+
+// Subset returns a new dataset containing the first n rows (or all rows if
+// n exceeds the row count). Used for scalability sweeps over Tax subsets.
+func (d *Dataset) Subset(n int) *Dataset {
+	if n > len(d.Rows) {
+		n = len(d.Rows)
+	}
+	c := &Dataset{Name: d.Name, Attrs: append([]string(nil), d.Attrs...)}
+	c.Rows = make([][]string, n)
+	for i := 0; i < n; i++ {
+		c.Rows[i] = append([]string(nil), d.Rows[i]...)
+	}
+	return c
+}
+
+// Row returns the i-th tuple (not copied).
+func (d *Dataset) Row(i int) []string { return d.Rows[i] }
+
+// RowMap returns tuple i as an attribute→value map, the shape criteria
+// evaluation uses (mirroring the paper's generated `row[attr]` accessors).
+func (d *Dataset) RowMap(i int) map[string]string {
+	m := make(map[string]string, len(d.Attrs))
+	for j, a := range d.Attrs {
+		m[a] = d.Rows[i][j]
+	}
+	return m
+}
+
+// SerializeTuple renders tuple i as the attribute-value pair string used in
+// LLM prompts: "a1: v1, a2: v2, ...". NULLs appear as empty strings.
+func (d *Dataset) SerializeTuple(i int) string {
+	var b strings.Builder
+	for j, a := range d.Attrs {
+		if j > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a)
+		b.WriteString(": ")
+		b.WriteString(d.Rows[i][j])
+	}
+	return b.String()
+}
+
+// SerializeRows renders the given tuples one per line, for prompt bodies.
+func (d *Dataset) SerializeRows(rows []int) string {
+	var b strings.Builder
+	for _, i := range rows {
+		b.WriteString(d.SerializeTuple(i))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ErrorMask compares a dirty dataset against its ground truth and returns
+// a boolean matrix where true marks an erroneous cell (D[i,j] != D*[i,j]),
+// the paper's definition of a data error.
+func ErrorMask(dirty, clean *Dataset) ([][]bool, error) {
+	if dirty.NumRows() != clean.NumRows() || dirty.NumCols() != clean.NumCols() {
+		return nil, fmt.Errorf("table: shape mismatch dirty %dx%d vs clean %dx%d",
+			dirty.NumRows(), dirty.NumCols(), clean.NumRows(), clean.NumCols())
+	}
+	mask := make([][]bool, dirty.NumRows())
+	for i := range mask {
+		mask[i] = make([]bool, dirty.NumCols())
+		for j := range mask[i] {
+			mask[i][j] = dirty.Rows[i][j] != clean.Rows[i][j]
+		}
+	}
+	return mask, nil
+}
+
+// ErrorRate returns the fraction of cells that differ from ground truth.
+func ErrorRate(dirty, clean *Dataset) (float64, error) {
+	mask, err := ErrorMask(dirty, clean)
+	if err != nil {
+		return 0, err
+	}
+	n, total := 0, 0
+	for i := range mask {
+		for j := range mask[i] {
+			total++
+			if mask[i][j] {
+				n++
+			}
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(n) / float64(total), nil
+}

@@ -1,0 +1,225 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Dataset {
+	d := New("tax", []string{"Name", "Gender", "Education", "Salary"})
+	d.AppendRow([]string{"Bob Johnson", "M", "Phd", "80000"})
+	d.AppendRow([]string{"Carol Brown", "F", "Master", "6000"})
+	d.AppendRow([]string{"DaveGreen", "M", "Bechxlor", "64000"})
+	return d
+}
+
+func TestShape(t *testing.T) {
+	d := sample()
+	if d.NumRows() != 3 || d.NumCols() != 4 || d.NumCells() != 12 {
+		t.Fatalf("shape = %dx%d (%d cells), want 3x4 (12)", d.NumRows(), d.NumCols(), d.NumCells())
+	}
+}
+
+func TestValueAccess(t *testing.T) {
+	d := sample()
+	if got := d.Value(1, 3); got != "6000" {
+		t.Errorf("Value(1,3) = %q, want 6000", got)
+	}
+	d.SetValue(1, 3, "60000")
+	if got := d.Value(1, 3); got != "60000" {
+		t.Errorf("after SetValue, Value(1,3) = %q, want 60000", got)
+	}
+}
+
+func TestColIndex(t *testing.T) {
+	d := sample()
+	if got := d.ColIndex("Salary"); got != 3 {
+		t.Errorf("ColIndex(Salary) = %d, want 3", got)
+	}
+	if got := d.ColIndex("missing"); got != -1 {
+		t.Errorf("ColIndex(missing) = %d, want -1", got)
+	}
+}
+
+func TestColumn(t *testing.T) {
+	d := sample()
+	col := d.Column(1)
+	want := []string{"M", "F", "M"}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Errorf("Column(1)[%d] = %q, want %q", i, col[i], want[i])
+		}
+	}
+	col[0] = "X"
+	if d.Value(0, 1) != "M" {
+		t.Error("mutating Column result must not affect dataset")
+	}
+}
+
+func TestAppendRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AppendRow with wrong arity must panic")
+		}
+	}()
+	sample().AppendRow([]string{"only", "three", "fields"})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := sample()
+	c := d.Clone()
+	c.SetValue(0, 0, "Changed")
+	if d.Value(0, 0) != "Bob Johnson" {
+		t.Error("Clone must not share row storage")
+	}
+	c.Attrs[0] = "Renamed"
+	if d.Attrs[0] != "Name" {
+		t.Error("Clone must not share attribute storage")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := sample()
+	s := d.Subset(2)
+	if s.NumRows() != 2 {
+		t.Fatalf("Subset(2) rows = %d, want 2", s.NumRows())
+	}
+	s.SetValue(0, 0, "X")
+	if d.Value(0, 0) != "Bob Johnson" {
+		t.Error("Subset must copy rows")
+	}
+	if got := d.Subset(99).NumRows(); got != 3 {
+		t.Errorf("Subset(99) rows = %d, want 3 (clamped)", got)
+	}
+}
+
+func TestRowMap(t *testing.T) {
+	m := sample().RowMap(2)
+	if m["Name"] != "DaveGreen" || m["Education"] != "Bechxlor" {
+		t.Errorf("RowMap = %v", m)
+	}
+}
+
+func TestSerializeTuple(t *testing.T) {
+	got := sample().SerializeTuple(0)
+	want := "Name: Bob Johnson, Gender: M, Education: Phd, Salary: 80000"
+	if got != want {
+		t.Errorf("SerializeTuple = %q, want %q", got, want)
+	}
+}
+
+func TestSerializeRows(t *testing.T) {
+	got := sample().SerializeRows([]int{0, 2})
+	if !strings.Contains(got, "Bob Johnson") || !strings.Contains(got, "DaveGreen") {
+		t.Errorf("SerializeRows missing rows: %q", got)
+	}
+	if strings.Count(got, "\n") != 2 {
+		t.Errorf("SerializeRows should emit one line per row: %q", got)
+	}
+}
+
+func TestErrorMask(t *testing.T) {
+	clean := sample()
+	dirty := clean.Clone()
+	dirty.SetValue(1, 3, "")
+	dirty.SetValue(2, 2, "Bachelor?!")
+	mask, err := ErrorMask(dirty, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mask[1][3] || !mask[2][2] {
+		t.Error("injected errors not flagged")
+	}
+	if mask[0][0] {
+		t.Error("clean cell flagged")
+	}
+	rate, err := ErrorRate(dirty, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0 / 12.0; rate != want {
+		t.Errorf("ErrorRate = %v, want %v", rate, want)
+	}
+}
+
+func TestErrorMaskShapeMismatch(t *testing.T) {
+	if _, err := ErrorMask(sample(), sample().Subset(2)); err == nil {
+		t.Error("shape mismatch must error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("tax", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != d.NumRows() || back.NumCols() != d.NumCols() {
+		t.Fatalf("round trip shape %dx%d", back.NumRows(), back.NumCols())
+	}
+	for i := range d.Rows {
+		for j := range d.Rows[i] {
+			if back.Value(i, j) != d.Value(i, j) {
+				t.Errorf("cell (%d,%d) = %q, want %q", i, j, back.Value(i, j), d.Value(i, j))
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("x", strings.NewReader("")); err == nil {
+		t.Error("empty csv must error")
+	}
+}
+
+// Property: serialization of any dataset with quoted/comma-laden values
+// survives a CSV round trip.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(a, b, c string) bool {
+		if strings.ContainsAny(a+b+c, "\r") {
+			return true // csv normalizes \r\n; out of scope
+		}
+		d := New("p", []string{"x", "y", "z"})
+		d.AppendRow([]string{a, b, c})
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV("p", &buf)
+		if err != nil {
+			return false
+		}
+		return back.Value(0, 0) == a && back.Value(0, 1) == b && back.Value(0, 2) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ErrorRate is 0 for identical datasets and monotone in the
+// number of corrupted cells.
+func TestErrorRateProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		clean := sample()
+		dirty := clean.Clone()
+		k := int(n) % 12
+		cnt := 0
+		for i := 0; i < clean.NumRows() && cnt < k; i++ {
+			for j := 0; j < clean.NumCols() && cnt < k; j++ {
+				dirty.SetValue(i, j, dirty.Value(i, j)+"~corrupt~")
+				cnt++
+			}
+		}
+		rate, err := ErrorRate(dirty, clean)
+		return err == nil && rate == float64(k)/12.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+package zeroed
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/criteria"
+	"repro/internal/feature"
+	"repro/internal/llm"
+	"repro/internal/nn"
+	"repro/internal/table"
+)
+
+// Detect runs the full ZeroED pipeline on a dirty dataset and returns
+// per-cell error predictions. It never consults ground truth.
+func (dt *Detector) Detect(d *table.Dataset) (*Result, error) {
+	start := time.Now()
+	cfg := dt.cfg
+	if d.NumRows() == 0 || d.NumCols() == 0 {
+		return nil, fmt.Errorf("zeroed: empty dataset")
+	}
+	client := llm.NewClient(cfg.Profile)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{}
+
+	// ---- Step 1: feature representation with criteria reasoning ----
+	ext := feature.NewExtractor(d, feature.Config{
+		EmbedDim:          cfg.EmbedDim,
+		CorrK:             cfg.CorrK,
+		DisableCorrelated: cfg.DisableCorrelated,
+		DisableCriteria:   cfg.DisableCriteria,
+	})
+	m := d.NumCols()
+	// The "w/o Corr." ablation removes correlated-attribute calculation
+	// everywhere: features, criteria reasoning, and guideline generation.
+	corrFor := func(j int) []int {
+		if cfg.DisableCorrelated {
+			return nil
+		}
+		return ext.Correlated(j)
+	}
+	critSets := make([]*criteria.Set, m)
+	if !cfg.DisableCriteria {
+		// All criteria must exist before any clustering: attribute j's
+		// features embed the criteria bits of its correlated attributes.
+		parallelFor(m, cfg.Workers, func(j int) {
+			arng := dt.attrRng(j, 1)
+			sample := randomRows(arng, d.NumRows(), 30)
+			critSets[j] = client.GenerateCriteria(d, j, sample, corrFor(j))
+			ext.SetCriteria(j, critSets[j])
+		})
+		for j := 0; j < m; j++ {
+			res.CriteriaCount += len(critSets[j].Criteria)
+		}
+	}
+
+	// ---- Step 2: representative sampling + holistic LLM labeling ----
+	n := d.NumRows()
+	clustersPerAttr := int(float64(n) * cfg.LabelRate)
+	if clustersPerAttr < 2 {
+		clustersPerAttr = 2
+	}
+	if clustersPerAttr > cfg.MaxClustersPerAttr {
+		clustersPerAttr = cfg.MaxClustersPerAttr
+	}
+	// On large datasets, cluster a seeded row sample instead of the whole
+	// column; sampling/labeling/propagation live inside the sample,
+	// prediction still covers every cell.
+	clusterRows := seq(n)
+	if n > cfg.ClusterSampleRows {
+		clusterRows = randomRows(rng, n, cfg.ClusterSampleRows)
+		sortInts(clusterRows)
+	}
+	if clustersPerAttr > len(clusterRows)/2 {
+		clustersPerAttr = max(2, len(clusterRows)/2)
+	}
+
+	labeled := make([][]cellLabel, m) // LLM-labeled samples per attribute
+	clusterings := make([]*cluster.Result, m)
+	guidelines := make([]*llm.Guideline, m)
+	sampledPerAttr := make([]int, m)
+	parallelFor(m, cfg.Workers, func(j int) {
+		arng := dt.attrRng(j, 2)
+		feats := ext.ColumnFeatures(j, clusterRows)
+		var cl *cluster.Result
+		switch cfg.Sampler {
+		case SamplerRandom:
+			cl = cluster.RandomSample(feats, clustersPerAttr, arng)
+		case SamplerAgglomerative:
+			cl = cluster.Agglomerative(feats, clustersPerAttr, arng, 4*clustersPerAttr)
+		default:
+			cl = cluster.KMeans(feats, clustersPerAttr, arng, 8)
+		}
+		clusterings[j] = cl
+		samples := cl.CentroidSamples(feats) // indices into clusterRows
+		sampledPerAttr[j] = len(samples)
+
+		sampleRows := make([]int, len(samples))
+		for i, s := range samples {
+			sampleRows[i] = clusterRows[s]
+		}
+		if !cfg.DisableGuidelines {
+			prof := client.DistributionAnalysis(d, j, randomRows(arng, n, 20))
+			guidelines[j] = client.GenerateGuideline(d, j, corrFor(j), prof, samplesHead(sampleRows, 20))
+		}
+		for s := 0; s < len(sampleRows); s += cfg.BatchSize {
+			e := min(s+cfg.BatchSize, len(sampleRows))
+			batch := sampleRows[s:e]
+			verdicts := client.LabelBatch(d, j, batch, guidelines[j])
+			for bi, row := range batch {
+				labeled[j] = append(labeled[j], cellLabel{row: row, col: j, isErr: verdicts[bi]})
+			}
+		}
+	})
+	for _, s := range sampledPerAttr {
+		res.SampledCells += s
+	}
+
+	// ---- Step 3: training data construction (Algorithm 1) ----
+	training, synth := dt.buildTrainingData(d, client, ext, critSets, clusterings, clusterRows, labeled, rng)
+	res.AugmentedErrs = len(synth)
+	res.TrainingCells = len(training) + len(synth)
+
+	// ---- Step 4: detector training and prediction ----
+	X := make([][]float64, 0, len(training)+len(synth))
+	y := make([]float64, 0, len(training)+len(synth))
+	for _, c := range training {
+		X = append(X, ext.Feature(c.row, c.col))
+		if c.isErr {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	for _, s := range synth {
+		X = append(X, featureWithSubstitution(ext, d, s))
+		y = append(y, 1)
+	}
+
+	pred := newMask(d)
+	scores := make([][]float64, d.NumRows())
+	if hasBothClasses(y) {
+		mlp := nn.New(ext.Dim(), cfg.MLP)
+		if _, err := mlp.Train(X, y); err != nil {
+			return nil, fmt.Errorf("zeroed: training detector: %w", err)
+		}
+		parallelFor(d.NumRows(), cfg.Workers, func(i int) {
+			rowFeats := ext.RowFeatures(i)
+			scores[i] = mlp.PredictBatch(rowFeats)
+			for j, p := range scores[i] {
+				pred[i][j] = p >= cfg.Threshold
+			}
+		})
+	} else {
+		// Degenerate labeling (all clean or all dirty): fall back to the
+		// labels themselves propagated through clusters.
+		for _, c := range training {
+			pred[c.row][c.col] = c.isErr
+		}
+		for i := range scores {
+			scores[i] = make([]float64, d.NumCols())
+		}
+	}
+
+	res.Pred = pred
+	res.Scores = scores
+	res.Usage = client.Usage()
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// featureWithSubstitution computes the feature vector of a synthetic
+// augmented-error cell by temporarily substituting the value in place.
+// Frequency tables keep their original counts, which is the realistic
+// treatment: a novel error value has (near-)zero observed frequency.
+func featureWithSubstitution(ext *feature.Extractor, d *table.Dataset, s syntheticCell) []float64 {
+	orig := d.Value(s.row, s.col)
+	d.SetValue(s.row, s.col, s.value)
+	f := ext.Feature(s.row, s.col)
+	d.SetValue(s.row, s.col, orig)
+	return f
+}
+
+func hasBothClasses(y []float64) bool {
+	var pos, neg bool
+	for _, v := range y {
+		if v > 0.5 {
+			pos = true
+		} else {
+			neg = true
+		}
+		if pos && neg {
+			return true
+		}
+	}
+	return false
+}
+
+// randomRows draws k distinct row indices (or all rows when k >= n).
+func randomRows(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		return seq(n)
+	}
+	return rng.Perm(n)[:k]
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func samplesHead(xs []int, k int) []int {
+	if len(xs) > k {
+		return xs[:k]
+	}
+	return xs
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+// attrRng derives the deterministic random source for one attribute and
+// pipeline phase, so parallel execution and sequential execution produce
+// identical results.
+func (dt *Detector) attrRng(attr, phase int) *rand.Rand {
+	return rand.New(rand.NewSource(dt.cfg.Seed + int64(attr)*7919 + int64(phase)*104729))
+}
+
+// parallelFor runs fn(0..n-1) across at most workers goroutines. Every
+// iteration owns disjoint state (per-attribute slots or per-row outputs),
+// so no synchronization beyond the join is needed.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

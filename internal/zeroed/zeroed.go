@@ -1,0 +1,178 @@
+// Package zeroed implements the paper's primary contribution: the ZeroED
+// hybrid zero-shot error detection framework (Section III). The pipeline
+// runs in four steps — error-reason-aware feature representation,
+// clustering-based sampling with holistic LLM labeling, training-data
+// construction with mutual verification and augmentation (Algorithm 1),
+// and MLP detector training — and requires no pre-existing labels or
+// criteria. The LLM substrate is injectable (see internal/llm), and every
+// design choice the paper ablates is a configuration flag.
+package zeroed
+
+import (
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/nn"
+	"repro/internal/table"
+)
+
+// Sampler selects the clustering strategy for representative sampling
+// (the Table VI comparison).
+type Sampler string
+
+// Sampling strategies.
+const (
+	SamplerKMeans        Sampler = "kmeans"
+	SamplerAgglomerative Sampler = "agc"
+	SamplerRandom        Sampler = "random"
+)
+
+// Config controls a ZeroED run. Zero values select the paper's defaults.
+type Config struct {
+	// LabelRate is the fraction of tuples sampled per attribute for LLM
+	// labeling; the per-attribute cluster count is rows*LabelRate
+	// (default 0.05, the paper's default).
+	LabelRate float64
+	// CorrK is the number of correlated attributes (default 2).
+	CorrK int
+	// EmbedDim is the semantic embedding width (default 32).
+	EmbedDim int
+	// Sampler selects the sampling strategy (default k-means).
+	Sampler Sampler
+	// Profile selects the simulated LLM (default Qwen2.5-72b).
+	Profile llm.Profile
+	// BatchSize is the labeling batch size in tuples (default 20).
+	BatchSize int
+	// MLP configures the detector network.
+	MLP nn.Config
+	// Threshold is the error-probability decision threshold (default 0.4;
+	// the MLP is precision-heavy, so a sub-0.5 threshold trades surplus
+	// precision for recall).
+	Threshold float64
+	// Seed drives sampling and training randomness.
+	Seed int64
+	// Workers bounds pipeline parallelism (default GOMAXPROCS). Results
+	// are identical regardless of worker count: every stochastic step uses
+	// a per-attribute derived seed.
+	Workers int
+
+	// MaxPropagatedPerAttr caps in-cluster label propagation per attribute
+	// to bound training-set size on large datasets (default 2000).
+	MaxPropagatedPerAttr int
+	// ClusterSampleRows bounds the rows participating in clustering and
+	// propagation per attribute (default 6000). On larger datasets a
+	// seeded row sample is clustered instead of the full column; labeling,
+	// propagation, and training stay within the sample while prediction
+	// covers every cell. This keeps the k-means cost independent of
+	// dataset size, which is what makes Tax-scale runs tractable.
+	ClusterSampleRows int
+	// MaxClustersPerAttr caps the per-attribute cluster count so the LLM
+	// labeling budget stays bounded on very large datasets (default 500).
+	MaxClustersPerAttr int
+	// AugmentPerAttr caps LLM error augmentation per attribute
+	// (default 300).
+	AugmentPerAttr int
+
+	// Ablations (Table IV).
+	DisableGuidelines   bool // w/o Guid.: label without ED guidelines
+	DisableCriteria     bool // w/o Crit.: no criteria reasoning features
+	DisableCorrelated   bool // w/o Corr.: no correlated-attribute context
+	DisableVerification bool // w/o Veri.: no refinement/verification/augmentation
+	DisablePropagation  bool // extra ablation: train on LLM labels only
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.LabelRate <= 0 {
+		c.LabelRate = 0.05
+	}
+	if c.CorrK <= 0 {
+		c.CorrK = 2
+	}
+	if c.EmbedDim <= 0 {
+		c.EmbedDim = 32
+	}
+	if c.Sampler == "" {
+		c.Sampler = SamplerKMeans
+	}
+	if c.Profile.Name == "" {
+		c.Profile = llm.Qwen72B
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 20
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.4
+	}
+	if c.MaxPropagatedPerAttr <= 0 {
+		c.MaxPropagatedPerAttr = 2000
+	}
+	if c.ClusterSampleRows <= 0 {
+		c.ClusterSampleRows = 6000
+	}
+	if c.MaxClustersPerAttr <= 0 {
+		c.MaxClustersPerAttr = 500
+	}
+	if c.AugmentPerAttr <= 0 {
+		c.AugmentPerAttr = 300
+	}
+	if c.MLP.Hidden1 == 0 {
+		c.MLP = nn.DefaultConfig()
+		c.MLP.Epochs = 12
+	}
+	c.MLP.Seed = c.Seed + 101
+	return c
+}
+
+// Result is the outcome of one detection run.
+type Result struct {
+	// Pred[i][j] is true when cell (i,j) is predicted erroneous.
+	Pred [][]bool
+	// Scores[i][j] is the MLP's error probability (present when the run
+	// reaches detector training).
+	Scores [][]float64
+	// Usage is the LLM token accounting for the whole run.
+	Usage llm.Usage
+	// Runtime is the end-to-end wall-clock duration.
+	Runtime time.Duration
+	// Diagnostics.
+	SampledCells  int
+	TrainingCells int
+	AugmentedErrs int
+	CriteriaCount int
+}
+
+// Detector runs the ZeroED pipeline.
+type Detector struct {
+	cfg Config
+}
+
+// New creates a detector; unset config fields assume the paper's defaults.
+func New(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (dt *Detector) Config() Config { return dt.cfg }
+
+// cellLabel is one labeled training cell.
+type cellLabel struct {
+	row, col int
+	isErr    bool
+}
+
+// syntheticCell is an augmented error: a clean row with one substituted
+// dirty value, used only as a training example.
+type syntheticCell struct {
+	row, col int
+	value    string
+}
+
+// newMask allocates a rows x cols boolean matrix.
+func newMask(d *table.Dataset) [][]bool {
+	m := make([][]bool, d.NumRows())
+	for i := range m {
+		m[i] = make([]bool, d.NumCols())
+	}
+	return m
+}
