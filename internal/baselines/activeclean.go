@@ -50,23 +50,32 @@ func (b *ActiveClean) Detect(d *table.Dataset) ([][]bool, error) {
 
 	// Record featurization: per-record aggregates of simple column
 	// statistics (the "simple feature extraction method" the paper calls
-	// out).
+	// out). Frequencies and null-likeness resolve by value ID.
 	cf := stats.NewColumnFrequencies(d)
+	cols := d.NumCols()
+	nullish := make([][]bool, cols)
+	for j := 0; j < cols; j++ {
+		dict := d.Dict(j)
+		nullish[j] = make([]bool, len(dict))
+		for id, v := range dict {
+			nullish[j][id] = text.IsNullLike(v)
+		}
+	}
 	featOf := func(i int) []float64 {
-		row := d.Row(i)
 		var nulls, rareVals, rarePats float64
-		for j, v := range row {
-			if text.IsNullLike(v) {
+		for j := 0; j < cols; j++ {
+			id := d.ValueID(i, j)
+			if nullish[j][id] {
 				nulls++
 			}
-			if cf.ValueFrequency(j, v) < 0.01 {
+			if cf.ValueFrequencyID(j, id) < 0.01 {
 				rareVals++
 			}
-			if cf.PatternFrequency(j, v, text.L3) < 0.01 {
+			if cf.PatternFrequencyID(j, id, text.L3) < 0.01 {
 				rarePats++
 			}
 		}
-		m := float64(len(row))
+		m := float64(cols)
 		return []float64{1, nulls / m, rareVals / m, rarePats / m}
 	}
 

@@ -1,6 +1,8 @@
 package baselines
 
 import (
+	"strings"
+
 	"repro/internal/stats"
 	"repro/internal/table"
 	"repro/internal/text"
@@ -13,6 +15,9 @@ import (
 // that manifest as statistical anomalies (Table I: pattern violations,
 // rule-ish rarities, outliers — not missing values or semantic typos that
 // happen to be frequent).
+//
+// Verdicts depend only on a cell's value, so each model is evaluated once
+// per unique value (dictionary entry) and broadcast to cells by value ID.
 type DBoost struct {
 	// GaussStd is the Gaussian threshold in standard deviations
 	// (default 3).
@@ -33,40 +38,94 @@ func (b *DBoost) Detect(d *table.Dataset) ([][]bool, error) {
 	pred := newMask(d)
 	n := d.NumRows()
 	for j := 0; j < d.NumCols(); j++ {
-		col := d.Column(j)
-		if text.IsNumericColumn(col, 0.9) {
-			b.detectNumeric(col, j, pred)
-			continue
+		counts := stats.CountsByID(d, j)
+		nullish := stats.NullishByID(d, j)
+		parsedOf, okOf, numeric := numericByID(d, j, counts, 0.9)
+		var dirty []bool
+		if numeric {
+			dirty = b.verdictNumeric(d, j, nullish, parsedOf, okOf)
+		} else {
+			dirty = b.verdictHistogram(d, j, n, counts, nullish)
 		}
-		b.detectHistogram(col, j, n, pred)
+		for i, id := range d.ColumnIDs(j) {
+			if dirty[id] {
+				pred[i][j] = true
+			}
+		}
 	}
 	return pred, nil
 }
 
-func (b *DBoost) detectNumeric(col []string, j int, pred [][]bool) {
-	nums := stats.NumericColumn(col)
-	mean, std := stats.MeanStd(nums)
-	for i, v := range col {
-		if text.IsNullLike(v) {
-			continue // dBoost does not model missing values (Table I)
-		}
-		f, ok := text.ParseFloat(v)
-		if !ok {
-			pred[i][j] = true // non-numeric intruder in a numeric model
-			continue
-		}
-		if std > 0 && (f > mean+b.GaussStd*std || f < mean-b.GaussStd*std) {
-			pred[i][j] = true
+// numericByID is text.IsNumericColumn evaluated per unique value with
+// occurrence weights: it returns the per-dict-entry parse results plus
+// whether at least frac of the column's non-blank cells parse as numbers.
+// Blankness mirrors IsNumericColumn's strings.TrimSpace test exactly.
+func numericByID(d *table.Dataset, j int, counts []int, frac float64) (parsedOf []float64, okOf []bool, numeric bool) {
+	dict := d.Dict(j)
+	parsedOf = make([]float64, len(dict))
+	okOf = make([]bool, len(dict))
+	parsed, nonEmpty := 0, 0
+	for id, v := range dict {
+		parsedOf[id], okOf[id] = text.ParseFloat(v)
+		if counts[id] > 0 && strings.TrimSpace(v) != "" {
+			nonEmpty += counts[id]
+			if okOf[id] {
+				parsed += counts[id]
+			}
 		}
 	}
+	return parsedOf, okOf, nonEmpty > 0 && float64(parsed)/float64(nonEmpty) >= frac
 }
 
-func (b *DBoost) detectHistogram(col []string, j, n int, pred [][]bool) {
-	valCount := map[string]int{}
-	patCount := map[string]int{}
-	for _, v := range col {
-		valCount[v]++
-		patCount[text.Generalize(v, text.L3)]++
+// verdictNumeric computes per-unique-value Gaussian verdicts for a numeric
+// column. The mean/std accumulate over row-ordered values so results match
+// the row-major implementation bit-for-bit.
+func (b *DBoost) verdictNumeric(d *table.Dataset, j int, nullish []bool, parsedOf []float64, okOf []bool) []bool {
+	var nums []float64
+	for _, id := range d.ColumnIDs(j) {
+		if okOf[id] {
+			nums = append(nums, parsedOf[id])
+		}
+	}
+	mean, std := stats.MeanStd(nums)
+	dirty := make([]bool, len(nullish))
+	for id := range dirty {
+		if nullish[id] {
+			continue // dBoost does not model missing values (Table I)
+		}
+		if !okOf[id] {
+			dirty[id] = true // non-numeric intruder in a numeric model
+			continue
+		}
+		f := parsedOf[id]
+		if std > 0 && (f > mean+b.GaussStd*std || f < mean-b.GaussStd*std) {
+			dirty[id] = true
+		}
+	}
+	return dirty
+}
+
+// verdictHistogram computes per-unique-value rarity verdicts from the
+// value and L3-pattern histograms.
+func (b *DBoost) verdictHistogram(d *table.Dataset, j, n int, counts []int, nullish []bool) []bool {
+	dict := d.Dict(j)
+	patIndex := map[string]int{}
+	patOf := make([]int, len(dict))
+	var patCounts []int
+	distinct := 0
+	for id, v := range dict {
+		p := text.Generalize(v, text.L3)
+		pid, ok := patIndex[p]
+		if !ok {
+			pid = len(patCounts)
+			patIndex[p] = pid
+			patCounts = append(patCounts, 0)
+		}
+		patOf[id] = pid
+		patCounts[pid] += counts[id]
+		if counts[id] > 0 {
+			distinct++
+		}
 	}
 	minCount := int(b.HistEpsilon * float64(n))
 	if minCount < 1 {
@@ -74,15 +133,17 @@ func (b *DBoost) detectHistogram(col []string, j, n int, pred [][]bool) {
 	}
 	// High-cardinality columns (names, titles) carry no histogram signal on
 	// raw values; only the pattern histogram applies there.
-	highCard := float64(len(valCount)) > 0.5*float64(n)
-	for i, v := range col {
-		if text.IsNullLike(v) {
+	highCard := float64(distinct) > 0.5*float64(n)
+	dirty := make([]bool, len(dict))
+	for id := range dirty {
+		if nullish[id] {
 			continue
 		}
-		rareVal := !highCard && valCount[v] <= minCount
-		rarePat := patCount[text.Generalize(v, text.L3)] <= minCount
-		if rarePat || (rareVal && patCount[text.Generalize(v, text.L3)] <= 3*minCount) {
-			pred[i][j] = true
+		rareVal := !highCard && counts[id] <= minCount
+		pc := patCounts[patOf[id]]
+		if pc <= minCount || (rareVal && pc <= 3*minCount) {
+			dirty[id] = true
 		}
 	}
+	return dirty
 }

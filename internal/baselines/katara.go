@@ -32,16 +32,20 @@ func (b *Katara) Detect(d *table.Dataset) ([][]bool, error) {
 		return pred, nil
 	}
 	for j := 0; j < d.NumCols(); j++ {
-		col := d.Column(j)
-		typ, cov := b.KB.BestType(col)
+		typ, cov := b.KB.BestType(d.Column(j))
 		if typ == "" || cov < b.MinCoverage {
 			continue
 		}
-		for i, v := range col {
-			if text.IsNullLike(v) {
-				continue // KATARA does not model missing values (Table I)
-			}
-			if !b.KB.Contains(typ, v) {
+		// KB membership depends only on the value: test each unique value
+		// once, broadcast by value ID.
+		dict := d.Dict(j)
+		bad := make([]bool, len(dict))
+		for id, v := range dict {
+			// KATARA does not model missing values (Table I).
+			bad[id] = !text.IsNullLike(v) && !b.KB.Contains(typ, v)
+		}
+		for i, id := range d.ColumnIDs(j) {
+			if bad[id] {
 				pred[i][j] = true
 			}
 		}

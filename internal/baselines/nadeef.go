@@ -56,26 +56,27 @@ func (b *Nadeef) Detect(d *table.Dataset) ([][]bool, error) {
 	}
 
 	// Not-null rules on covered attributes.
-	for i := 0; i < d.NumRows(); i++ {
-		for j := range covered {
-			if text.IsNullLike(d.Value(i, j)) {
+	for j := range covered {
+		nullish := stats.NullishByID(d, j)
+		for i, id := range d.ColumnIDs(j) {
+			if nullish[id] {
 				pred[i][j] = true
 			}
 		}
 	}
 
 	// FD rules: within each determinant group, dependent values deviating
-	// from the group majority are violations.
+	// from the group majority are violations. Expected dependent values are
+	// resolved to IDs once per determinant pool entry.
 	for _, p := range b.FDPairs {
 		det, dep := p[0], p[1]
 		fd := stats.FindFD(d, det, dep)
-		for i := 0; i < d.NumRows(); i++ {
-			dv := d.Value(i, det)
-			if text.IsNullLike(dv) {
-				continue
-			}
-			want, ok := fd.Mapping[dv]
-			if ok && d.Value(i, dep) != want && !text.IsNullLike(d.Value(i, dep)) {
+		wantID := stats.ExpectedDepIDs(d, det, dep, fd.Mapping, true)
+		depNullish := stats.NullishByID(d, dep)
+		detIDs, depIDs := d.ColumnIDs(det), d.ColumnIDs(dep)
+		for i := range detIDs {
+			w := wantID[detIDs[i]]
+			if w != stats.DepNoEvidence && int64(depIDs[i]) != w && !depNullish[depIDs[i]] {
 				// NADEEF marks every cell participating in the violation;
 				// it cannot localize which side is wrong, which is exactly
 				// why the paper finds rule-based precision limited.
@@ -86,7 +87,8 @@ func (b *Nadeef) Detect(d *table.Dataset) ([][]bool, error) {
 	}
 
 	// Pattern rules: covered attributes with one overwhelmingly dominant
-	// shape get a format regex; deviants are violations.
+	// shape get a format regex; deviants are violations. Shapes are
+	// computed once per unique value.
 	var attrs []int
 	for j := 0; j < d.NumCols(); j++ {
 		if covered[j] {
@@ -94,15 +96,21 @@ func (b *Nadeef) Detect(d *table.Dataset) ([][]bool, error) {
 		}
 	}
 	for _, j := range attrs {
-		col := d.Column(j)
+		dict := d.Dict(j)
+		counts := stats.CountsByID(d, j)
+		nullish := stats.NullishByID(d, j)
+		shapeOfID := make([]string, len(dict))
 		shapeCount := map[string]int{}
 		nonNull := 0
-		for _, v := range col {
-			if text.IsNullLike(v) {
+		for id, v := range dict {
+			if nullish[id] {
 				continue
 			}
-			nonNull++
-			shapeCount[shapeOf(v)]++
+			shapeOfID[id] = shapeOf(v)
+			if counts[id] > 0 {
+				nonNull += counts[id]
+				shapeCount[shapeOfID[id]] += counts[id]
+			}
 		}
 		if nonNull == 0 {
 			continue
@@ -116,8 +124,8 @@ func (b *Nadeef) Detect(d *table.Dataset) ([][]bool, error) {
 		if float64(bestC)/float64(nonNull) < b.PatternCoverage {
 			continue // no credible manual pattern for this attribute
 		}
-		for i, v := range col {
-			if !text.IsNullLike(v) && shapeOf(v) != bestShape {
+		for i, id := range d.ColumnIDs(j) {
+			if !nullish[id] && shapeOfID[id] != bestShape {
 				pred[i][j] = true
 			}
 		}

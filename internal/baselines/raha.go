@@ -142,57 +142,100 @@ func bitKey(bits []float64) string {
 }
 
 // strategyFeatures runs Raha's strategy library and returns, for each cell,
-// the bit vector of strategy verdicts.
+// the bit vector of strategy verdicts. All strategies except the FD check
+// depend only on the cell's value, so their verdicts are computed once per
+// unique value (dictionary entry) and broadcast to cells by value ID; the
+// FD check compares precomputed expected-value IDs per row.
 func strategyFeatures(d *table.Dataset) [][][]float64 {
 	n, m := d.NumRows(), d.NumCols()
-	type colModel struct {
-		valCount map[string]int
-		patCount map[string]int
-		mean     float64
-		std      float64
-		numeric  bool
-		frequent []string
-	}
-	models := make([]colModel, m)
+	const numStrategies = 11
+
+	// Per-column, per-unique-value verdicts for strategies 0..9.
+	valueBits := make([][][numStrategies]float64, m)
 	for j := 0; j < m; j++ {
-		col := d.Column(j)
-		cm := colModel{valCount: map[string]int{}, patCount: map[string]int{}}
-		for _, v := range col {
-			cm.valCount[v]++
-			cm.patCount[text.Generalize(v, text.L3)]++
+		dict := d.Dict(j)
+		counts := stats.CountsByID(d, j)
+		nullish := stats.NullishByID(d, j)
+		parsedOf, okOf, numeric := numericByID(d, j, counts, 0.9)
+		patCount := map[string]int{}
+		patOf := make([]string, len(dict))
+		for id, v := range dict {
+			patOf[id] = text.Generalize(v, text.L3)
+			patCount[patOf[id]] += counts[id]
 		}
-		if text.IsNumericColumn(col, 0.9) {
-			cm.numeric = true
-			cm.mean, cm.std = stats.MeanStd(stats.NumericColumn(col))
+		var mean, std float64
+		if numeric {
+			var nums []float64
+			for _, id := range d.ColumnIDs(j) {
+				if okOf[id] {
+					nums = append(nums, parsedOf[id])
+				}
+			}
+			mean, std = stats.MeanStd(nums)
 		}
 		minFreq := n / 100
 		if minFreq < 3 {
 			minFreq = 3
 		}
-		for v, c := range cm.valCount {
-			if c >= minFreq && !text.IsNullLike(v) {
-				cm.frequent = append(cm.frequent, v)
+		var frequent []string
+		for id, v := range dict {
+			if counts[id] >= minFreq && !nullish[id] {
+				frequent = append(frequent, v)
 			}
 		}
-		sortStrs(cm.frequent)
-		if len(cm.frequent) > 100 {
-			cm.frequent = cm.frequent[:100]
+		sortStrs(frequent)
+		if len(frequent) > 100 {
+			frequent = frequent[:100]
 		}
-		models[j] = cm
+
+		bits := make([][numStrategies]float64, len(dict))
+		for id, v := range dict {
+			f := &bits[id]
+			s := 0
+			mark := func(cond bool) {
+				if cond {
+					f[s] = 1
+				}
+				s++
+			}
+			mark(nullish[id])
+			for _, eps := range []float64{0.001, 0.005, 0.02} {
+				mark(float64(counts[id]) <= eps*float64(n))
+			}
+			for _, eps := range []float64{0.001, 0.005, 0.02} {
+				mark(float64(patCount[patOf[id]]) <= eps*float64(n))
+			}
+			if numeric {
+				mark(!okOf[id] && !nullish[id])
+				mark(okOf[id] && std > 0 && (parsedOf[id] > mean+3*std || parsedOf[id] < mean-3*std))
+			} else {
+				s += 2
+			}
+			// Typo proximity to a frequent value: once per unique value,
+			// not once per cell.
+			typo := false
+			if !nullish[id] && counts[id] <= 2 {
+				for _, fv := range frequent {
+					if dist := text.Levenshtein(v, fv); dist > 0 && dist <= 2 {
+						typo = true
+						break
+					}
+				}
+			}
+			mark(typo)
+		}
+		valueBits[j] = bits
 	}
 
-	// Mined FDs for the rule-violation strategies.
+	// Mined FDs for the rule-violation strategy, with expected dependent
+	// value IDs resolved per determinant value ID.
 	type fdRule struct {
 		det, dep int
-		mapping  map[string]string
+		wantID   []int64 // stats.ExpectedDepIDs sentinels
 	}
 	var fds []fdRule
 	for det := 0; det < m; det++ {
-		distinct := map[string]bool{}
-		for _, v := range d.Column(det) {
-			distinct[v] = true
-		}
-		if float64(len(distinct)) > 0.5*float64(n) {
+		if float64(d.DistinctCount(det)) > 0.5*float64(n) {
 			continue
 		}
 		for dep := 0; dep < m; dep++ {
@@ -201,65 +244,29 @@ func strategyFeatures(d *table.Dataset) [][][]float64 {
 			}
 			fd := stats.FindFD(d, det, dep)
 			if fd.Support >= 0.95 && len(fd.Mapping) >= 2 {
-				fds = append(fds, fdRule{det, dep, fd.Mapping})
+				fds = append(fds, fdRule{det, dep, stats.ExpectedDepIDs(d, det, dep, fd.Mapping, false)})
 			}
 		}
 	}
 
-	const numStrategies = 11
 	out := make([][][]float64, n)
+	flat := make([]float64, n*m*numStrategies)
 	for i := 0; i < n; i++ {
 		out[i] = make([][]float64, m)
-		row := d.Row(i)
 		for j := 0; j < m; j++ {
-			v := row[j]
-			cm := &models[j]
-			f := make([]float64, numStrategies)
-			s := 0
-			mark := func(cond bool) {
-				if cond {
-					f[s] = 1
-				}
-				s++
-			}
-			mark(text.IsNullLike(v))
-			for _, eps := range []float64{0.001, 0.005, 0.02} {
-				mark(float64(cm.valCount[v]) <= eps*float64(n))
-			}
-			pat := text.Generalize(v, text.L3)
-			for _, eps := range []float64{0.001, 0.005, 0.02} {
-				mark(float64(cm.patCount[pat]) <= eps*float64(n))
-			}
-			if cm.numeric {
-				x, ok := text.ParseFloat(v)
-				mark(!ok && !text.IsNullLike(v))
-				mark(ok && cm.std > 0 && (x > cm.mean+3*cm.std || x < cm.mean-3*cm.std))
-			} else {
-				s += 2
-			}
-			// Typo proximity to a frequent value.
-			typo := false
-			if !text.IsNullLike(v) && cm.valCount[v] <= 2 {
-				for _, fv := range cm.frequent {
-					if dist := text.Levenshtein(v, fv); dist > 0 && dist <= 2 {
-						typo = true
-						break
-					}
-				}
-			}
-			mark(typo)
-			// FD violation under any mined rule.
-			viol := false
+			f := flat[(i*m+j)*numStrategies : (i*m+j+1)*numStrategies]
+			id := d.ValueID(i, j)
+			copy(f, valueBits[j][id][:])
 			for _, fd := range fds {
 				if fd.dep != j {
 					continue
 				}
-				if want, ok := fd.mapping[row[fd.det]]; ok && v != want {
-					viol = true
+				w := fd.wantID[d.ValueID(i, fd.det)]
+				if w != stats.DepNoEvidence && int64(id) != w {
+					f[numStrategies-1] = 1
 					break
 				}
 			}
-			mark(viol)
 			out[i][j] = f
 		}
 	}

@@ -79,6 +79,11 @@ func (c *Criterion) String() string {
 	return fmt.Sprintf("%s(%s)", c.Name, c.Attr)
 }
 
+// RowDependent reports whether the criterion's verdict depends on other
+// attributes of the tuple (true only for FD criteria). Verdicts of
+// row-independent criteria can be memoized per unique value.
+func (c *Criterion) RowDependent() bool { return c.Kind == KindFD }
+
 // Eval executes the criterion against one tuple (as attribute→value map).
 // It returns true when the cell passes the check. Missing-value handling:
 // all kinds except NotNull treat null-like values as passing, so that the
@@ -86,6 +91,41 @@ func (c *Criterion) String() string {
 // every criterion.
 func (c *Criterion) Eval(row map[string]string, attr string) bool {
 	v := row[attr]
+	if c.Kind == KindFD && !text.IsNullLike(v) {
+		return c.evalFD(v, row[c.DetAttr])
+	}
+	return c.EvalValue(v)
+}
+
+// EvalAt executes the criterion against tuple row of d, where col is the
+// index of the criterion's attribute. It is the index-based evaluation
+// hook: equivalent to Eval(d.RowMap(row), attr) but allocation-free, which
+// matters because criteria run once per cell on the feature hot path.
+func (c *Criterion) EvalAt(d *table.Dataset, row, col int) bool {
+	v := d.Value(row, col)
+	if c.Kind == KindFD && !text.IsNullLike(v) {
+		det := ""
+		if dc := d.ColIndex(c.DetAttr); dc >= 0 {
+			det = d.Value(row, dc)
+		}
+		return c.evalFD(v, det)
+	}
+	return c.EvalValue(v)
+}
+
+func (c *Criterion) evalFD(v, det string) bool {
+	want, ok := c.Mapping[det]
+	if !ok {
+		return true // unseen determinant: no evidence of violation
+	}
+	return v == want
+}
+
+// EvalValue executes the criterion against a bare value, ignoring tuple
+// context. For every kind except FD this is the complete verdict; for FD it
+// is the null-like fast path (nulls pass). Per-value-ID memo tables are
+// built from this.
+func (c *Criterion) EvalValue(v string) bool {
 	if c.Kind == KindNotNull {
 		return !text.IsNullLike(v)
 	}
@@ -103,13 +143,6 @@ func (c *Criterion) Eval(row map[string]string, attr string) bool {
 			return false
 		}
 		return f >= c.Lo && f <= c.Hi
-	case KindFD:
-		det := row[c.DetAttr]
-		want, ok := c.Mapping[det]
-		if !ok {
-			return true // unseen determinant: no evidence of violation
-		}
-		return v == want
 	case KindCharset:
 		for _, r := range v {
 			cls := classOf(r)
@@ -190,6 +223,22 @@ func (s *Set) PassRate(row map[string]string) float64 {
 	return float64(pass) / float64(len(s.Criteria))
 }
 
+// PassRateAt is the index-based form of PassRate: it evaluates the set
+// against tuple row of d without materializing a row map. col is the index
+// of the set's attribute.
+func (s *Set) PassRateAt(d *table.Dataset, row, col int) float64 {
+	if len(s.Criteria) == 0 {
+		return 1
+	}
+	pass := 0
+	for _, c := range s.Criteria {
+		if c.EvalAt(d, row, col) {
+			pass++
+		}
+	}
+	return float64(pass) / float64(len(s.Criteria))
+}
+
 // AccuracyOnClean evaluates one criterion against tuples believed clean and
 // returns the fraction it passes — Algorithm 1's criteria-verification
 // statistic (Lines 8-14). rows carries tuple maps; empty input yields 1.
@@ -206,12 +255,39 @@ func AccuracyOnClean(c *Criterion, attr string, rows []map[string]string) float6
 	return float64(pass) / float64(len(rows))
 }
 
+// AccuracyOnCleanAt is the index-based form of AccuracyOnClean: rows holds
+// tuple indices into d, col the criterion's attribute index.
+func AccuracyOnCleanAt(c *Criterion, d *table.Dataset, col int, rows []int) float64 {
+	if len(rows) == 0 {
+		return 1
+	}
+	pass := 0
+	for _, r := range rows {
+		if c.EvalAt(d, r, col) {
+			pass++
+		}
+	}
+	return float64(pass) / float64(len(rows))
+}
+
 // VerifySet removes criteria whose accuracy on believed-clean rows falls
 // below threshold (the paper uses 0.5), returning the surviving set.
 func VerifySet(s *Set, cleanRows []map[string]string, threshold float64) *Set {
 	out := &Set{Attr: s.Attr}
 	for _, c := range s.Criteria {
 		if AccuracyOnClean(c, s.Attr, cleanRows) >= threshold {
+			out.Criteria = append(out.Criteria, c)
+		}
+	}
+	return out
+}
+
+// VerifySetAt is the index-based form of VerifySet: cleanRows holds tuple
+// indices into d, col the set's attribute index.
+func VerifySetAt(s *Set, d *table.Dataset, col int, cleanRows []int, threshold float64) *Set {
+	out := &Set{Attr: s.Attr}
+	for _, c := range s.Criteria {
+		if AccuracyOnCleanAt(c, d, col, cleanRows) >= threshold {
 			out.Criteria = append(out.Criteria, c)
 		}
 	}

@@ -188,7 +188,10 @@ func Induce(d *table.Dataset, j int, sampleRows []int, corr []int, opt InduceOpt
 	// 7. FD criteria against correlated attributes (the Hospital
 	// MeasureCode consistency example of Fig. 4). Mappings are induced
 	// from the full dataset restricted to the sampled rows.
-	sub := table.New(d.Name, d.Attrs)
+	// Build the sample as a fresh table rather than via SubsetRows: the
+	// latter copies every column's full intern pool, which is wasteful for
+	// a ~30-row sample over Tax-scale dicts.
+	sub := table.NewWithCapacity(d.Name, d.Attrs, len(sampleRows))
 	for _, r := range sampleRows {
 		sub.AppendRow(d.Row(r))
 	}

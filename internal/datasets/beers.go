@@ -21,7 +21,7 @@ func Beers(n int, seed int64) *Bench {
 		"ID", "BeerName", "Style", "ABV", "IBU", "Ounces",
 		"BreweryID", "BreweryName", "BreweryCity", "BreweryState", "ServedIn",
 	}
-	clean := table.New("Beers", attrs)
+	clean := table.NewWithCapacity("Beers", attrs, n)
 
 	cities := sortedKeys(cityState)
 	type brewery struct{ name, city, state string }

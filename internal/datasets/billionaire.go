@@ -26,7 +26,7 @@ func Billionaire(n int, seed int64) *Bench {
 		"WorthBillions", "HowCategory", "HowIndustry", "WasFounder",
 		"Inherited", "Education", "MaritalStatus",
 	}
-	clean := table.New("Billionaire", attrs)
+	clean := table.NewWithCapacity("Billionaire", attrs, n)
 
 	countryRegion := map[string]string{
 		"United States": "North America", "Canada": "North America",

@@ -23,7 +23,7 @@ func Flights(n int, seed int64) *Bench {
 	attrs := []string{
 		"Source", "Flight", "SchedDepTime", "ActDepTime", "SchedArrTime", "ActArrTime", "Gate",
 	}
-	clean := table.New("Flights", attrs)
+	clean := table.NewWithCapacity("Flights", attrs, n)
 
 	sources := []string{"aa", "orbitz", "flightview", "travelocity", "flightaware", "mytrip"}
 	numFlights := n/len(sources) + 1

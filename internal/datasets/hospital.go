@@ -25,7 +25,7 @@ func Hospital(n int, seed int64) *Bench {
 		"MeasureName", "Score", "Sample", "StateAvg", "Quarter", "Year",
 		"Rating",
 	}
-	clean := table.New("Hospital", attrs)
+	clean := table.NewWithCapacity("Hospital", attrs, n)
 
 	zips := sortedKeys(zipCity)
 	codes := make([]string, 0, len(hospitalMeasures))

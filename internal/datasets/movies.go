@@ -22,7 +22,7 @@ func Movies(n int, seed int64) *Bench {
 		"Actor1", "Actor2", "Genre", "Duration", "Language", "Country",
 		"RatingValue", "RatingCount", "Certificate", "Studio", "Gross",
 	}
-	clean := table.New("Movies", attrs)
+	clean := table.NewWithCapacity("Movies", attrs, n)
 
 	studios := []string{"Universal", "Paramount", "Warner Bros", "Columbia", "Lionsgate", "A24", "Focus"}
 	for i := 0; i < n; i++ {

@@ -21,7 +21,7 @@ func Rayyan(n int, seed int64) *Bench {
 		"ArticleID", "Title", "Journal", "ISSN", "Volume", "Issue",
 		"Pages", "Year", "Language", "JournalAbbrev", "CreatedAt",
 	}
-	clean := table.New("Rayyan", attrs)
+	clean := table.NewWithCapacity("Rayyan", attrs, n)
 
 	jNames := sortedKeys(journals)
 	issn := map[string]string{}

@@ -26,7 +26,7 @@ func Tax(n int, seed int64) *Bench {
 		"MarriedExemp", "ChildExemp", "Education", "Occupation", "Employer",
 		"YearsEmployed", "AccountType", "Email", "DOB",
 	}
-	clean := table.New("Tax", attrs)
+	clean := table.NewWithCapacity("Tax", attrs, n)
 
 	zips := sortedKeys(zipCity)
 	occupations := []string{"Engineer", "Teacher", "Nurse", "Accountant", "Manager", "Clerk", "Analyst", "Technician"}

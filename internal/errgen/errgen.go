@@ -207,11 +207,7 @@ func mineFDPairs(d *table.Dataset) [][2]int {
 			if fd.Support >= 0.98 && len(fd.Mapping) >= 2 {
 				// Skip near-key determinants: they trivially determine
 				// everything.
-				distinct := map[string]bool{}
-				for _, v := range d.Column(det) {
-					distinct[v] = true
-				}
-				if float64(len(distinct)) < 0.5*float64(d.NumRows()) {
+				if float64(d.DistinctCount(det)) < 0.5*float64(d.NumRows()) {
 					out = append(out, [2]int{det, dep})
 				}
 			}
@@ -258,8 +254,9 @@ func NewClassifier(clean *table.Dataset) *Classifier {
 		pats := map[string]bool{}
 		vals := map[string]bool{}
 		classes := map[byte]bool{}
-		col := clean.Column(j)
-		for _, v := range col {
+		// Set-valued profiles depend only on the distinct values: one pass
+		// over the column's intern pool instead of every row.
+		for _, v := range clean.Dict(j) {
 			pats[text.Generalize(v, text.L3)] = true
 			vals[v] = true
 			for _, r := range v {
@@ -269,7 +266,7 @@ func NewClassifier(clean *table.Dataset) *Classifier {
 		c.cleanPatterns[j] = pats
 		c.cleanValues[j] = vals
 		c.cleanClasses[j] = classes
-		c.numericCol[j] = text.IsNumericColumn(col, 0.9)
+		c.numericCol[j] = text.IsNumericColumn(clean.Column(j), 0.9)
 	}
 	for _, p := range mineFDPairs(clean) {
 		c.fds = append(c.fds, stats.FindFD(clean, p[0], p[1]))

@@ -83,11 +83,15 @@ func PerType(pred [][]bool, dirty, clean *table.Dataset) (map[errgen.Type]Metric
 	tp := map[errgen.Type]int{}
 	fn := map[errgen.Type]int{}
 	for i := range truth {
+		var dirtyRow []string // materialized once per row with errors
 		for j := range truth[i] {
 			if !truth[i][j] {
 				continue
 			}
-			t := cls.Classify(dirty.Row(i), i, j)
+			if dirtyRow == nil {
+				dirtyRow = dirty.Row(i)
+			}
+			t := cls.Classify(dirtyRow, i, j)
 			if pred[i][j] {
 				tp[t]++
 			} else {

@@ -9,7 +9,17 @@ import (
 // Small-scale options keep experiment tests fast while preserving shape.
 func testOpts() Options { return Options{Scale: 0.1, Seed: 1, TaxSizes: []int{1000, 6000}} }
 
+// skipIfShort skips bench-scale experiment tests under -short: each runs
+// full multi-method pipelines and dominates the suite's runtime.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("bench-scale experiment; skipped under -short")
+	}
+}
+
 func TestTable3Shape(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	o := testOpts()
 	o.Out = &buf
@@ -32,6 +42,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestTable4AblationsDegrade(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	o := testOpts()
 	o.Out = &buf
@@ -69,6 +80,7 @@ func TestTable4AblationsDegrade(t *testing.T) {
 }
 
 func TestTable5ModelOrdering(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	o := testOpts()
 	o.Out = &buf
@@ -88,6 +100,7 @@ func TestTable5ModelOrdering(t *testing.T) {
 }
 
 func TestTable6SamplerOrdering(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	o := testOpts()
 	o.Out = &buf
@@ -109,6 +122,7 @@ func TestTable6SamplerOrdering(t *testing.T) {
 }
 
 func TestFig6RahaCurveRises(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	o := testOpts()
 	o.Out = &buf
@@ -130,6 +144,7 @@ func TestFig6RahaCurveRises(t *testing.T) {
 }
 
 func TestFig8TokenReduction(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	o := testOpts()
 	o.Out = &buf
@@ -166,6 +181,7 @@ func TestFig8TokenReduction(t *testing.T) {
 }
 
 func TestFig9LabelRateImproves(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	o := testOpts()
 	o.Out = &buf
@@ -186,6 +202,7 @@ func TestFig9LabelRateImproves(t *testing.T) {
 }
 
 func TestFig11Scenarios(t *testing.T) {
+	skipIfShort(t)
 	var buf bytes.Buffer
 	o := testOpts()
 	o.Out = &buf
@@ -208,6 +225,7 @@ func TestFig11Scenarios(t *testing.T) {
 }
 
 func TestFig7RuntimeAccounting(t *testing.T) {
+	skipIfShort(t)
 	o := testOpts()
 	o.TaxSizes = []int{300, 600}
 	res, err := Fig7(o)
@@ -238,6 +256,7 @@ func TestFig7RuntimeAccounting(t *testing.T) {
 }
 
 func TestFig10CorrSweepShape(t *testing.T) {
+	skipIfShort(t)
 	o := testOpts()
 	res, err := Fig10(o)
 	if err != nil {

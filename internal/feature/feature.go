@@ -15,15 +15,23 @@
 // The unified representation concatenates the cell's base vector with the
 // base vectors of its correlated attributes' values in the same tuple:
 // Feat(D[i,j]) = f_base(D[i,j]) ⊕ { f_base(D[i,q]) : q ∈ R_aj }.
+//
+// Every per-value quantity — embedding, pattern frequency, criteria
+// verdict — is memoized per dictionary value ID of the columnar dataset:
+// computed once per unique value in a single build pass, then read
+// lock-free from flat slices on the per-cell hot path. Steady-state
+// feature extraction (FeatureInto) performs zero allocations.
 package feature
 
 import (
+	"math/rand"
+	"sort"
+
 	"repro/internal/criteria"
 	"repro/internal/embed"
 	"repro/internal/stats"
 	"repro/internal/table"
 	"repro/internal/text"
-	"sync"
 )
 
 // MaxCriteriaFeatures is the fixed width of the criteria-adherence block.
@@ -34,6 +42,12 @@ const MaxCriteriaFeatures = 12
 // nmiSampleCap bounds the rows used for the NMI matrix; correlations
 // stabilize long before Tax-scale row counts.
 const nmiSampleCap = 20000
+
+// nmiSampleSeed seeds the random row sample behind the NMI matrix on
+// datasets larger than nmiSampleCap. A uniform sample keeps the
+// correlation estimate unbiased on sorted datasets, where a first-n prefix
+// would skew it; the fixed seed keeps runs reproducible.
+const nmiSampleSeed = 7349
 
 // Config tunes the extractor.
 type Config struct {
@@ -56,6 +70,29 @@ func DefaultConfig() Config {
 	return Config{EmbedDim: embed.DefaultDim, CorrK: 2}
 }
 
+// critSlot is one criterion of a column's active set, with its
+// per-unique-value acceleration tables.
+type critSlot struct {
+	c      *criteria.Criterion
+	rowDep bool
+	// FD acceleration: detCol is the determinant attribute's index (-1
+	// when absent from the schema) and wantID maps each determinant value
+	// ID to the expected value ID of this column (stats.ExpectedDepIDs
+	// sentinels).
+	detCol int
+	wantID []int64
+}
+
+// critColumn is the per-value-ID criteria memo for one attribute: bits[id]
+// holds the verdict of every row-independent criterion for dict entry id
+// (bit k set = slot k passes), nullish[id] its null-likeness (the FD fast
+// path). Built in one pass by SetCriteria; read lock-free.
+type critColumn struct {
+	slots   []critSlot
+	bits    []uint16
+	nullish []bool
+}
+
 // Extractor derives feature vectors for every cell of one dataset.
 type Extractor struct {
 	d    *table.Dataset
@@ -66,16 +103,17 @@ type Extractor struct {
 	corr [][]int // top-k correlated attribute indices per attribute
 
 	criteriaSets []*criteria.Set // per attribute, may contain nils
+	critCols     []critColumn    // per attribute, rebuilt by SetCriteria
 
-	// Per-column embedding memos. Each column has its own lock so that
-	// per-attribute pipeline workers can share the extractor: a worker for
-	// attribute j also touches the caches of j's correlated attributes.
-	embMu    []sync.Mutex
-	embCache []map[string][]float64
+	// embByID[j] holds the embeddings of column j's dict entries,
+	// flattened: entry id occupies [id*EmbedDim, (id+1)*EmbedDim). Built
+	// once at construction; values interned later (synthetic augmentation)
+	// fall back to embedding on the fly.
+	embByID [][]float64
 }
 
 // NewExtractor scans the dataset, computes frequency tables and the NMI
-// correlation structure, and prepares embedding caches.
+// correlation structure, and prepares the per-unique-value memo tables.
 func NewExtractor(d *table.Dataset, cfg Config) *Extractor {
 	if cfg.EmbedDim <= 0 {
 		cfg.EmbedDim = embed.DefaultDim
@@ -94,7 +132,10 @@ func NewExtractor(d *table.Dataset, cfg Config) *Extractor {
 	}
 	nmiData := d
 	if d.NumRows() > nmiSampleCap {
-		nmiData = d.Subset(nmiSampleCap)
+		rng := rand.New(rand.NewSource(nmiSampleSeed))
+		rows := rng.Perm(d.NumRows())[:nmiSampleCap]
+		sort.Ints(rows)
+		nmiData = d.SubsetRows(rows)
 	}
 	e.nmi = stats.NMIMatrix(nmiData)
 	e.corr = make([][]int, d.NumCols())
@@ -103,10 +144,15 @@ func NewExtractor(d *table.Dataset, cfg Config) *Extractor {
 		e.cf.BuildCoOccur(d, j, e.corr[j])
 	}
 	e.criteriaSets = make([]*criteria.Set, d.NumCols())
-	e.embMu = make([]sync.Mutex, d.NumCols())
-	e.embCache = make([]map[string][]float64, d.NumCols())
-	for j := range e.embCache {
-		e.embCache[j] = make(map[string][]float64)
+	e.critCols = make([]critColumn, d.NumCols())
+	e.embByID = make([][]float64, d.NumCols())
+	for j := range e.embByID {
+		dict := d.Dict(j)
+		flat := make([]float64, len(dict)*cfg.EmbedDim)
+		for id, v := range dict {
+			copy(flat[id*cfg.EmbedDim:], e.emb.Embed(v))
+		}
+		e.embByID[j] = flat
 	}
 	return e
 }
@@ -119,8 +165,80 @@ func (e *Extractor) Correlated(j int) []int { return e.corr[j] }
 func (e *Extractor) NMI() [][]float64 { return e.nmi }
 
 // SetCriteria installs the (LLM-derived) criteria set for attribute j so
-// that subsequent feature vectors carry its adherence bits.
-func (e *Extractor) SetCriteria(j int, s *criteria.Set) { e.criteriaSets[j] = s }
+// that subsequent feature vectors carry its adherence bits, and rebuilds
+// the per-value-ID verdict memo for the column in one pass.
+func (e *Extractor) SetCriteria(j int, s *criteria.Set) {
+	e.criteriaSets[j] = s
+	e.critCols[j] = e.buildCritColumn(j, s)
+}
+
+// buildCritColumn evaluates every row-independent criterion against every
+// dict entry of column j once, and precomputes the FD expectation tables.
+func (e *Extractor) buildCritColumn(j int, s *criteria.Set) critColumn {
+	var cc critColumn
+	if s == nil || len(s.Criteria) == 0 {
+		return cc
+	}
+	n := len(s.Criteria)
+	if n > MaxCriteriaFeatures {
+		n = MaxCriteriaFeatures
+	}
+	cc.slots = make([]critSlot, n)
+	dict := e.d.Dict(j)
+	cc.nullish = make([]bool, len(dict))
+	for id, v := range dict {
+		cc.nullish[id] = text.IsNullLike(v)
+	}
+	for k := 0; k < n; k++ {
+		c := s.Criteria[k]
+		slot := critSlot{c: c, rowDep: c.RowDependent(), detCol: -1}
+		if slot.rowDep {
+			if dc := e.d.ColIndex(c.DetAttr); dc >= 0 {
+				slot.detCol = dc
+				slot.wantID = stats.ExpectedDepIDs(e.d, dc, j, c.Mapping, false)
+			}
+		}
+		cc.slots[k] = slot
+	}
+	cc.bits = make([]uint16, len(dict))
+	for id, v := range dict {
+		var mask uint16
+		for k := range cc.slots {
+			if !cc.slots[k].rowDep && cc.slots[k].c.EvalValue(v) {
+				mask |= 1 << uint(k)
+			}
+		}
+		cc.bits[id] = mask
+	}
+	return cc
+}
+
+// evalFDSlot evaluates one FD criterion for cell (i, j) with value ID id,
+// via the precomputed expectation table when possible.
+func (e *Extractor) evalFDSlot(slot *critSlot, i, j int, id uint32, cc *critColumn) bool {
+	if int(id) < len(cc.nullish) {
+		if cc.nullish[id] {
+			return true // null cells pass non-NotNull criteria
+		}
+	} else if text.IsNullLike(e.d.DictValue(j, id)) {
+		return true
+	}
+	if slot.detCol >= 0 {
+		detID := e.d.ValueID(i, slot.detCol)
+		if int(detID) < len(slot.wantID) {
+			w := slot.wantID[detID]
+			if w == stats.DepNoEvidence {
+				return true
+			}
+			if w != stats.DepAbsent {
+				return int64(id) == w
+			}
+			// Expected value absent from the pool at memo-build time: it
+			// may have been interned since, so defer to the reference path.
+		}
+	}
+	return slot.c.EvalAt(e.d, i, j)
+}
 
 // BaseDim returns the per-cell base feature dimensionality.
 func (e *Extractor) BaseDim() int {
@@ -130,45 +248,57 @@ func (e *Extractor) BaseDim() int {
 // Dim returns the unified feature dimensionality: base*(1+k).
 func (e *Extractor) Dim() int { return e.BaseDim() * (1 + e.cfg.CorrK) }
 
-// base writes f_base(D[i,j]) into out (length BaseDim).
-func (e *Extractor) base(i, j int, rowMap map[string]string, out []float64) {
-	v := e.d.Value(i, j)
+// base writes f_base(D[i,j]) into out (length BaseDim). Steady state —
+// every value present at construction time — is allocation-free: all
+// per-value quantities come from the ID-indexed memo tables.
+func (e *Extractor) base(i, j int, out []float64) {
+	id := e.d.ValueID(i, j)
 	p := 0
 	// f_stat: value frequency then vicinity frequencies.
-	out[p] = e.cf.ValueFrequency(j, v)
+	out[p] = e.cf.ValueFrequencyID(j, id)
 	p++
 	for _, q := range e.corr[j] {
-		out[p] = e.cf.VicinityFrequency(j, q, v, e.d.Value(i, q))
+		out[p] = e.cf.VicinityFrequencyID(j, q, id, e.d.ValueID(i, q))
 		p++
 	}
 	for p < 1+e.cfg.CorrK { // fewer correlated attrs than k (tiny schemas)
 		out[p] = 0
 		p++
 	}
-	// f_pat: L1..L3 pattern frequencies.
-	out[p] = e.cf.PatternFrequency(j, v, text.L1)
-	out[p+1] = e.cf.PatternFrequency(j, v, text.L2)
-	out[p+2] = e.cf.PatternFrequency(j, v, text.L3)
+	// f_pat: L1..L3 pattern frequencies, memoized per value ID.
+	out[p] = e.cf.PatternFrequencyID(j, id, text.L1)
+	out[p+1] = e.cf.PatternFrequencyID(j, id, text.L2)
+	out[p+2] = e.cf.PatternFrequencyID(j, id, text.L3)
 	p += 3
-	// f_sem: memoized embedding (per-column lock; see embCache).
-	e.embMu[j].Lock()
-	emb, ok := e.embCache[j][v]
-	if !ok {
-		emb = e.emb.Embed(v)
-		e.embCache[j][v] = emb
+	// f_sem: embedding memoized per value ID.
+	dim := e.cfg.EmbedDim
+	if flat := e.embByID[j]; (int(id)+1)*dim <= len(flat) {
+		copy(out[p:p+dim], flat[int(id)*dim:])
+	} else {
+		// Value interned after construction (synthetic error value).
+		copy(out[p:p+dim], e.emb.Embed(e.d.DictValue(j, id)))
 	}
-	e.embMu[j].Unlock()
-	copy(out[p:], emb)
-	p += e.cfg.EmbedDim
+	p += dim
 	// f_cri: criteria adherence, padded with the neutral pass value.
-	set := e.criteriaSets[j]
+	cc := &e.critCols[j]
 	wrote := 0
-	if set != nil && !e.cfg.DisableCriteria {
-		for _, c := range set.Criteria {
-			if wrote >= MaxCriteriaFeatures {
-				break
+	if len(cc.slots) > 0 && !e.cfg.DisableCriteria {
+		mask, haveMask := uint16(0), false
+		if int(id) < len(cc.bits) {
+			mask, haveMask = cc.bits[id], true
+		}
+		for k := range cc.slots {
+			slot := &cc.slots[k]
+			var pass bool
+			switch {
+			case slot.rowDep:
+				pass = e.evalFDSlot(slot, i, j, id, cc)
+			case haveMask:
+				pass = mask&(1<<uint(k)) != 0
+			default:
+				pass = slot.c.EvalValue(e.d.DictValue(j, id))
 			}
-			if c.Eval(rowMap, set.Attr) {
+			if pass {
 				out[p+wrote] = 1
 			} else {
 				out[p+wrote] = 0
@@ -181,17 +311,29 @@ func (e *Extractor) base(i, j int, rowMap map[string]string, out []float64) {
 	}
 }
 
+// FeatureInto writes the unified feature vector for cell (i, j) into out,
+// which must have length Dim. It allocates nothing in steady state.
+func (e *Extractor) FeatureInto(i, j int, out []float64) {
+	bd := e.BaseDim()
+	e.base(i, j, out[:bd])
+	written := bd
+	if !e.cfg.DisableCorrelated {
+		for idx, q := range e.corr[j] {
+			e.base(i, q, out[(1+idx)*bd:(2+idx)*bd])
+			written += bd
+		}
+	}
+	// Zero any unwritten tail (ablation, or fewer correlated attrs than
+	// CorrK on tiny schemas) so reused buffers never leak stale values.
+	for k := written; k < len(out); k++ {
+		out[k] = 0
+	}
+}
+
 // Feature returns the unified feature vector for cell (i, j).
 func (e *Extractor) Feature(i, j int) []float64 {
 	out := make([]float64, e.Dim())
-	rowMap := e.d.RowMap(i)
-	bd := e.BaseDim()
-	e.base(i, j, rowMap, out[:bd])
-	if !e.cfg.DisableCorrelated {
-		for idx, q := range e.corr[j] {
-			e.base(i, q, rowMap, out[(1+idx)*bd:(2+idx)*bd])
-		}
-	}
+	e.FeatureInto(i, j, out)
 	return out
 }
 
@@ -201,20 +343,19 @@ func (e *Extractor) Feature(i, j int) []float64 {
 func (e *Extractor) RowFeatures(i int) [][]float64 {
 	m := e.d.NumCols()
 	bd := e.BaseDim()
-	rowMap := e.d.RowMap(i)
-	bases := make([][]float64, m)
-	flat := make([]float64, m*bd)
+	bases := make([]float64, m*bd)
 	for j := 0; j < m; j++ {
-		bases[j] = flat[j*bd : (j+1)*bd]
-		e.base(i, j, rowMap, bases[j])
+		e.base(i, j, bases[j*bd:(j+1)*bd])
 	}
+	dim := e.Dim()
+	flat := make([]float64, m*dim)
 	out := make([][]float64, m)
 	for j := 0; j < m; j++ {
-		f := make([]float64, e.Dim())
-		copy(f, bases[j])
+		f := flat[j*dim : (j+1)*dim]
+		copy(f, bases[j*bd:(j+1)*bd])
 		if !e.cfg.DisableCorrelated {
 			for idx, q := range e.corr[j] {
-				copy(f[(1+idx)*bd:], bases[q])
+				copy(f[(1+idx)*bd:], bases[q*bd:(q+1)*bd])
 			}
 		}
 		out[j] = f
@@ -225,9 +366,13 @@ func (e *Extractor) RowFeatures(i int) [][]float64 {
 // ColumnFeatures materializes unified features for the given rows of one
 // attribute — the clustering input for sampling (Section III-C).
 func (e *Extractor) ColumnFeatures(j int, rows []int) [][]float64 {
+	dim := e.Dim()
+	flat := make([]float64, len(rows)*dim)
 	out := make([][]float64, len(rows))
 	for idx, i := range rows {
-		out[idx] = e.Feature(i, j)
+		f := flat[idx*dim : (idx+1)*dim]
+		e.FeatureInto(i, j, f)
+		out[idx] = f
 	}
 	return out
 }

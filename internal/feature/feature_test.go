@@ -152,6 +152,95 @@ func TestColumnFeatures(t *testing.T) {
 	}
 }
 
+// TestFeatureMatchesMapBasedCriteria cross-checks the per-value-ID
+// memoized criteria bits against the reference map-based evaluation,
+// including a row-dependent FD criterion.
+func TestFeatureMatchesMapBasedCriteria(t *testing.T) {
+	d := sample()
+	d.SetValue(0, 2, "Phd")      // break Name->Education for row 0
+	d.SetValue(1, 3, "notanum")  // fail numeric range
+	e := NewExtractor(d, Config{EmbedDim: 8, CorrK: 1})
+	set := &criteria.Set{Attr: "Education", Criteria: []*criteria.Criterion{
+		{Kind: criteria.KindDomain, Attr: "Education", Name: "dom",
+			Domain: map[string]bool{"phd": true, "master": true, "bachelor": true}},
+		{Kind: criteria.KindFD, Attr: "Education", Name: "fd", DetAttr: "Name",
+			Mapping: map[string]string{"Alice": "Phd", "Bob": "Master", "Carol": "Bachelor", "Dave": "Master"}},
+	}}
+	e.SetCriteria(2, set)
+	critStart := 1 + 1 + 3 + 8
+	for i := 0; i < 8; i++ {
+		f := e.Feature(i, 2)
+		rowMap := d.RowMap(i)
+		for k, c := range set.Criteria {
+			want := 0.0
+			if c.Eval(rowMap, set.Attr) {
+				want = 1.0
+			}
+			if f[critStart+k] != want {
+				t.Errorf("row %d criterion %d: memoized bit %v, map-based %v", i, k, f[critStart+k], want)
+			}
+		}
+	}
+}
+
+// TestFeatureAfterDictGrowth verifies that values interned after extractor
+// construction (the synthetic-augmentation path) still produce correct
+// features via the fallback path.
+func TestFeatureAfterDictGrowth(t *testing.T) {
+	d := sample()
+	e := NewExtractor(d, Config{EmbedDim: 8, CorrK: 1})
+	set := &criteria.Set{Attr: "Salary", Criteria: []*criteria.Criterion{
+		{Kind: criteria.KindRange, Attr: "Salary", Lo: 10000, Hi: 90000},
+	}}
+	e.SetCriteria(3, set)
+	d.SetValue(0, 3, "totally-novel-999999") // novel value: dict grows past the memos
+	f := e.Feature(0, 3)
+	if f[0] != 0 {
+		t.Errorf("novel value frequency = %v, want 0", f[0])
+	}
+	critStart := 1 + 1 + 3 + 8
+	if f[critStart] != 0 {
+		t.Errorf("novel out-of-range value must fail the range criterion, got %v", f[critStart])
+	}
+	d.SetValue(0, 3, "50000") // restore
+	g := e.Feature(0, 3)
+	if g[critStart] != 1 {
+		t.Errorf("restored value must pass the range criterion, got %v", g[critStart])
+	}
+}
+
+// TestFeatureIntoZeroAllocs is the steady-state allocation regression
+// guard: once the extractor is built, per-cell feature extraction must not
+// allocate.
+func TestFeatureIntoZeroAllocs(t *testing.T) {
+	d := sample()
+	e := NewExtractor(d, Config{EmbedDim: 8, CorrK: 2})
+	set := &criteria.Set{Attr: "Salary", Criteria: []*criteria.Criterion{
+		{Kind: criteria.KindRange, Attr: "Salary", Lo: 10000, Hi: 90000},
+		{Kind: criteria.KindFD, Attr: "Salary", DetAttr: "Name",
+			Mapping: map[string]string{"Alice": "50000"}},
+	}}
+	e.SetCriteria(3, set)
+	out := make([]float64, e.Dim())
+	allocs := testing.AllocsPerRun(100, func() {
+		e.FeatureInto(0, 3, out)
+		e.FeatureInto(1, 0, out)
+	})
+	if allocs != 0 {
+		t.Errorf("FeatureInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkFeatureInto(b *testing.B) {
+	e := NewExtractor(sample(), DefaultConfig())
+	out := make([]float64, e.Dim())
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.FeatureInto(i%100, i%4, out)
+	}
+}
+
 func BenchmarkRowFeatures(b *testing.B) {
 	e := NewExtractor(sample(), DefaultConfig())
 	b.ResetTimer()

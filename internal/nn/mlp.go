@@ -101,33 +101,35 @@ func sigmoid(x float64) float64 {
 	return z / (1 + z)
 }
 
+// dotFrom accumulates s + Σ w[i]*x[i] left to right — the same
+// association as a naive loop starting at s, so results are bit-identical
+// to the pre-optimization code. Reslicing x to len(w) lets the compiler
+// drop per-iteration bounds checks in the innermost training loops.
+func dotFrom(s float64, w, x []float64) float64 {
+	x = x[:len(w)]
+	for i, wi := range w {
+		s += wi * x[i]
+	}
+	return s
+}
+
 // forward computes activations; h1 and h2 receive post-ReLU activations.
 func (m *MLP) forward(x []float64, h1, h2 []float64) float64 {
 	for i, row := range m.w1 {
-		s := m.b1[i]
-		for j, w := range row {
-			s += w * x[j]
-		}
+		s := dotFrom(m.b1[i], row, x)
 		if s < 0 {
 			s = 0
 		}
 		h1[i] = s
 	}
 	for i, row := range m.w2 {
-		s := m.b2[i]
-		for j, w := range row {
-			s += w * h1[j]
-		}
+		s := dotFrom(m.b2[i], row, h1)
 		if s < 0 {
 			s = 0
 		}
 		h2[i] = s
 	}
-	out := m.b3
-	for j, w := range m.w3 {
-		out += w * h2[j]
-	}
-	return sigmoid(out)
+	return sigmoid(dotFrom(m.b3, m.w3, h2))
 }
 
 // adamState holds first/second moment estimates for one parameter tensor.
@@ -143,11 +145,14 @@ func (a *adamState) step(params, grads []float64, lr float64) {
 	a.t++
 	bc1 := 1 - math.Pow(beta1, float64(a.t))
 	bc2 := 1 - math.Pow(beta2, float64(a.t))
+	grads = grads[:len(params)]
+	am := a.m[:len(params)]
+	av := a.v[:len(params)]
 	for i := range params {
 		g := grads[i]
-		a.m[i] = beta1*a.m[i] + (1-beta1)*g
-		a.v[i] = beta2*a.v[i] + (1-beta2)*g*g
-		params[i] -= lr * (a.m[i] / bc1) / (math.Sqrt(a.v[i]/bc2) + eps)
+		am[i] = beta1*am[i] + (1-beta1)*g
+		av[i] = beta2*av[i] + (1-beta2)*g*g
+		params[i] -= lr * (am[i] / bc1) / (math.Sqrt(av[i]/bc2) + eps)
 	}
 }
 
@@ -228,15 +233,22 @@ func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 					d1[j] = 0
 				}
 				for r := range m.w2 {
-					if d2[r] == 0 {
+					d2r := d2[r]
+					if d2r == 0 {
 						continue
 					}
-					base := r * h1n
-					for c := range m.w2[r] {
-						gradW2[base+c] += d2[r] * h1[c]
-						d1[c] += d2[r] * m.w2[r][c]
+					// Reslice scratch views to the row length so the inner
+					// loop runs without bounds checks; per-element arithmetic
+					// order is unchanged.
+					row := m.w2[r]
+					g := gradW2[r*h1n : r*h1n+len(row)]
+					hr := h1[:len(row)]
+					dr := d1[:len(row)]
+					for c, w := range row {
+						g[c] += d2r * hr[c]
+						dr[c] += d2r * w
 					}
-					gradB2[r] += d2[r]
+					gradB2[r] += d2r
 				}
 				for r := range d1 {
 					if h1[r] <= 0 {
@@ -244,14 +256,16 @@ func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 					}
 				}
 				for r := range m.w1 {
-					if d1[r] == 0 {
+					d1r := d1[r]
+					if d1r == 0 {
 						continue
 					}
-					base := r * m.in
-					for c := range m.w1[r] {
-						gradW1[base+c] += d1[r] * x[c]
+					g := gradW1[r*m.in : r*m.in+m.in]
+					xr := x[:m.in]
+					for c := range g {
+						g[c] += d1r * xr[c]
 					}
-					gradB1[r] += d1[r]
+					gradB1[r] += d1r
 				}
 			}
 

@@ -236,7 +236,7 @@ func mineColumn(d *table.Dataset, mask [][]bool, j int, cfg Config) columnEviden
 func unflaggedSubset(d *table.Dataset, mask [][]bool) *table.Dataset {
 	out := table.New(d.Name, d.Attrs)
 	for i := 0; i < d.NumRows(); i++ {
-		row := append([]string(nil), d.Row(i)...)
+		row := d.Row(i) // Row returns a fresh slice; safe to mutate
 		for j := range row {
 			if mask[i][j] {
 				row[j] = ""

@@ -58,16 +58,26 @@ func topCounts(m map[string]int, k int) []ValueCount {
 // attribute. This is the deterministic stand-in for executing the paper's
 // generated Python analysis functions over the dirty CSV.
 func ProfileAttribute(d *table.Dataset, j int) *AttributeProfile {
-	col := d.Column(j)
-	p := &AttributeProfile{Attr: d.Attrs[j], Total: len(col)}
+	p := &AttributeProfile{Attr: d.Attrs[j], Total: d.NumRows()}
 
+	// Count by value ID, then do per-value work (generalization,
+	// null-likeness, numeric parsing) once per pool entry.
+	dict := d.Dict(j)
+	counts := make([]int, len(dict))
+	for _, id := range d.ColumnIDs(j) {
+		counts[id]++
+	}
 	valueCounts := make(map[string]int)
 	patternCounts := make(map[string]int)
-	for _, v := range col {
-		valueCounts[v]++
-		patternCounts[text.Generalize(v, text.L3)]++
+	for id, c := range counts {
+		if c == 0 {
+			continue
+		}
+		v := dict[id]
+		valueCounts[v] = c
+		patternCounts[text.Generalize(v, text.L3)] += c
 		if text.IsNullLike(v) {
-			p.Missing++
+			p.Missing += c
 		}
 	}
 	p.Distinct = len(valueCounts)
@@ -86,8 +96,34 @@ func ProfileAttribute(d *table.Dataset, j int) *AttributeProfile {
 		p.RareValues = p.RareValues[:50]
 	}
 
-	if text.IsNumericColumn(col, 0.85) {
-		nums := NumericColumn(col)
+	// Numeric profiling: parse each unique value once, then expand in row
+	// order so the accumulation matches the row-major implementation
+	// bit-for-bit.
+	parsedOf := make([]float64, len(dict))
+	okOf := make([]bool, len(dict))
+	parsed, nonEmpty := 0, 0
+	for id, c := range counts {
+		if c == 0 {
+			continue
+		}
+		v := dict[id]
+		if f, ok := text.ParseFloat(v); ok {
+			parsedOf[id], okOf[id] = f, true
+		}
+		if strings.TrimSpace(v) != "" {
+			nonEmpty += c
+			if okOf[id] {
+				parsed += c
+			}
+		}
+	}
+	if nonEmpty > 0 && float64(parsed)/float64(nonEmpty) >= 0.85 {
+		nums := make([]float64, 0, parsed)
+		for _, id := range d.ColumnIDs(j) {
+			if okOf[id] {
+				nums = append(nums, parsedOf[id])
+			}
+		}
 		if len(nums) > 0 {
 			p.Numeric = true
 			p.Min, p.Max = nums[0], nums[0]
@@ -156,26 +192,34 @@ type FDCandidate struct {
 // This powers both the simulated LLM's rule-violation reasoning and the
 // NADEEF baseline's automatic constraint mining.
 func FindFD(d *table.Dataset, det, dep int) FDCandidate {
-	groups := make(map[string]map[string]int)
-	for i := 0; i < d.NumRows(); i++ {
-		dv := d.Value(i, det)
-		if text.IsNullLike(dv) {
+	detDict, depDict := d.Dict(det), d.Dict(dep)
+	// Null-likeness is a per-unique-value property: compute it once per
+	// pool entry instead of once per row.
+	nullish := NullishByID(d, det)
+	groups := make([]map[uint32]int, len(detDict))
+	detIDs, depIDs := d.ColumnIDs(det), d.ColumnIDs(dep)
+	for i, dv := range detIDs {
+		if nullish[dv] {
 			continue
 		}
 		g := groups[dv]
 		if g == nil {
-			g = make(map[string]int)
+			g = make(map[uint32]int)
 			groups[dv] = g
 		}
-		g[d.Value(i, dep)]++
+		g[depIDs[i]]++
 	}
 	cand := FDCandidate{Det: det, Dep: dep, Mapping: make(map[string]string)}
 	totalWeight, weightedSupport := 0.0, 0.0
 	for dv, g := range groups {
+		if g == nil {
+			continue
+		}
 		n := 0
 		bestV, bestC := "", 0
-		for v, c := range g {
+		for id, c := range g {
 			n += c
+			v := depDict[id]
 			if c > bestC || (c == bestC && v < bestV) {
 				bestV, bestC = v, c
 			}
@@ -183,7 +227,7 @@ func FindFD(d *table.Dataset, det, dep int) FDCandidate {
 		if n < 2 {
 			continue // singleton groups carry no dependency evidence
 		}
-		cand.Mapping[dv] = bestV
+		cand.Mapping[detDict[dv]] = bestV
 		totalWeight += float64(n)
 		weightedSupport += float64(bestC)
 	}

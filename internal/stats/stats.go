@@ -14,44 +14,66 @@ import (
 )
 
 // ColumnFrequencies precomputes per-attribute counts used by the frequency
-// features so that feature extraction is O(cells), not O(cells^2).
+// features so that feature extraction is O(cells), not O(cells^2). All
+// tables are indexed by dictionary value ID: counts live in flat slices
+// sized by each column's intern pool, pattern strings are interned once per
+// unique value, and co-occurrence counts are keyed by packed ID pairs.
+// Lookups for values written to the dataset after construction fall back to
+// zero counts, matching the semantics of a novel value.
 type ColumnFrequencies struct {
-	// Value[j][v] is the occurrence count of value v in attribute j.
-	Value []map[string]int
-	// Pattern[level-1][j][p] is the occurrence count of generalized
-	// pattern p at level L1..L3 in attribute j.
-	Pattern [3]map[int]map[string]int
-	// CoOccur[j][q][pair] counts co-occurrences "vj\x00vq" between
-	// attributes j and q; used for vicinity frequencies and NMI.
-	CoOccur map[[2]int]map[[2]string]int
-	n       int
+	d *table.Dataset
+	n int
+	// counts[j][id] is the occurrence count of value ID id in attribute j.
+	counts [][]int
+	// patOfID[lvl][j][id] is the column-local pattern ID of dict entry id
+	// at generalization level lvl+1; patCounts[lvl][j][pid] its count.
+	patOfID   [3][][]uint32
+	patCounts [3][][]int
+	// patIndex[lvl][j] maps pattern strings to pattern IDs, for values
+	// interned after the scan.
+	patIndex [3][]map[string]uint32
+	// coOccur[{j,q}][idj<<32|idq] counts co-occurrences between attributes
+	// j and q; used for vicinity frequencies.
+	coOccur map[[2]int]map[uint64]int
 }
 
 // NewColumnFrequencies scans the dataset once and builds all count tables.
+// Per-value work (pattern generalization) happens once per unique value,
+// not once per cell.
 func NewColumnFrequencies(d *table.Dataset) *ColumnFrequencies {
 	m := d.NumCols()
 	cf := &ColumnFrequencies{
-		Value:   make([]map[string]int, m),
-		CoOccur: make(map[[2]int]map[[2]string]int),
+		d:       d,
 		n:       d.NumRows(),
+		counts:  make([][]int, m),
+		coOccur: make(map[[2]int]map[uint64]int),
 	}
 	for lvl := 0; lvl < 3; lvl++ {
-		cf.Pattern[lvl] = make(map[int]map[string]int, m)
+		cf.patOfID[lvl] = make([][]uint32, m)
+		cf.patCounts[lvl] = make([][]int, m)
+		cf.patIndex[lvl] = make([]map[string]uint32, m)
 	}
 	for j := 0; j < m; j++ {
-		cf.Value[j] = make(map[string]int)
+		dict := d.Dict(j)
+		cf.counts[j] = make([]int, len(dict))
 		for lvl := 0; lvl < 3; lvl++ {
-			cf.Pattern[lvl][j] = make(map[string]int)
-		}
-	}
-	for i := 0; i < d.NumRows(); i++ {
-		row := d.Row(i)
-		for j := 0; j < m; j++ {
-			v := row[j]
-			cf.Value[j][v]++
-			for lvl := 0; lvl < 3; lvl++ {
+			cf.patOfID[lvl][j] = make([]uint32, len(dict))
+			cf.patIndex[lvl][j] = make(map[string]uint32)
+			for id, v := range dict {
 				p := text.Generalize(v, text.PatternLevel(lvl+1))
-				cf.Pattern[lvl][j][p]++
+				pid, ok := cf.patIndex[lvl][j][p]
+				if !ok {
+					pid = uint32(len(cf.patCounts[lvl][j]))
+					cf.patIndex[lvl][j][p] = pid
+					cf.patCounts[lvl][j] = append(cf.patCounts[lvl][j], 0)
+				}
+				cf.patOfID[lvl][j][id] = pid
+			}
+		}
+		for _, id := range d.ColumnIDs(j) {
+			cf.counts[j][id]++
+			for lvl := 0; lvl < 3; lvl++ {
+				cf.patCounts[lvl][j][cf.patOfID[lvl][j][id]]++
 			}
 		}
 	}
@@ -62,41 +84,81 @@ func NewColumnFrequencies(d *table.Dataset) *ColumnFrequencies {
 // and each attribute in others. Computed lazily because only correlated
 // attribute pairs need it.
 func (cf *ColumnFrequencies) BuildCoOccur(d *table.Dataset, j int, others []int) {
+	jIDs := d.ColumnIDs(j)
 	for _, q := range others {
 		key := [2]int{j, q}
-		if _, ok := cf.CoOccur[key]; ok {
+		if _, ok := cf.coOccur[key]; ok {
 			continue
 		}
-		counts := make(map[[2]string]int)
-		for i := 0; i < d.NumRows(); i++ {
-			counts[[2]string{d.Value(i, j), d.Value(i, q)}]++
+		counts := make(map[uint64]int)
+		qIDs := d.ColumnIDs(q)
+		for i := range jIDs {
+			counts[uint64(jIDs[i])<<32|uint64(qIDs[i])]++
 		}
-		cf.CoOccur[key] = counts
+		cf.coOccur[key] = counts
 	}
+}
+
+// ValueFrequencyID returns count(value ID id in attr j) / N. IDs interned
+// after the scan have zero frequency.
+func (cf *ColumnFrequencies) ValueFrequencyID(j int, id uint32) float64 {
+	if cf.n == 0 || int(id) >= len(cf.counts[j]) {
+		return 0
+	}
+	return float64(cf.counts[j][id]) / float64(cf.n)
 }
 
 // ValueFrequency returns count(v in attr j) / N, the paper's value
 // frequency for D[i,j].
 func (cf *ColumnFrequencies) ValueFrequency(j int, v string) float64 {
-	if cf.n == 0 {
+	id, ok := cf.d.LookupID(j, v)
+	if !ok {
 		return 0
 	}
-	return float64(cf.Value[j][v]) / float64(cf.n)
+	return cf.ValueFrequencyID(j, id)
 }
 
-// VicinityFrequency returns count(vj co-occurring with vq) / count(vq):
-// how often the value vq in attribute q determines vj in attribute j.
-// BuildCoOccur must have been called for the (j,q) pair.
-func (cf *ColumnFrequencies) VicinityFrequency(j, q int, vj, vq string) float64 {
-	denom := cf.Value[q][vq]
+// VicinityFrequencyID returns count(idj co-occurring with idq) /
+// count(idq): how often the value idq in attribute q determines idj in
+// attribute j. BuildCoOccur must have been called for the (j,q) pair.
+func (cf *ColumnFrequencies) VicinityFrequencyID(j, q int, idj, idq uint32) float64 {
+	if int(idq) >= len(cf.counts[q]) {
+		return 0
+	}
+	denom := cf.counts[q][idq]
 	if denom == 0 {
 		return 0
 	}
-	co := cf.CoOccur[[2]int{j, q}]
+	co := cf.coOccur[[2]int{j, q}]
 	if co == nil {
 		return 0
 	}
-	return float64(co[[2]string{vj, vq}]) / float64(denom)
+	return float64(co[uint64(idj)<<32|uint64(idq)]) / float64(denom)
+}
+
+// VicinityFrequency is the string-keyed form of VicinityFrequencyID.
+func (cf *ColumnFrequencies) VicinityFrequency(j, q int, vj, vq string) float64 {
+	idj, okj := cf.d.LookupID(j, vj)
+	idq, okq := cf.d.LookupID(q, vq)
+	if !okj || !okq {
+		return 0
+	}
+	return cf.VicinityFrequencyID(j, q, idj, idq)
+}
+
+// PatternFrequencyID returns the fraction of values in attribute j whose
+// generalized pattern at the given level matches that of value ID id.
+func (cf *ColumnFrequencies) PatternFrequencyID(j int, id uint32, level text.PatternLevel) float64 {
+	if cf.n == 0 {
+		return 0
+	}
+	lvl := int(level) - 1
+	ofID := cf.patOfID[lvl][j]
+	if int(id) >= len(ofID) {
+		// Value interned after the scan: resolve its pattern by string.
+		return cf.patternFrequencyString(j, cf.d.DictValue(j, id), level)
+	}
+	return float64(cf.patCounts[lvl][j][ofID[id]]) / float64(cf.n)
 }
 
 // PatternFrequency returns the fraction of values in attribute j whose
@@ -105,8 +167,73 @@ func (cf *ColumnFrequencies) PatternFrequency(j int, v string, level text.Patter
 	if cf.n == 0 {
 		return 0
 	}
+	return cf.patternFrequencyString(j, v, level)
+}
+
+func (cf *ColumnFrequencies) patternFrequencyString(j int, v string, level text.PatternLevel) float64 {
+	lvl := int(level) - 1
 	p := text.Generalize(v, level)
-	return float64(cf.Pattern[level-1][j][p]) / float64(cf.n)
+	pid, ok := cf.patIndex[lvl][j][p]
+	if !ok {
+		return 0
+	}
+	return float64(cf.patCounts[lvl][j][pid]) / float64(cf.n)
+}
+
+// CountsByID returns per-value-ID occurrence counts for column j of d,
+// indexed by dictionary ID (stale pool entries count zero).
+func CountsByID(d *table.Dataset, j int) []int {
+	counts := make([]int, d.DictSize(j))
+	for _, id := range d.ColumnIDs(j) {
+		counts[id]++
+	}
+	return counts
+}
+
+// NullishByID returns per-value-ID null-likeness for column j of d —
+// computed once per unique value instead of once per cell.
+func NullishByID(d *table.Dataset, j int) []bool {
+	dict := d.Dict(j)
+	out := make([]bool, len(dict))
+	for id, v := range dict {
+		out[id] = text.IsNullLike(v)
+	}
+	return out
+}
+
+// Sentinels of ExpectedDepIDs.
+const (
+	// DepNoEvidence marks determinant values carrying no mapping evidence
+	// (the dependent cell passes by default).
+	DepNoEvidence = int64(-2)
+	// DepAbsent marks expected dependent values never written to the
+	// dependent column's pool (no cell ID can equal them).
+	DepAbsent = int64(-1)
+)
+
+// ExpectedDepIDs resolves an FD mapping (determinant value → expected
+// dependent value) into expected dependent value IDs per determinant value
+// ID, so per-row FD checks become integer comparisons. skipNullDet treats
+// null-like determinants as carrying no evidence.
+func ExpectedDepIDs(d *table.Dataset, det, dep int, mapping map[string]string, skipNullDet bool) []int64 {
+	detDict := d.Dict(det)
+	out := make([]int64, len(detDict))
+	for did, dv := range detDict {
+		out[did] = DepNoEvidence
+		if skipNullDet && text.IsNullLike(dv) {
+			continue
+		}
+		want, ok := mapping[dv]
+		if !ok {
+			continue
+		}
+		if wid, found := d.LookupID(dep, want); found {
+			out[did] = int64(wid)
+		} else {
+			out[did] = DepAbsent
+		}
+	}
+	return out
 }
 
 // Entropy computes the Shannon entropy (nats) of an attribute's empirical
@@ -182,30 +309,82 @@ func NMI(x, y []string) float64 {
 	return v
 }
 
-// NMIMatrix computes pairwise NMI between all attributes of d.
+// NMIMatrix computes pairwise NMI between all attributes of d. It works
+// over dictionary value IDs — counting integer IDs instead of hashing full
+// value strings — and produces bit-identical results to the string-keyed
+// NMI: the count multisets are the same and accumulation uses the same
+// order-independent stableSum.
 func NMIMatrix(d *table.Dataset) [][]float64 {
 	m := d.NumCols()
-	cols := make([][]string, m)
+	n := d.NumRows()
+	ids := make([][]uint32, m)
+	counts := make([][]float64, m)
+	entropy := make([]float64, m)
 	for j := 0; j < m; j++ {
-		cols[j] = d.Column(j)
+		ids[j] = d.ColumnIDs(j)
+		counts[j] = make([]float64, d.DictSize(j))
+		for _, id := range ids[j] {
+			counts[j][id]++
+		}
+		entropy[j] = entropyFromCounts(counts[j], float64(n))
 	}
 	mat := make([][]float64, m)
 	for j := range mat {
 		mat[j] = make([]float64, m)
+		mat[j][j] = 1
 	}
 	for a := 0; a < m; a++ {
-		for b := a; b < m; b++ {
+		for b := a + 1; b < m; b++ {
 			var v float64
-			if a == b {
-				v = 1
-			} else {
-				v = NMI(cols[a], cols[b])
+			if n > 0 && entropy[a] != 0 && entropy[b] != 0 {
+				v = miIDs(ids[a], ids[b], counts[a], counts[b], float64(n)) / math.Sqrt(entropy[a]*entropy[b])
+				if v > 1 {
+					v = 1 // floating-point guard
+				}
 			}
 			mat[a][b] = v
 			mat[b][a] = v
 		}
 	}
 	return mat
+}
+
+// entropyFromCounts is Entropy over a precomputed count vector (zero
+// entries are skipped; they denote dict values absent from the column).
+func entropyFromCounts(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	terms := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := c / n
+		terms = append(terms, -p*math.Log(p))
+	}
+	return stableSum(terms)
+}
+
+// miIDs is MutualInformation over ID-encoded columns with precomputed
+// marginal counts.
+func miIDs(x, y []uint32, cx, cy []float64, n float64) float64 {
+	joint := make(map[uint64]float64, len(cx))
+	for i := range x {
+		joint[uint64(x[i])<<32|uint64(y[i])]++
+	}
+	terms := make([]float64, 0, len(joint))
+	for k, c := range joint {
+		pj := c / n
+		px := cx[uint32(k>>32)] / n
+		py := cy[uint32(k)] / n
+		terms = append(terms, pj*math.Log(pj/(px*py)))
+	}
+	mi := stableSum(terms)
+	if mi < 0 {
+		mi = 0 // guard against floating-point round-off
+	}
+	return mi
 }
 
 // TopKCorrelated returns the indices of the k attributes with the highest

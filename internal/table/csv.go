@@ -19,7 +19,7 @@ func ReadCSV(name string, r io.Reader) (*Dataset, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("table: csv has no header row")
 	}
-	d := New(name, records[0])
+	d := NewWithCapacity(name, records[0], len(records)-1)
 	for i, rec := range records[1:] {
 		if len(rec) != len(d.Attrs) {
 			return nil, fmt.Errorf("table: row %d has %d fields, want %d", i+1, len(rec), len(d.Attrs))
@@ -45,8 +45,12 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	if err := cw.Write(d.Attrs); err != nil {
 		return err
 	}
-	for _, row := range d.Rows {
-		if err := cw.Write(row); err != nil {
+	record := make([]string, d.NumCols())
+	for i := 0; i < d.NumRows(); i++ {
+		for j := range record {
+			record[j] = d.Value(i, j)
+		}
+		if err := cw.Write(record); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,16 @@
 // schema and string-valued cells, matching the representation used by the
 // paper (Section II): D = {t1..tN} over Attrs = {a1..aM}, with D[i,j]
 // denoting the cell value of attribute aj in tuple ti.
+//
+// Storage is columnar and dictionary-encoded: each column holds a slice of
+// uint32 value IDs plus an append-only intern pool (`dict`) of the distinct
+// strings ever written to that column. Equal values share one dict entry,
+// so per-cell work downstream (frequencies, embeddings, criteria bits) can
+// be memoized per unique value ID instead of per cell, and cell comparisons
+// reduce to integer comparisons within a column. The row-oriented API
+// (Value, Row, RowMap, AppendRow, ...) is preserved on top; the ID-level
+// accessors (ValueID, DictSize, DictValue, ForEachID, ...) expose the
+// encoded representation to hot paths.
 package table
 
 import (
@@ -16,34 +26,146 @@ type Cell struct {
 	Col int
 }
 
+// column is one dictionary-encoded attribute: ids[i] indexes into dict,
+// and index is the reverse mapping used for interning. The dict is
+// append-only: overwriting a cell never removes the old value's entry, so
+// IDs handed out earlier stay valid for the dataset's lifetime.
+type column struct {
+	ids   []uint32
+	dict  []string
+	index map[string]uint32
+}
+
+// intern returns the ID for v, adding it to the pool on first sight.
+func (c *column) intern(v string) uint32 {
+	if id, ok := c.index[v]; ok {
+		return id
+	}
+	id := uint32(len(c.dict))
+	c.dict = append(c.dict, v)
+	if c.index == nil {
+		c.index = make(map[string]uint32)
+	}
+	c.index[v] = id
+	return id
+}
+
+// clone deep-copies the column; the clone's pool evolves independently.
+func (c *column) clone() column {
+	out := column{
+		ids:   append([]uint32(nil), c.ids...),
+		dict:  append([]string(nil), c.dict...),
+		index: make(map[string]uint32, len(c.index)),
+	}
+	for v, id := range c.index {
+		out.index[v] = id
+	}
+	return out
+}
+
 // Dataset is a dirty or clean relational table. All values are strings;
 // NULLs are represented as empty strings, following the paper's
 // serialization convention.
 type Dataset struct {
 	Name  string
 	Attrs []string
-	Rows  [][]string
+
+	cols  []column
+	nrows int
 }
 
 // New creates an empty dataset with the given schema.
 func New(name string, attrs []string) *Dataset {
-	return &Dataset{Name: name, Attrs: attrs}
+	return NewWithCapacity(name, attrs, 0)
+}
+
+// NewWithCapacity creates an empty dataset preallocated for the given row
+// count, which bulk loaders use to avoid repeated column growth.
+func NewWithCapacity(name string, attrs []string, rows int) *Dataset {
+	d := &Dataset{Name: name, Attrs: attrs, cols: make([]column, len(attrs))}
+	if rows > 0 {
+		for j := range d.cols {
+			d.cols[j].ids = make([]uint32, 0, rows)
+		}
+	}
+	return d
 }
 
 // NumRows returns the number of tuples.
-func (d *Dataset) NumRows() int { return len(d.Rows) }
+func (d *Dataset) NumRows() int { return d.nrows }
 
 // NumCols returns the number of attributes.
 func (d *Dataset) NumCols() int { return len(d.Attrs) }
 
 // NumCells returns the total number of cells.
-func (d *Dataset) NumCells() int { return len(d.Rows) * len(d.Attrs) }
+func (d *Dataset) NumCells() int { return d.nrows * len(d.Attrs) }
 
 // Value returns the cell value of attribute col in tuple row.
-func (d *Dataset) Value(row, col int) string { return d.Rows[row][col] }
+func (d *Dataset) Value(row, col int) string {
+	c := &d.cols[col]
+	return c.dict[c.ids[row]]
+}
 
-// SetValue overwrites a single cell.
-func (d *Dataset) SetValue(row, col int, v string) { d.Rows[row][col] = v }
+// SetValue overwrites a single cell, interning the value if it is new to
+// the column. Existing IDs are never invalidated.
+func (d *Dataset) SetValue(row, col int, v string) {
+	c := &d.cols[col]
+	c.ids[row] = c.intern(v)
+}
+
+// ValueID returns the dictionary ID of the cell value of attribute col in
+// tuple row. IDs are stable for the dataset's lifetime and comparable only
+// within one column.
+func (d *Dataset) ValueID(row, col int) uint32 { return d.cols[col].ids[row] }
+
+// DictSize returns the number of distinct values ever written to the
+// column — the size of its intern pool. Per-value-ID memo tables are sized
+// by this.
+func (d *Dataset) DictSize(col int) int { return len(d.cols[col].dict) }
+
+// DictValue returns the string for a value ID of the column.
+func (d *Dataset) DictValue(col int, id uint32) string { return d.cols[col].dict[id] }
+
+// Dict returns the column's intern pool, indexed by value ID. The slice is
+// shared with the dataset and must not be mutated; it may grow (never
+// shrink) as new values are written.
+func (d *Dataset) Dict(col int) []string { return d.cols[col].dict }
+
+// LookupID returns the ID of v in the column's pool, if v has ever been
+// written to the column.
+func (d *Dataset) LookupID(col int, v string) (uint32, bool) {
+	id, ok := d.cols[col].index[v]
+	return id, ok
+}
+
+// ColumnIDs returns the column's value IDs, indexed by row. The slice is
+// shared with the dataset and must not be mutated.
+func (d *Dataset) ColumnIDs(col int) []uint32 { return d.cols[col].ids }
+
+// ForEachID calls fn for every row of the column with the row index and
+// the cell's value ID, in row order.
+func (d *Dataset) ForEachID(col int, fn func(row int, id uint32)) {
+	for i, id := range d.cols[col].ids {
+		fn(i, id)
+	}
+}
+
+// DistinctCount returns the number of distinct values currently present in
+// the column. Unlike DictSize it ignores pool entries that were
+// overwritten away, so it matches the semantics of counting a column's
+// value set.
+func (d *Dataset) DistinctCount(col int) int {
+	c := &d.cols[col]
+	seen := make([]bool, len(c.dict))
+	n := 0
+	for _, id := range c.ids {
+		if !seen[id] {
+			seen[id] = true
+			n++
+		}
+	}
+	return n
+}
 
 // AppendRow adds a tuple. It panics if the arity does not match the schema,
 // because that is always a programming error in this codebase.
@@ -51,7 +173,11 @@ func (d *Dataset) AppendRow(row []string) {
 	if len(row) != len(d.Attrs) {
 		panic(fmt.Sprintf("table: row arity %d does not match schema arity %d", len(row), len(d.Attrs)))
 	}
-	d.Rows = append(d.Rows, row)
+	for j, v := range row {
+		c := &d.cols[j]
+		c.ids = append(c.ids, c.intern(v))
+	}
+	d.nrows++
 }
 
 // ColIndex returns the index of the named attribute, or -1 if absent.
@@ -66,9 +192,10 @@ func (d *Dataset) ColIndex(attr string) int {
 
 // Column returns a copy of all values in the given column.
 func (d *Dataset) Column(col int) []string {
-	out := make([]string, len(d.Rows))
-	for i, r := range d.Rows {
-		out[i] = r[col]
+	c := &d.cols[col]
+	out := make([]string, len(c.ids))
+	for i, id := range c.ids {
+		out[i] = c.dict[id]
 	}
 	return out
 }
@@ -76,10 +203,10 @@ func (d *Dataset) Column(col int) []string {
 // Clone deep-copies the dataset. Mutating the clone never affects the
 // original, which matters when injecting errors into a clean ground truth.
 func (d *Dataset) Clone() *Dataset {
-	c := &Dataset{Name: d.Name, Attrs: append([]string(nil), d.Attrs...)}
-	c.Rows = make([][]string, len(d.Rows))
-	for i, r := range d.Rows {
-		c.Rows[i] = append([]string(nil), r...)
+	c := &Dataset{Name: d.Name, Attrs: append([]string(nil), d.Attrs...), nrows: d.nrows}
+	c.cols = make([]column, len(d.cols))
+	for j := range d.cols {
+		c.cols[j] = d.cols[j].clone()
 	}
 	return c
 }
@@ -87,26 +214,67 @@ func (d *Dataset) Clone() *Dataset {
 // Subset returns a new dataset containing the first n rows (or all rows if
 // n exceeds the row count). Used for scalability sweeps over Tax subsets.
 func (d *Dataset) Subset(n int) *Dataset {
-	if n > len(d.Rows) {
-		n = len(d.Rows)
+	if n > d.nrows {
+		n = d.nrows
 	}
-	c := &Dataset{Name: d.Name, Attrs: append([]string(nil), d.Attrs...)}
-	c.Rows = make([][]string, n)
-	for i := 0; i < n; i++ {
-		c.Rows[i] = append([]string(nil), d.Rows[i]...)
+	c := &Dataset{Name: d.Name, Attrs: append([]string(nil), d.Attrs...), nrows: n}
+	c.cols = make([]column, len(d.cols))
+	for j := range d.cols {
+		src := &d.cols[j]
+		c.cols[j] = column{
+			ids:   append([]uint32(nil), src.ids[:n]...),
+			dict:  append([]string(nil), src.dict...),
+			index: make(map[string]uint32, len(src.index)),
+		}
+		for v, id := range src.index {
+			c.cols[j].index[v] = id
+		}
 	}
 	return c
 }
 
-// Row returns the i-th tuple (not copied).
-func (d *Dataset) Row(i int) []string { return d.Rows[i] }
+// SubsetRows returns a new dataset containing exactly the given rows, in
+// the given order. Row indices may repeat; they must be in range.
+func (d *Dataset) SubsetRows(rows []int) *Dataset {
+	c := &Dataset{Name: d.Name, Attrs: append([]string(nil), d.Attrs...), nrows: len(rows)}
+	c.cols = make([]column, len(d.cols))
+	for j := range d.cols {
+		src := &d.cols[j]
+		ids := make([]uint32, len(rows))
+		for i, r := range rows {
+			ids[i] = src.ids[r]
+		}
+		c.cols[j] = column{
+			ids:   ids,
+			dict:  append([]string(nil), src.dict...),
+			index: make(map[string]uint32, len(src.index)),
+		}
+		for v, id := range src.index {
+			c.cols[j].index[v] = id
+		}
+	}
+	return c
+}
 
-// RowMap returns tuple i as an attribute→value map, the shape criteria
-// evaluation uses (mirroring the paper's generated `row[attr]` accessors).
+// Row returns the i-th tuple as a freshly allocated value slice.
+func (d *Dataset) Row(i int) []string {
+	out := make([]string, len(d.Attrs))
+	for j := range d.cols {
+		c := &d.cols[j]
+		out[j] = c.dict[c.ids[i]]
+	}
+	return out
+}
+
+// RowMap returns tuple i as an attribute→value map, the shape map-based
+// criteria evaluation uses (mirroring the paper's generated `row[attr]`
+// accessors). Hot paths should prefer the index-based accessors; this
+// allocates a map per call.
 func (d *Dataset) RowMap(i int) map[string]string {
 	m := make(map[string]string, len(d.Attrs))
 	for j, a := range d.Attrs {
-		m[a] = d.Rows[i][j]
+		c := &d.cols[j]
+		m[a] = c.dict[c.ids[i]]
 	}
 	return m
 }
@@ -115,22 +283,27 @@ func (d *Dataset) RowMap(i int) map[string]string {
 // LLM prompts: "a1: v1, a2: v2, ...". NULLs appear as empty strings.
 func (d *Dataset) SerializeTuple(i int) string {
 	var b strings.Builder
+	d.serializeTuple(&b, i)
+	return b.String()
+}
+
+func (d *Dataset) serializeTuple(b *strings.Builder, i int) {
 	for j, a := range d.Attrs {
 		if j > 0 {
 			b.WriteString(", ")
 		}
 		b.WriteString(a)
 		b.WriteString(": ")
-		b.WriteString(d.Rows[i][j])
+		c := &d.cols[j]
+		b.WriteString(c.dict[c.ids[i]])
 	}
-	return b.String()
 }
 
 // SerializeRows renders the given tuples one per line, for prompt bodies.
 func (d *Dataset) SerializeRows(rows []int) string {
 	var b strings.Builder
 	for _, i := range rows {
-		b.WriteString(d.SerializeTuple(i))
+		d.serializeTuple(&b, i)
 		b.WriteByte('\n')
 	}
 	return b.String()
@@ -147,8 +320,23 @@ func ErrorMask(dirty, clean *Dataset) ([][]bool, error) {
 	mask := make([][]bool, dirty.NumRows())
 	for i := range mask {
 		mask[i] = make([]bool, dirty.NumCols())
-		for j := range mask[i] {
-			mask[i][j] = dirty.Rows[i][j] != clean.Rows[i][j]
+	}
+	// Column-at-a-time comparison over IDs: resolve each dirty pool entry
+	// to the clean pool once, then compare integers per cell.
+	for j := 0; j < dirty.NumCols(); j++ {
+		dc, cc := &dirty.cols[j], &clean.cols[j]
+		// sameID[id] is the clean-pool ID holding the identical string, or
+		// -1 when the dirty value never occurs in the clean pool.
+		sameID := make([]int64, len(dc.dict))
+		for id, v := range dc.dict {
+			if cid, ok := cc.index[v]; ok {
+				sameID[id] = int64(cid)
+			} else {
+				sameID[id] = -1
+			}
+		}
+		for i, id := range dc.ids {
+			mask[i][j] = sameID[id] != int64(cc.ids[i])
 		}
 	}
 	return mask, nil

@@ -163,8 +163,8 @@ func TestCSVRoundTrip(t *testing.T) {
 	if back.NumRows() != d.NumRows() || back.NumCols() != d.NumCols() {
 		t.Fatalf("round trip shape %dx%d", back.NumRows(), back.NumCols())
 	}
-	for i := range d.Rows {
-		for j := range d.Rows[i] {
+	for i := 0; i < d.NumRows(); i++ {
+		for j := 0; j < d.NumCols(); j++ {
 			if back.Value(i, j) != d.Value(i, j) {
 				t.Errorf("cell (%d,%d) = %q, want %q", i, j, back.Value(i, j), d.Value(i, j))
 			}
@@ -175,6 +175,168 @@ func TestCSVRoundTrip(t *testing.T) {
 func TestReadCSVErrors(t *testing.T) {
 	if _, err := ReadCSV("x", strings.NewReader("")); err == nil {
 		t.Error("empty csv must error")
+	}
+}
+
+// ---- Columnar core: ID-level accessors and intern-pool semantics ----
+
+func TestValueIDsShareDictEntries(t *testing.T) {
+	d := sample()
+	// Gender column: "M", "F", "M" — two dict entries, rows 0 and 2 share one.
+	if got := d.DictSize(1); got != 2 {
+		t.Fatalf("DictSize(Gender) = %d, want 2", got)
+	}
+	if d.ValueID(0, 1) != d.ValueID(2, 1) {
+		t.Error("equal values must share a value ID")
+	}
+	if d.ValueID(0, 1) == d.ValueID(1, 1) {
+		t.Error("distinct values must have distinct IDs")
+	}
+	if got := d.DictValue(1, d.ValueID(1, 1)); got != "F" {
+		t.Errorf("DictValue = %q, want F", got)
+	}
+}
+
+func TestLookupID(t *testing.T) {
+	d := sample()
+	id, ok := d.LookupID(2, "Master")
+	if !ok || d.DictValue(2, id) != "Master" {
+		t.Errorf("LookupID(Master) = (%d, %v)", id, ok)
+	}
+	if _, ok := d.LookupID(2, "never-written"); ok {
+		t.Error("LookupID must miss for unseen values")
+	}
+}
+
+func TestSetValueRoundTripAndDictGrowth(t *testing.T) {
+	d := sample()
+	before := d.DictSize(3)
+	d.SetValue(1, 3, "brand-new-salary")
+	if got := d.Value(1, 3); got != "brand-new-salary" {
+		t.Errorf("Value after SetValue = %q", got)
+	}
+	if got := d.DictSize(3); got != before+1 {
+		t.Errorf("novel value must grow the dict: %d -> %d", before, got)
+	}
+	// Writing a value already in the pool must not grow it.
+	d.SetValue(0, 3, "brand-new-salary")
+	if got := d.DictSize(3); got != before+1 {
+		t.Errorf("existing value must reuse its dict entry, dict = %d", got)
+	}
+	if d.ValueID(0, 3) != d.ValueID(1, 3) {
+		t.Error("rewritten cells with equal values must share an ID")
+	}
+	// Overwritten entries stay in the pool (append-only), but DistinctCount
+	// reflects only values actually present.
+	if dc, ds := d.DistinctCount(3), d.DictSize(3); dc > ds {
+		t.Errorf("DistinctCount %d exceeds DictSize %d", dc, ds)
+	}
+}
+
+func TestForEachIDAndColumnIDs(t *testing.T) {
+	d := sample()
+	ids := d.ColumnIDs(1)
+	var got []uint32
+	d.ForEachID(1, func(row int, id uint32) {
+		if ids[row] != id {
+			t.Errorf("ColumnIDs[%d] = %d, ForEachID saw %d", row, ids[row], id)
+		}
+		got = append(got, id)
+	})
+	if len(got) != d.NumRows() {
+		t.Fatalf("ForEachID visited %d rows, want %d", len(got), d.NumRows())
+	}
+	for i, id := range got {
+		if d.DictValue(1, id) != d.Value(i, 1) {
+			t.Errorf("row %d: id %d decodes to %q, want %q", i, id, d.DictValue(1, id), d.Value(i, 1))
+		}
+	}
+}
+
+func TestCloneDictIsolation(t *testing.T) {
+	d := sample()
+	c := d.Clone()
+	c.SetValue(0, 0, "only-in-clone")
+	if _, ok := d.LookupID(0, "only-in-clone"); ok {
+		t.Error("Clone must not share intern pools with the original")
+	}
+	if d.Value(0, 0) != "Bob Johnson" {
+		t.Error("Clone must not share cell storage")
+	}
+	// Mutating the original after cloning must not leak either.
+	d.SetValue(1, 0, "only-in-original")
+	if _, ok := c.LookupID(0, "only-in-original"); ok {
+		t.Error("original mutations must not appear in the clone's pool")
+	}
+}
+
+func TestSubsetRows(t *testing.T) {
+	d := sample()
+	s := d.SubsetRows([]int{2, 0})
+	if s.NumRows() != 2 {
+		t.Fatalf("SubsetRows rows = %d, want 2", s.NumRows())
+	}
+	if s.Value(0, 0) != "DaveGreen" || s.Value(1, 0) != "Bob Johnson" {
+		t.Errorf("SubsetRows order wrong: %q, %q", s.Value(0, 0), s.Value(1, 0))
+	}
+	s.SetValue(0, 0, "X")
+	if d.Value(2, 0) != "DaveGreen" {
+		t.Error("SubsetRows must not share storage")
+	}
+}
+
+func TestDistinctCountIgnoresStaleDictEntries(t *testing.T) {
+	d := New("t", []string{"A"})
+	d.AppendRow([]string{"x"})
+	d.AppendRow([]string{"y"})
+	d.SetValue(1, 0, "x") // "y" is now stale in the pool
+	if got := d.DistinctCount(0); got != 1 {
+		t.Errorf("DistinctCount = %d, want 1", got)
+	}
+	if got := d.DictSize(0); got != 2 {
+		t.Errorf("DictSize = %d, want 2 (append-only pool)", got)
+	}
+}
+
+// Property: load → mutate via SetValue → Value/Column match plain row-major
+// reference semantics exactly.
+func TestColumnarMatchesRowMajorSemantics(t *testing.T) {
+	f := func(writes []uint16, vals []string) bool {
+		d := New("p", []string{"a", "b", "c"})
+		ref := [][]string{}
+		for i := 0; i < 5; i++ {
+			row := []string{"a0", "b0", "c0"}
+			d.AppendRow(row)
+			ref = append(ref, append([]string(nil), row...))
+		}
+		for k, w := range writes {
+			if len(vals) == 0 {
+				break
+			}
+			i, j := int(w)%5, int(w/8)%3
+			v := vals[k%len(vals)]
+			d.SetValue(i, j, v)
+			ref[i][j] = v
+		}
+		for i := range ref {
+			for j := range ref[i] {
+				if d.Value(i, j) != ref[i][j] {
+					return false
+				}
+			}
+		}
+		for j := 0; j < 3; j++ {
+			col := d.Column(j)
+			for i := range ref {
+				if col[i] != ref[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -127,10 +127,15 @@ func (dt *Detector) Detect(d *table.Dataset) (*Result, error) {
 	res.TrainingCells = len(training) + len(synth)
 
 	// ---- Step 4: detector training and prediction ----
-	X := make([][]float64, 0, len(training)+len(synth))
-	y := make([]float64, 0, len(training)+len(synth))
+	dim := ext.Dim()
+	total := len(training) + len(synth)
+	flat := make([]float64, total*dim) // one block for all training vectors
+	X := make([][]float64, 0, total)
+	y := make([]float64, 0, total)
 	for _, c := range training {
-		X = append(X, ext.Feature(c.row, c.col))
+		f := flat[len(X)*dim : (len(X)+1)*dim]
+		ext.FeatureInto(c.row, c.col, f)
+		X = append(X, f)
 		if c.isErr {
 			y = append(y, 1)
 		} else {
@@ -138,7 +143,9 @@ func (dt *Detector) Detect(d *table.Dataset) (*Result, error) {
 		}
 	}
 	for _, s := range synth {
-		X = append(X, featureWithSubstitution(ext, d, s))
+		f := flat[len(X)*dim : (len(X)+1)*dim]
+		featureWithSubstitution(ext, d, s, f)
+		X = append(X, f)
 		y = append(y, 1)
 	}
 
@@ -177,13 +184,15 @@ func (dt *Detector) Detect(d *table.Dataset) (*Result, error) {
 // featureWithSubstitution computes the feature vector of a synthetic
 // augmented-error cell by temporarily substituting the value in place.
 // Frequency tables keep their original counts, which is the realistic
-// treatment: a novel error value has (near-)zero observed frequency.
-func featureWithSubstitution(ext *feature.Extractor, d *table.Dataset, s syntheticCell) []float64 {
+// treatment: a novel error value has (near-)zero observed frequency. The
+// substituted value is interned into the column's pool past the
+// extractor's memo tables, so its per-value quantities are computed on the
+// fly.
+func featureWithSubstitution(ext *feature.Extractor, d *table.Dataset, s syntheticCell, out []float64) {
 	orig := d.Value(s.row, s.col)
 	d.SetValue(s.row, s.col, s.value)
-	f := ext.Feature(s.row, s.col)
+	ext.FeatureInto(s.row, s.col, out)
 	d.SetValue(s.row, s.col, orig)
-	return f
 }
 
 func hasBothClasses(y []float64) bool {

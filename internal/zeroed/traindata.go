@@ -83,15 +83,16 @@ func (dt *Detector) buildTrainingData(
 		}
 
 		// Lines 8-14: verify criteria against propagated-clean rows with
-		// the paper's 0.5 accuracy threshold.
-		var rightRows []map[string]string
+		// the paper's 0.5 accuracy threshold (index-based evaluation; no
+		// per-row map materialization).
+		var rightRows []int
 		for _, lc := range propagated {
 			if !lc.isErr {
-				rightRows = append(rightRows, d.RowMap(lc.row))
+				rightRows = append(rightRows, lc.row)
 			}
 		}
 		if refined != nil {
-			refined = criteria.VerifySet(refined, rightRows, 0.5)
+			refined = criteria.VerifySetAt(refined, d, j, rightRows, 0.5)
 			// Update criteria features with the verified refined set.
 			ext.SetCriteria(j, refined)
 			critSets[j] = refined
@@ -111,13 +112,13 @@ func (dt *Detector) buildTrainingData(
 		for _, lc := range propagated {
 			if lc.isErr {
 				if refined != nil && len(refined.Criteria) > 0 &&
-					!directlyLabeled[lc.row] && refined.PassRate(d.RowMap(lc.row)) == 1 {
+					!directlyLabeled[lc.row] && refined.PassRateAt(d, lc.row, j) == 1 {
 					continue
 				}
 				training = append(training, lc)
 				continue
 			}
-			if refined == nil || refined.PassRate(d.RowMap(lc.row)) >= 0.5 {
+			if refined == nil || refined.PassRateAt(d, lc.row, j) >= 0.5 {
 				training = append(training, lc)
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/eval"
 	"repro/internal/llm"
+	"repro/internal/nn"
 	"repro/internal/table"
 )
 
@@ -17,12 +18,28 @@ func smallBench(t *testing.T) *datasets.Bench {
 	return datasets.Hospital(300, 11)
 }
 
+// skipIfShort skips tests that run the full pipeline several times over;
+// single-run coverage stays on under -short.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("multi-run pipeline test; skipped under -short")
+	}
+}
+
 func fastConfig() Config {
-	return Config{
+	cfg := Config{
 		LabelRate: 0.08,
 		EmbedDim:  16,
 		Seed:      1,
 	}
+	if testing.Short() {
+		// Fewer detector epochs under -short; the pipeline's behavior is
+		// identical, it just converges less tightly.
+		cfg.MLP = nn.DefaultConfig()
+		cfg.MLP.Epochs = 6
+	}
+	return cfg
 }
 
 func TestDetectEndToEnd(t *testing.T) {
@@ -74,6 +91,7 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestAblationsRunAndDegrade(t *testing.T) {
+	skipIfShort(t)
 	b := smallBench(t)
 	base := fastConfig()
 	f1 := func(cfg Config) float64 {
@@ -109,6 +127,7 @@ func TestAblationsRunAndDegrade(t *testing.T) {
 }
 
 func TestSamplersAllWork(t *testing.T) {
+	skipIfShort(t)
 	b := smallBench(t)
 	for _, s := range []Sampler{SamplerKMeans, SamplerAgglomerative, SamplerRandom} {
 		cfg := fastConfig()
@@ -129,6 +148,7 @@ func TestSamplersAllWork(t *testing.T) {
 }
 
 func TestTokenUsageScalesWithLabelRate(t *testing.T) {
+	skipIfShort(t)
 	b := smallBench(t)
 	usage := func(rate float64) int64 {
 		cfg := fastConfig()
@@ -146,6 +166,7 @@ func TestTokenUsageScalesWithLabelRate(t *testing.T) {
 }
 
 func TestWeakModelDoesWorse(t *testing.T) {
+	skipIfShort(t)
 	b := smallBench(t)
 	f1For := func(p llm.Profile) float64 {
 		cfg := fastConfig()
@@ -225,6 +246,7 @@ func TestCapPropagatedKeepsErrors(t *testing.T) {
 func newTestRng() *rand.Rand { return rand.New(rand.NewSource(9)) }
 
 func TestWorkerCountInvariance(t *testing.T) {
+	skipIfShort(t)
 	b := datasets.Hospital(150, 13)
 	run := func(workers int) [][]bool {
 		cfg := fastConfig()
@@ -247,6 +269,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 }
 
 func TestLargeDatasetUsesRowSample(t *testing.T) {
+	skipIfShort(t)
 	// With ClusterSampleRows below the row count, the pipeline must still
 	// produce a full prediction mask.
 	b := datasets.Hospital(400, 15)
@@ -269,6 +292,7 @@ func TestLargeDatasetUsesRowSample(t *testing.T) {
 }
 
 func TestMaxClustersCapRespected(t *testing.T) {
+	skipIfShort(t)
 	b := datasets.Hospital(300, 16)
 	cfg := fastConfig()
 	cfg.LabelRate = 0.5 // would be 150 clusters/attr uncapped
