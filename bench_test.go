@@ -14,6 +14,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/experiments"
 	"repro/internal/llm"
+	"repro/internal/table"
 	"repro/internal/zeroed"
 )
 
@@ -214,6 +215,75 @@ func BenchmarkAblationMLPWidth(b *testing.B) {
 		narrow.MLP.Epochs = 12
 		reportF1(b, "mlp16x8", runConfig(b, narrow, bench))
 		reportF1(b, "mlp64x32", runConfig(b, zeroed.Config{Seed: 9}, bench))
+	}
+}
+
+// ---- Scaling benches: the sharded, fully-parallel detection engine ----
+
+// BenchmarkDetectSharded compares serial detection (one worker, one scoring
+// shard) against the sharded parallel engine (GOMAXPROCS workers, auto
+// shards) on the scaled Tax workload of the Fig. 7b/8b sweeps. Both modes
+// produce bit-identical results (pinned by TestWorkerAndShardInvariance);
+// only scheduling differs, so the time/op ratio is the engine's speedup.
+// On a single-CPU machine the two converge; near-linear scaling needs
+// multiple cores.
+func BenchmarkDetectSharded(b *testing.B) {
+	bench := datasets.Tax(3000, 1)
+	run := func(cfg zeroed.Config) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := zeroed.New(cfg).Detect(bench.Dirty); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", run(zeroed.Config{Seed: 1, Workers: 1, Shards: 1}))
+	b.Run("sharded", run(zeroed.Config{Seed: 1}))
+}
+
+// BenchmarkDetectBatch compares detecting several Tax datasets one after
+// another against multiplexing them over one shared worker pool. Per-
+// dataset results are bit-identical (pinned by TestDetectBatchMatchesDetect).
+func BenchmarkDetectBatch(b *testing.B) {
+	var ds []*table.Dataset
+	for seed := int64(1); seed <= 4; seed++ {
+		ds = append(ds, datasets.Tax(1200, seed).Dirty)
+	}
+	// The sequential arm uses default Workers too, so the ratio isolates
+	// what multiplexing datasets over one pool buys — not intra-run
+	// parallelism.
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det := zeroed.New(zeroed.Config{Seed: 1})
+			for _, d := range ds {
+				if _, err := det.Detect(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := zeroed.New(zeroed.Config{Seed: 1}).DetectBatch(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDetectShardsIndependent measures the independent-model sharding
+// mode (DetectShards): the full pipeline per row shard, merged verdicts.
+func BenchmarkDetectShardsIndependent(b *testing.B) {
+	bench := datasets.Tax(3000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zeroed.New(zeroed.Config{Seed: 1}).DetectShards(bench.Dirty, 4); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

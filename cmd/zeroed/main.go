@@ -8,12 +8,20 @@
 //
 // With -dataset NAME (-dirty omitted), a built-in synthetic benchmark is
 // generated instead, e.g. -dataset Hospital.
+//
+// Scaling knobs (ZeroED only): -workers bounds the shared worker pool,
+// -shards splits the scoring pass into row shards; both leave results
+// bit-identical and change only wall-clock. -batch detects several inputs
+// concurrently over one pool: either a comma-separated list of dirty CSVs,
+// or (with -dataset) a replica count, generating the replicas at seeds
+// seed..seed+n-1 (every replica is detected with the same -seed config).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/baselines"
@@ -26,71 +34,116 @@ import (
 	"repro/internal/zeroed"
 )
 
+// runOpts carries the parsed command line.
+type runOpts struct {
+	dirtyPath string
+	cleanPath string
+	dataset   string
+	size      int
+	method    string
+	model     string
+	labelRate float64
+	corrK     int
+	seed      int64
+	workers   int
+	shards    int
+	batch     string
+	outPath   string
+	repairOut string
+}
+
 func main() {
-	var (
-		dirtyPath = flag.String("dirty", "", "path to the dirty CSV (header row required)")
-		cleanPath = flag.String("clean", "", "optional path to the clean ground-truth CSV for scoring")
-		dataset   = flag.String("dataset", "", "generate a built-in benchmark instead of reading CSVs (Hospital, Flights, Beers, Rayyan, Billionaire, Movies, Tax)")
-		size      = flag.Int("size", 0, "tuple count for -dataset (0 = Table II default)")
-		method    = flag.String("method", "zeroed", "detector: zeroed, dboost, nadeef, katara, raha, activeclean, fmed")
-		model     = flag.String("model", "Qwen2.5-72b", "simulated LLM profile for zeroed/fmed")
-		labelRate = flag.Float64("label-rate", 0.05, "ZeroED LLM label rate")
-		corrK     = flag.Int("corr", 2, "ZeroED correlated attribute count")
-		seed      = flag.Int64("seed", 1, "random seed")
-		outPath   = flag.String("out", "", "optional path to write the predicted error mask as CSV")
-		repairOut = flag.String("repair", "", "optional path to write a repaired copy of the data as CSV")
-	)
+	var o runOpts
+	flag.StringVar(&o.dirtyPath, "dirty", "", "path to the dirty CSV (header row required)")
+	flag.StringVar(&o.cleanPath, "clean", "", "optional path to the clean ground-truth CSV for scoring")
+	flag.StringVar(&o.dataset, "dataset", "", "generate a built-in benchmark instead of reading CSVs (Hospital, Flights, Beers, Rayyan, Billionaire, Movies, Tax)")
+	flag.IntVar(&o.size, "size", 0, "tuple count for -dataset (0 = Table II default)")
+	flag.StringVar(&o.method, "method", "zeroed", "detector: zeroed, dboost, nadeef, katara, raha, activeclean, fmed")
+	flag.StringVar(&o.model, "model", "Qwen2.5-72b", "simulated LLM profile for zeroed/fmed")
+	flag.Float64Var(&o.labelRate, "label-rate", 0.05, "ZeroED LLM label rate")
+	flag.IntVar(&o.corrK, "corr", 2, "ZeroED correlated attribute count")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.workers, "workers", 0, "ZeroED worker-pool size (0 = GOMAXPROCS); results are identical for any value")
+	flag.IntVar(&o.shards, "shards", 0, "ZeroED scoring-shard count (0 = auto); results are identical for any value")
+	flag.StringVar(&o.batch, "batch", "", "detect a batch over one shared pool: comma-separated dirty CSVs, or a replica count with -dataset (replicas generated at seeds seed..seed+n-1)")
+	flag.StringVar(&o.outPath, "out", "", "optional path to write the predicted error mask as CSV")
+	flag.StringVar(&o.repairOut, "repair", "", "optional path to write a repaired copy of the data as CSV")
 	flag.Parse()
 
-	if err := run(*dirtyPath, *cleanPath, *dataset, *size, *method, *model, *labelRate, *corrK, *seed, *outPath, *repairOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "zeroed:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dirtyPath, cleanPath, dataset string, size int, method, model string, labelRate float64, corrK int, seed int64, outPath, repairOut string) error {
+func (o runOpts) zeroedConfig() zeroed.Config {
+	return zeroed.Config{
+		LabelRate: o.labelRate, CorrK: o.corrK, Seed: o.seed,
+		Workers: o.workers, Shards: o.shards,
+	}
+}
+
+func run(o runOpts) error {
+	profile, ok := llm.ProfileByName(o.model)
+	if !ok {
+		return fmt.Errorf("unknown model %q", o.model)
+	}
+	if o.batch != "" {
+		// Flags that only apply to single-dataset runs would be silently
+		// ignored in batch mode; reject the combination instead.
+		for _, c := range []struct {
+			name string
+			set  bool
+		}{
+			{"-dirty", o.dirtyPath != ""},
+			{"-clean", o.cleanPath != ""},
+			{"-out", o.outPath != ""},
+			{"-repair", o.repairOut != ""},
+		} {
+			if c.set {
+				return fmt.Errorf("%s cannot be combined with -batch", c.name)
+			}
+		}
+		return runBatch(o, profile)
+	}
+
 	var dirty, clean *table.Dataset
 	var kb *knowledge.Base
 	var fdPairs [][2]int
 
 	switch {
-	case dataset != "":
-		gen := datasets.ByName(dataset)
-		if gen == nil {
-			return fmt.Errorf("unknown dataset %q (have %s)", dataset, strings.Join(datasets.Names(), ", "))
-		}
-		b := gen(size, seed)
-		dirty, clean, kb, fdPairs = b.Dirty, b.Clean, b.KB, b.FDPairs
-		fmt.Printf("generated %s: %d tuples x %d attributes, %.2f%% cell errors\n",
-			b.Name, dirty.NumRows(), dirty.NumCols(), 100*b.ErrorRate())
-	case dirtyPath != "":
-		var err error
-		dirty, err = table.ReadCSVFile("input", dirtyPath)
+	case o.dataset != "":
+		gen, err := datasetGen(o.dataset)
 		if err != nil {
 			return err
 		}
-		if cleanPath != "" {
-			clean, err = table.ReadCSVFile("truth", cleanPath)
+		b := gen(o.size, o.seed)
+		dirty, clean, kb, fdPairs = b.Dirty, b.Clean, b.KB, b.FDPairs
+		fmt.Printf("generated %s: %d tuples x %d attributes, %.2f%% cell errors\n",
+			b.Name, dirty.NumRows(), dirty.NumCols(), 100*b.ErrorRate())
+	case o.dirtyPath != "":
+		var err error
+		dirty, err = table.ReadCSVFile("input", o.dirtyPath)
+		if err != nil {
+			return err
+		}
+		if o.cleanPath != "" {
+			clean, err = table.ReadCSVFile("truth", o.cleanPath)
 			if err != nil {
 				return err
 			}
 		}
 		kb = knowledge.NewBase()
 	default:
-		return fmt.Errorf("either -dirty or -dataset is required")
-	}
-
-	profile, ok := llm.ProfileByName(model)
-	if !ok {
-		return fmt.Errorf("unknown model %q", model)
+		return fmt.Errorf("either -dirty, -dataset, or -batch is required")
 	}
 
 	var pred [][]bool
-	switch strings.ToLower(method) {
+	switch strings.ToLower(o.method) {
 	case "zeroed":
-		det := zeroed.New(zeroed.Config{
-			LabelRate: labelRate, CorrK: corrK, Profile: profile, Seed: seed,
-		})
+		cfg := o.zeroedConfig()
+		cfg.Profile = profile
+		det := zeroed.New(cfg)
 		res, err := det.Detect(dirty)
 		if err != nil {
 			return err
@@ -101,7 +154,7 @@ func run(dirtyPath, cleanPath, dataset string, size int, method, model string, l
 		fmt.Printf("LLM usage: %d calls, %d input + %d output tokens; runtime %v\n",
 			res.Usage.Calls, res.Usage.InputTokens, res.Usage.OutputTokens, res.Runtime.Round(1e6))
 	default:
-		m, err := baselineByName(method, profile, kb, fdPairs, dirty, clean)
+		m, err := baselineByName(o.method, profile, kb, fdPairs, dirty, clean)
 		if err != nil {
 			return err
 		}
@@ -130,12 +183,12 @@ func run(dirtyPath, cleanPath, dataset string, size int, method, model string, l
 		fmt.Printf("precision %.3f, recall %.3f, F1 %.3f\n", m.Precision, m.Recall, m.F1)
 	}
 
-	if repairOut != "" {
+	if o.repairOut != "" {
 		repaired, fixes := repair.New(repair.Config{}).Apply(dirty, pred)
-		if err := repaired.WriteCSVFile(repairOut); err != nil {
+		if err := repaired.WriteCSVFile(o.repairOut); err != nil {
 			return err
 		}
-		fmt.Printf("applied %d repairs, wrote repaired data to %s\n", len(fixes), repairOut)
+		fmt.Printf("applied %d repairs, wrote repaired data to %s\n", len(fixes), o.repairOut)
 		if clean != nil {
 			before, _ := table.ErrorRate(dirty, clean)
 			after, _ := table.ErrorRate(repaired, clean)
@@ -143,7 +196,7 @@ func run(dirtyPath, cleanPath, dataset string, size int, method, model string, l
 		}
 	}
 
-	if outPath != "" {
+	if o.outPath != "" {
 		mask := table.New("mask", dirty.Attrs)
 		for i := range pred {
 			row := make([]string, len(pred[i]))
@@ -156,12 +209,108 @@ func run(dirtyPath, cleanPath, dataset string, size int, method, model string, l
 			}
 			mask.AppendRow(row)
 		}
-		if err := mask.WriteCSVFile(outPath); err != nil {
+		if err := mask.WriteCSVFile(o.outPath); err != nil {
 			return err
 		}
-		fmt.Println("wrote mask to", outPath)
+		fmt.Println("wrote mask to", o.outPath)
 	}
 	return nil
+}
+
+// runBatch detects several inputs concurrently over one shared worker pool
+// (zeroed.DetectBatch). The batch is either a replica count over -dataset
+// (seeds seed..seed+n-1) or a comma-separated list of dirty CSV paths,
+// each loaded through the chunked CSV reader.
+func runBatch(o runOpts, profile llm.Profile) error {
+	if strings.ToLower(o.method) != "zeroed" {
+		return fmt.Errorf("-batch supports only -method zeroed")
+	}
+	var ds []*table.Dataset
+	var cleans []*table.Dataset // parallel to ds; nil entries when unscored
+
+	if n, err := strconv.Atoi(o.batch); err == nil {
+		if o.dataset == "" {
+			return fmt.Errorf("-batch with a replica count requires -dataset")
+		}
+		if n < 1 {
+			return fmt.Errorf("-batch replica count must be >= 1, got %d", n)
+		}
+		gen, err := datasetGen(o.dataset)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			seed := o.seed + int64(i)
+			b := gen(o.size, seed)
+			// Distinguish the otherwise identically named replicas in the
+			// per-dataset result lines.
+			b.Dirty.Name = fmt.Sprintf("%s@seed%d", b.Name, seed)
+			ds = append(ds, b.Dirty)
+			cleans = append(cleans, b.Clean)
+		}
+		fmt.Printf("generated %d %s replicas (seeds %d..%d)\n", n, o.dataset, o.seed, o.seed+int64(n)-1)
+	} else {
+		if o.dataset != "" {
+			return fmt.Errorf("-dataset cannot be combined with a -batch CSV list (use a replica count, e.g. -batch 4)")
+		}
+		for _, path := range strings.Split(o.batch, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			d, err := table.ReadCSVFile(path, path)
+			if err != nil {
+				return err
+			}
+			ds = append(ds, d)
+			cleans = append(cleans, nil)
+		}
+		if len(ds) == 0 {
+			return fmt.Errorf("-batch lists no CSV paths")
+		}
+	}
+
+	cfg := o.zeroedConfig()
+	cfg.Profile = profile
+	results, err := zeroed.New(cfg).DetectBatch(ds)
+	if err != nil {
+		return err
+	}
+	var usage llm.Usage
+	for i, res := range results {
+		flagged := 0
+		for _, row := range res.Pred {
+			for _, p := range row {
+				if p {
+					flagged++
+				}
+			}
+		}
+		line := fmt.Sprintf("%-24s %d rows, flagged %d of %d cells (%.2f%%), %v",
+			ds[i].Name, ds[i].NumRows(), flagged, ds[i].NumCells(),
+			100*float64(flagged)/float64(ds[i].NumCells()), res.Runtime.Round(1e6))
+		if cleans[i] != nil {
+			m, err := eval.ComputeAgainst(res.Pred, ds[i], cleans[i])
+			if err != nil {
+				return err
+			}
+			line += fmt.Sprintf(", P=%.3f R=%.3f F1=%.3f", m.Precision, m.Recall, m.F1)
+		}
+		fmt.Println(line)
+		usage.Add(res.Usage)
+	}
+	fmt.Printf("batch of %d: %d LLM calls, %d input + %d output tokens\n",
+		len(ds), usage.Calls, usage.InputTokens, usage.OutputTokens)
+	return nil
+}
+
+// datasetGen resolves a built-in benchmark generator by name.
+func datasetGen(name string) (datasets.Generator, error) {
+	gen := datasets.ByName(name)
+	if gen == nil {
+		return nil, fmt.Errorf("unknown dataset %q (have %s)", name, strings.Join(datasets.Names(), ", "))
+	}
+	return gen, nil
 }
 
 func baselineByName(name string, profile llm.Profile, kb *knowledge.Base, fdPairs [][2]int, dirty, clean *table.Dataset) (baselines.Method, error) {

@@ -9,11 +9,30 @@ import (
 	"repro/internal/llm"
 )
 
+// opts builds a runOpts with the flag defaults, then applies mod.
+func opts(mod func(*runOpts)) runOpts {
+	o := runOpts{
+		method: "zeroed", model: "Qwen2.5-72b",
+		labelRate: 0.05, corrK: 2, seed: 1,
+	}
+	if mod != nil {
+		mod(&o)
+	}
+	return o
+}
+
 func TestRunOnGeneratedDataset(t *testing.T) {
 	dir := t.TempDir()
 	mask := filepath.Join(dir, "mask.csv")
 	repaired := filepath.Join(dir, "repaired.csv")
-	err := run("", "", "Hospital", 250, "zeroed", "Qwen2.5-72b", 0.08, 2, 5, mask, repaired)
+	err := run(opts(func(o *runOpts) {
+		o.dataset = "Hospital"
+		o.size = 250
+		o.labelRate = 0.08
+		o.seed = 5
+		o.outPath = mask
+		o.repairOut = repaired
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,22 +71,27 @@ func TestRunOnCSVFiles(t *testing.T) {
 	if err := os.WriteFile(clean, []byte(cb.String()), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dirty, clean, "", 0, "dboost", "Qwen2.5-72b", 0.05, 2, 1, "", ""); err != nil {
+	err := run(opts(func(o *runOpts) {
+		o.dirtyPath = dirty
+		o.cleanPath = clean
+		o.method = "dboost"
+	}))
+	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "", "", 0, "zeroed", "Qwen2.5-72b", 0.05, 2, 1, "", ""); err == nil {
+	if err := run(opts(nil)); err == nil {
 		t.Error("missing input must error")
 	}
-	if err := run("", "", "NoSuchSet", 0, "zeroed", "Qwen2.5-72b", 0.05, 2, 1, "", ""); err == nil {
+	if err := run(opts(func(o *runOpts) { o.dataset = "NoSuchSet" })); err == nil {
 		t.Error("unknown dataset must error")
 	}
-	if err := run("", "", "Hospital", 100, "zeroed", "NoSuchModel", 0.05, 2, 1, "", ""); err == nil {
+	if err := run(opts(func(o *runOpts) { o.dataset = "Hospital"; o.size = 100; o.model = "NoSuchModel" })); err == nil {
 		t.Error("unknown model must error")
 	}
-	if err := run("", "", "Hospital", 100, "nosuchmethod", "Qwen2.5-72b", 0.05, 2, 1, "", ""); err == nil {
+	if err := run(opts(func(o *runOpts) { o.dataset = "Hospital"; o.size = 100; o.method = "nosuchmethod" })); err == nil {
 		t.Error("unknown method must error")
 	}
 	// Raha without -clean has no oracle.
@@ -76,8 +100,75 @@ func TestRunValidation(t *testing.T) {
 	if err := os.WriteFile(dirty, []byte("A\nx\ny\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dirty, "", "", 0, "raha", "Qwen2.5-72b", 0.05, 2, 1, "", ""); err == nil {
+	if err := run(opts(func(o *runOpts) { o.dirtyPath = dirty; o.method = "raha" })); err == nil {
 		t.Error("raha without clean labels must error")
+	}
+}
+
+func TestRunBatchReplicas(t *testing.T) {
+	err := run(opts(func(o *runOpts) {
+		o.dataset = "Hospital"
+		o.size = 150
+		o.batch = "2"
+		o.workers = 2
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBatchCSVList(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for _, name := range []string{"a.csv", "b.csv"} {
+		var sb strings.Builder
+		sb.WriteString("Grade,Score\n")
+		for i := 0; i < 80; i++ {
+			if i == 2 {
+				sb.WriteString("A,9000\n")
+			} else {
+				sb.WriteString("A,90\n")
+			}
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	err := run(opts(func(o *runOpts) { o.batch = strings.Join(paths, ",") }))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	if err := run(opts(func(o *runOpts) { o.batch = "3" })); err == nil {
+		t.Error("replica batch without -dataset must error")
+	}
+	if err := run(opts(func(o *runOpts) { o.batch = "2"; o.dataset = "Hospital"; o.method = "dboost" })); err == nil {
+		t.Error("batch with a baseline method must error")
+	}
+	if err := run(opts(func(o *runOpts) { o.batch = " , " })); err == nil {
+		t.Error("batch listing no paths must error")
+	}
+	if err := run(opts(func(o *runOpts) { o.batch = "0"; o.dataset = "Hospital" })); err == nil {
+		t.Error("batch replica count of 0 must error")
+	}
+	if err := run(opts(func(o *runOpts) { o.batch = "x.csv"; o.dataset = "Hospital" })); err == nil ||
+		!strings.Contains(err.Error(), "CSV list") {
+		t.Errorf("-dataset with a -batch CSV list must be rejected, got %v", err)
+	}
+	for _, mod := range []func(*runOpts){
+		func(o *runOpts) { o.dirtyPath = "x.csv" },
+		func(o *runOpts) { o.cleanPath = "x.csv" },
+		func(o *runOpts) { o.outPath = "x.csv" },
+		func(o *runOpts) { o.repairOut = "x.csv" },
+	} {
+		err := run(opts(func(o *runOpts) { o.batch = "2"; o.dataset = "Hospital"; mod(o) }))
+		if err == nil || !strings.Contains(err.Error(), "-batch") {
+			t.Errorf("single-run flag combined with -batch must be rejected, got %v", err)
+		}
 	}
 }
 

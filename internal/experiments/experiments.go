@@ -17,6 +17,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/eval"
 	"repro/internal/llm"
+	"repro/internal/table"
 	"repro/internal/zeroed"
 )
 
@@ -32,6 +33,17 @@ type Options struct {
 	// TaxSizes overrides the Fig. 7b/8b Tax subset sweep (default: the
 	// paper's 50k/100k/150k/200k, scaled).
 	TaxSizes []int
+	// Workers bounds ZeroED's shared worker pool (0 = GOMAXPROCS). Results
+	// are identical for any value; only wall-clock changes.
+	Workers int
+	// Shards sets ZeroED's scoring-shard count (0 = auto). Results are
+	// identical for any value.
+	Shards int
+	// Batch runs the Fig. 7b/8b Tax sweep's ZeroED detections as one
+	// DetectBatch over the shared pool instead of serially. Per-size
+	// results are bit-identical either way; the reported per-size runtimes
+	// then reflect concurrent execution.
+	Batch bool
 }
 
 func (o Options) withDefaults() Options {
@@ -75,9 +87,10 @@ func comparisonBenches(o Options) []*datasets.Bench {
 	return out
 }
 
-// zeroedConfig is the paper-default ZeroED configuration.
-func zeroedConfig(seed int64) zeroed.Config {
-	return zeroed.Config{Seed: seed}
+// zeroedConfig is the paper-default ZeroED configuration with the run's
+// parallelism knobs applied.
+func (o Options) zeroedConfig() zeroed.Config {
+	return zeroed.Config{Seed: o.Seed, Workers: o.Workers, Shards: o.Shards}
 }
 
 // runZeroED executes ZeroED with the given config and scores it.
@@ -122,6 +135,36 @@ func runMethod(m baselines.Method, b *datasets.Bench) (eval.Metrics, time.Durati
 	}
 	met, err := eval.ComputeAgainst(pred, b.Dirty, b.Clean)
 	return met, el, err
+}
+
+// taxSweep returns a per-index source of (bench, ZeroED result) pairs for
+// the Fig. 7b/8b Tax subset sweep. With Options.Batch, every size is
+// generated up front and detected concurrently as one DetectBatch over a
+// shared worker pool — per-size results are bit-identical to serial runs
+// (batching changes scheduling, never results), but reported runtimes then
+// reflect concurrent execution. Serially, each call generates and detects
+// one size so peak memory stays that of the largest subset.
+func taxSweep(o Options, sizes []int) (func(idx int) (*datasets.Bench, *zeroed.Result, error), error) {
+	if o.Batch {
+		benches := make([]*datasets.Bench, len(sizes))
+		ds := make([]*table.Dataset, len(sizes))
+		for i, n := range sizes {
+			benches[i] = datasets.Tax(n, o.Seed)
+			ds[i] = benches[i].Dirty
+		}
+		results, err := zeroed.New(o.zeroedConfig()).DetectBatch(ds)
+		if err != nil {
+			return nil, err
+		}
+		return func(idx int) (*datasets.Bench, *zeroed.Result, error) {
+			return benches[idx], results[idx], nil
+		}, nil
+	}
+	return func(idx int) (*datasets.Bench, *zeroed.Result, error) {
+		b := datasets.Tax(sizes[idx], o.Seed)
+		_, zres, err := runZeroED(b, o.zeroedConfig())
+		return b, zres, err
+	}, nil
 }
 
 // taxSizes resolves the Fig. 7b/8b subset sweep.

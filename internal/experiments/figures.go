@@ -37,7 +37,7 @@ func Fig6(o Options) (*Fig6Result, error) {
 	fmt.Fprintln(o.Out, "Fig. 6: Raha performance via active learning (#labeled tuples vs F1)")
 	for _, b := range comparisonBenches(o) {
 		res.Datasets = append(res.Datasets, b.Name)
-		zm, _, err := runZeroED(b, zeroedConfig(o.Seed))
+		zm, _, err := runZeroED(b, o.zeroedConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +107,7 @@ func Fig7(o Options) (*Fig7Result, error) {
 			}
 			record(m.Name(), b.Name, el)
 		}
-		_, zres, err := runZeroED(b, zeroedConfig(o.Seed))
+		_, zres, err := runZeroED(b, o.zeroedConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -124,18 +124,21 @@ func Fig7(o Options) (*Fig7Result, error) {
 	// Tax subset sweep (50k..200k scaled, or Options.TaxSizes).
 	fmt.Fprintln(o.Out, "Fig. 7b: runtime across Tax subset sizes")
 	res.TaxSizes = o.taxSizes()
-	for _, n := range res.TaxSizes {
-		b := datasets.Tax(n, o.Seed)
+	taxAt, err := taxSweep(o, res.TaxSizes)
+	if err != nil {
+		return nil, err
+	}
+	for idx, n := range res.TaxSizes {
+		b, zres, err := taxAt(idx)
+		if err != nil {
+			return nil, err
+		}
 		for _, m := range methodSet(b, o.Seed) {
 			_, el, err := runMethod(m, b)
 			if err != nil {
 				return nil, err
 			}
 			res.PerSize[m.Name()] = append(res.PerSize[m.Name()], el)
-		}
-		_, zres, err := runZeroED(b, zeroedConfig(o.Seed))
-		if err != nil {
-			return nil, err
 		}
 		res.PerSize["ZeroED"] = append(res.PerSize["ZeroED"], zres.Runtime)
 		fmt.Fprintf(o.Out, "n=%d:", n)
@@ -169,7 +172,7 @@ func Fig8(o Options) (*Fig8Result, error) {
 	fmt.Fprintln(o.Out, "Fig. 8a: token cost across datasets (input/output)")
 	for _, b := range comparisonBenches(o) {
 		res.Datasets = append(res.Datasets, b.Name)
-		_, zres, err := runZeroED(b, zeroedConfig(o.Seed))
+		_, zres, err := runZeroED(b, o.zeroedConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -188,9 +191,12 @@ func Fig8(o Options) (*Fig8Result, error) {
 
 	fmt.Fprintln(o.Out, "Fig. 8b: token cost across Tax subset sizes")
 	res.TaxSizes = o.taxSizes()
-	for _, n := range res.TaxSizes {
-		b := datasets.Tax(n, o.Seed)
-		_, zres, err := runZeroED(b, zeroedConfig(o.Seed))
+	taxAt, err := taxSweep(o, res.TaxSizes)
+	if err != nil {
+		return nil, err
+	}
+	for idx, n := range res.TaxSizes {
+		b, zres, err := taxAt(idx)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +250,7 @@ func Fig9(o Options) (*SweepResult, error) {
 		res.Datasets = append(res.Datasets, b.Name)
 		var ms []eval.Metrics
 		for _, rate := range res.Values {
-			cfg := zeroedConfig(o.Seed)
+			cfg := o.zeroedConfig()
 			cfg.LabelRate = rate
 			m, _, err := runZeroED(b, cfg)
 			if err != nil {
@@ -272,7 +278,7 @@ func Fig10(o Options) (*SweepResult, error) {
 		res.Datasets = append(res.Datasets, b.Name)
 		var ms []eval.Metrics
 		for _, k := range res.Values {
-			cfg := zeroedConfig(o.Seed)
+			cfg := o.zeroedConfig()
 			cfg.CorrK = int(k)
 			m, _, err := runZeroED(b, cfg)
 			if err != nil {
@@ -349,7 +355,7 @@ func Fig11(o Options) (*Fig11Result, error) {
 			}
 			record(m.Name(), met.F1)
 		}
-		met, _, err := runZeroED(b, zeroedConfig(o.Seed))
+		met, _, err := runZeroED(b, o.zeroedConfig())
 		if err != nil {
 			return nil, err
 		}

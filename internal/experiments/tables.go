@@ -57,7 +57,7 @@ func Table3(o Options) (*Table3Result, error) {
 	// ZeroED.
 	cells := map[string]eval.Metrics{}
 	for _, b := range benches {
-		met, _, err := runZeroED(b, zeroedConfig(o.Seed))
+		met, _, err := runZeroED(b, o.zeroedConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +124,7 @@ func Table4(o Options) (*Table4Result, error) {
 		cells := map[string]eval.Metrics{}
 		rowMetrics := make([]eval.Metrics, len(benches))
 		for i, b := range benches {
-			cfg := zeroedConfig(o.Seed)
+			cfg := o.zeroedConfig()
 			abl.Mod(&cfg)
 			met, _, err := runZeroED(b, cfg)
 			if err != nil {
@@ -163,7 +163,7 @@ func Table5(o Options) (*Table5Result, error) {
 		cells := map[string]eval.Metrics{}
 		rowMetrics := make([]eval.Metrics, len(benches))
 		for i, b := range benches {
-			cfg := zeroedConfig(o.Seed)
+			cfg := o.zeroedConfig()
 			cfg.Profile = p
 			met, _, err := runZeroED(b, cfg)
 			if err != nil {
@@ -218,7 +218,7 @@ func Table6(o Options) (*Table6Result, error) {
 		rowMetrics := make([]eval.Metrics, len(names))
 		for i, n := range names {
 			b := benchByName(n, o)
-			cfg := zeroedConfig(o.Seed)
+			cfg := o.zeroedConfig()
 			cfg.Sampler = sp.s
 			met, _, err := runZeroED(b, cfg)
 			if err != nil {

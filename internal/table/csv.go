@@ -7,26 +7,88 @@ import (
 	"os"
 )
 
-// ReadCSV parses a dataset from CSV with a header row. The dataset name is
-// taken from the caller, not the file.
-func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+// CSVStream incrementally parses a headered CSV into a columnar Dataset.
+// Unlike a ReadAll-style loader it never materializes the full row-oriented
+// record set: each record is appended straight into the dataset's per-column
+// ID slices and intern-pool dictionaries as it is decoded. Because the pools
+// are append-only, value IDs handed out for early chunks stay valid as later
+// chunks arrive, so row shards can be cut (SubsetRows, Snapshot) between
+// chunks while the load is still in flight.
+type CSVStream struct {
+	d  *Dataset
+	cr *csv.Reader
+}
+
+// NewCSVStream starts a streaming CSV parse: it reads the header row
+// immediately and leaves the data rows for ReadChunk/ReadAll. The dataset
+// name is taken from the caller, not the file.
+func NewCSVStream(name string, r io.Reader) (*CSVStream, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	records, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("table: reading csv: %w", err)
-	}
-	if len(records) == 0 {
+	// The record slice is reused across rows; AppendRow interns the field
+	// strings (copying them into the pools), so nothing from the reader's
+	// buffers is retained.
+	cr.ReuseRecord = true
+	hdr, err := cr.Read()
+	if err == io.EOF {
 		return nil, fmt.Errorf("table: csv has no header row")
 	}
-	d := NewWithCapacity(name, records[0], len(records)-1)
-	for i, rec := range records[1:] {
-		if len(rec) != len(d.Attrs) {
-			return nil, fmt.Errorf("table: row %d has %d fields, want %d", i+1, len(rec), len(d.Attrs))
-		}
-		d.AppendRow(rec)
+	if err != nil {
+		return nil, fmt.Errorf("table: reading csv header: %w", err)
 	}
-	return d, nil
+	return &CSVStream{d: New(name, append([]string(nil), hdr...)), cr: cr}, nil
+}
+
+// Dataset returns the dataset being loaded. It grows as chunks are read;
+// take a Snapshot (or SubsetRows) to hand a stable view to concurrent
+// readers while the stream continues.
+func (s *CSVStream) Dataset() *Dataset { return s.d }
+
+// ReadChunk appends up to maxRows data rows (all remaining rows when
+// maxRows <= 0) and returns the number appended. It returns io.EOF once the
+// input is exhausted and a wrapped parse error on malformed or ragged rows;
+// rows appended before the error remain in the dataset.
+func (s *CSVStream) ReadChunk(maxRows int) (int, error) {
+	appended := 0
+	for maxRows <= 0 || appended < maxRows {
+		rec, err := s.cr.Read()
+		if err == io.EOF {
+			return appended, io.EOF
+		}
+		if err != nil {
+			return appended, fmt.Errorf("table: reading csv: %w", err)
+		}
+		if len(rec) != len(s.d.Attrs) {
+			return appended, fmt.Errorf("table: row %d has %d fields, want %d",
+				s.d.NumRows()+1, len(rec), len(s.d.Attrs))
+		}
+		s.d.AppendRow(rec)
+		appended++
+	}
+	return appended, nil
+}
+
+// ReadAll drains the remaining rows into the dataset.
+func (s *CSVStream) ReadAll() error {
+	_, err := s.ReadChunk(0)
+	if err == io.EOF {
+		return nil
+	}
+	return err
+}
+
+// ReadCSV parses a dataset from CSV with a header row. It is the one-shot
+// form of CSVStream: chunked and whole-file loads produce identical
+// datasets, including identical dictionary IDs.
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	s, err := NewCSVStream(name, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ReadAll(); err != nil {
+		return nil, err
+	}
+	return s.d, nil
 }
 
 // ReadCSVFile loads a dataset from a CSV file path.
@@ -39,10 +101,25 @@ func ReadCSVFile(name, path string) (*Dataset, error) {
 	return ReadCSV(name, f)
 }
 
-// WriteCSV serializes the dataset as CSV with a header row.
+// WriteCSV serializes the dataset as CSV with a header row. Records that
+// encoding/csv would render as a blank line (a single empty field — blank
+// lines are skipped on read, silently dropping the record) are written as
+// an explicitly quoted empty string, so WriteCSV output always parses back
+// to the same cells.
 func (d *Dataset) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write(d.Attrs); err != nil {
+	writeRecord := func(record []string) error {
+		if len(record) == 1 && record[0] == "" {
+			cw.Flush()
+			if err := cw.Error(); err != nil {
+				return err
+			}
+			_, err := io.WriteString(w, "\"\"\n")
+			return err
+		}
+		return cw.Write(record)
+	}
+	if err := writeRecord(d.Attrs); err != nil {
 		return err
 	}
 	record := make([]string, d.NumCols())
@@ -50,7 +127,7 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 		for j := range record {
 			record[j] = d.Value(i, j)
 		}
-		if err := cw.Write(record); err != nil {
+		if err := writeRecord(record); err != nil {
 			return err
 		}
 	}

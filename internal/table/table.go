@@ -36,11 +36,14 @@ type column struct {
 	index map[string]uint32
 }
 
-// intern returns the ID for v, adding it to the pool on first sight.
+// intern returns the ID for v, adding it to the pool on first sight. The
+// pooled copy is cloned so a dict entry never pins the caller's backing
+// buffer (streamed CSV records keep whole lines alive otherwise).
 func (c *column) intern(v string) uint32 {
 	if id, ok := c.index[v]; ok {
 		return id
 	}
+	v = strings.Clone(v)
 	id := uint32(len(c.dict))
 	c.dict = append(c.dict, v)
 	if c.index == nil {
@@ -211,6 +214,33 @@ func (d *Dataset) Clone() *Dataset {
 	return c
 }
 
+// Snapshot returns a read-only view of the dataset's current rows that
+// stays consistent while the original keeps growing through AppendRow (the
+// streaming-load path): the view shares the column ID and dict storage but
+// fixes its own lengths, and appends only ever write past those lengths,
+// so concurrent readers of the snapshot race with nothing. Cell access is
+// O(1) to produce; supporting LookupID costs one copy of each column's
+// intern index per call, so on high-cardinality streams snapshot at coarse
+// intervals rather than per small chunk.
+//
+// Contract: Snapshot must be called from the appending goroutine (or
+// otherwise synchronized with appends); the returned view must be treated
+// as read-only; and overwrites of existing cells (SetValue) on the original
+// are NOT isolated — use Clone when the original will be mutated in place.
+func (d *Dataset) Snapshot() *Dataset {
+	c := &Dataset{Name: d.Name, Attrs: d.Attrs, nrows: d.nrows}
+	c.cols = make([]column, len(d.cols))
+	for j := range d.cols {
+		src := &d.cols[j]
+		idx := make(map[string]uint32, len(src.index))
+		for v, id := range src.index {
+			idx[v] = id
+		}
+		c.cols[j] = column{ids: src.ids[:len(src.ids):len(src.ids)], dict: src.dict[:len(src.dict):len(src.dict)], index: idx}
+	}
+	return c
+}
+
 // Subset returns a new dataset containing the first n rows (or all rows if
 // n exceeds the row count). Used for scalability sweeps over Tax subsets.
 func (d *Dataset) Subset(n int) *Dataset {
@@ -251,6 +281,39 @@ func (d *Dataset) SubsetRows(rows []int) *Dataset {
 		}
 		for v, id := range src.index {
 			c.cols[j].index[v] = id
+		}
+	}
+	return c
+}
+
+// CompactSubsetRows returns a new dataset containing exactly the given
+// rows, like SubsetRows, but with per-column dictionaries rebuilt to hold
+// only the values those rows actually reference. Value IDs are therefore
+// NOT comparable with the parent's — use SubsetRows when ID stability
+// matters. This is the right subset for independent processing of a row
+// shard (zeroed.DetectShards): per-value memo tables downstream stay
+// proportional to the shard's distinct values, not the whole dataset's.
+func (d *Dataset) CompactSubsetRows(rows []int) *Dataset {
+	c := &Dataset{Name: d.Name, Attrs: append([]string(nil), d.Attrs...), nrows: len(rows)}
+	c.cols = make([]column, len(d.cols))
+	for j := range d.cols {
+		src := &d.cols[j]
+		dst := &c.cols[j]
+		dst.ids = make([]uint32, len(rows))
+		dst.index = make(map[string]uint32)
+		// remap[srcID] is dstID+1; 0 marks a source value not yet seen.
+		remap := make([]uint32, len(src.dict))
+		for i, r := range rows {
+			sid := src.ids[r]
+			m := remap[sid]
+			if m == 0 {
+				v := src.dict[sid]
+				dst.dict = append(dst.dict, v)
+				m = uint32(len(dst.dict))
+				dst.index[v] = m - 1
+				remap[sid] = m
+			}
+			dst.ids[i] = m - 1
 		}
 	}
 	return c

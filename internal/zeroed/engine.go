@@ -1,0 +1,340 @@
+package zeroed
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/criteria"
+	"repro/internal/feature"
+	"repro/internal/llm"
+	"repro/internal/nn"
+	"repro/internal/table"
+)
+
+// Pipeline phases, used to derive independent per-(attribute, phase) random
+// streams so that no stage's randomness depends on execution order.
+const (
+	phaseCriteria  = 1 // criteria generation
+	phaseSample    = 2 // clustering, guideline generation, labeling
+	phaseTrainData = 3 // propagation caps, augmentation host selection
+)
+
+// attrRng derives the deterministic random source for one attribute and
+// pipeline phase, so parallel and sequential execution produce identical
+// results for any worker or shard count.
+func attrRng(seed int64, attr, phase int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(attr)*7919 + int64(phase)*104729))
+}
+
+// engine is one staged run of the ZeroED pipeline over a single dataset.
+// Every stage fans its per-attribute (or per-row-shard) units out on one
+// shared bounded worker pool, so the stages of one run — and, under
+// DetectBatch, the stages of many concurrent runs — draw from the same
+// worker budget instead of oversubscribing the machine.
+//
+// Determinism contract: each unit writes only its own slots (indexed by
+// attribute or row), every stochastic step draws from a per-(attribute,
+// phase) stream via attrRng, and cross-unit aggregation happens in index
+// order after the stage joins. Results are therefore bit-identical for any
+// Workers and Shards setting.
+type engine struct {
+	cfg    Config
+	pool   *workPool
+	d      *table.Dataset
+	client *llm.Client
+	rng    *rand.Rand // engine-level stream: cluster-row sampling only
+	res    *Result
+
+	ext             *feature.Extractor
+	critSets        []*criteria.Set
+	clusterRows     []int // rows participating in clustering (sorted)
+	clustersPerAttr int
+	clusterings     []*cluster.Result
+	labeled         [][]cellLabel // LLM-labeled samples per attribute
+	training        []cellLabel
+	synth           []syntheticCell
+}
+
+// Detect runs the full ZeroED pipeline on a dirty dataset and returns
+// per-cell error predictions. It never consults ground truth.
+func (dt *Detector) Detect(d *table.Dataset) (*Result, error) {
+	return dt.detect(d, newWorkPool(dt.cfg.Workers))
+}
+
+// detect runs one engine over an externally owned pool (shared across the
+// datasets of a DetectBatch).
+func (dt *Detector) detect(d *table.Dataset, pool *workPool) (*Result, error) {
+	start := time.Now()
+	if d.NumRows() == 0 || d.NumCols() == 0 {
+		return nil, fmt.Errorf("zeroed: empty dataset")
+	}
+	e := &engine{
+		cfg:    dt.cfg,
+		pool:   pool,
+		d:      d,
+		client: llm.NewClient(dt.cfg.Profile),
+		rng:    rand.New(rand.NewSource(dt.cfg.Seed)),
+		res:    &Result{},
+	}
+	e.stageExtractor()
+	e.stageCriteria()
+	e.stageSampleAndLabel()
+	e.stageTrainingData()
+	X, y := e.stageTrainingMatrix()
+	if err := e.stageTrainAndScore(X, y); err != nil {
+		return nil, err
+	}
+	e.res.Usage = e.client.Usage()
+	e.res.Runtime = time.Since(start)
+	return e.res, nil
+}
+
+// corrFor returns the correlated-attribute set of attribute j, honoring the
+// "w/o Corr." ablation (which removes correlated-attribute context from
+// features, criteria reasoning, and guideline generation alike).
+func (e *engine) corrFor(j int) []int {
+	if e.cfg.DisableCorrelated {
+		return nil
+	}
+	return e.ext.Correlated(j)
+}
+
+// stageExtractor builds the feature extractor: frequency tables, NMI
+// correlation structure, and the per-unique-value memo tables (Step 1 of
+// the paper, before criteria reasoning).
+func (e *engine) stageExtractor() {
+	e.ext = feature.NewExtractor(e.d, feature.Config{
+		EmbedDim:          e.cfg.EmbedDim,
+		CorrK:             e.cfg.CorrK,
+		DisableCorrelated: e.cfg.DisableCorrelated,
+		DisableCriteria:   e.cfg.DisableCriteria,
+	})
+}
+
+// stageCriteria generates every attribute's criteria set (Step 1's criteria
+// reasoning). All criteria must exist before any clustering: attribute j's
+// features embed the criteria bits of its correlated attributes.
+func (e *engine) stageCriteria() {
+	m := e.d.NumCols()
+	e.critSets = make([]*criteria.Set, m)
+	if e.cfg.DisableCriteria {
+		return
+	}
+	e.pool.forN(m, func(j int) {
+		arng := attrRng(e.cfg.Seed, j, phaseCriteria)
+		sample := randomRows(arng, e.d.NumRows(), 30)
+		e.critSets[j] = e.client.GenerateCriteria(e.d, j, sample, e.corrFor(j))
+		e.ext.SetCriteria(j, e.critSets[j])
+	})
+	for j := 0; j < m; j++ {
+		e.res.CriteriaCount += len(e.critSets[j].Criteria)
+	}
+}
+
+// stageSampleAndLabel clusters each attribute's feature vectors, samples
+// the cluster representatives, and labels them with the LLM under generated
+// guidelines (Step 2).
+func (e *engine) stageSampleAndLabel() {
+	n, m := e.d.NumRows(), e.d.NumCols()
+	e.clustersPerAttr = int(float64(n) * e.cfg.LabelRate)
+	if e.clustersPerAttr < 2 {
+		e.clustersPerAttr = 2
+	}
+	if e.clustersPerAttr > e.cfg.MaxClustersPerAttr {
+		e.clustersPerAttr = e.cfg.MaxClustersPerAttr
+	}
+	// On large datasets, cluster a seeded row sample instead of the whole
+	// column; sampling/labeling/propagation live inside the sample,
+	// prediction still covers every cell.
+	e.clusterRows = seq(n)
+	if n > e.cfg.ClusterSampleRows {
+		e.clusterRows = randomRows(e.rng, n, e.cfg.ClusterSampleRows)
+		sort.Ints(e.clusterRows)
+	}
+	if e.clustersPerAttr > len(e.clusterRows)/2 {
+		e.clustersPerAttr = max(2, len(e.clusterRows)/2)
+	}
+
+	e.labeled = make([][]cellLabel, m)
+	e.clusterings = make([]*cluster.Result, m)
+	sampledPerAttr := make([]int, m)
+	e.pool.forN(m, func(j int) {
+		arng := attrRng(e.cfg.Seed, j, phaseSample)
+		feats := e.ext.ColumnFeatures(j, e.clusterRows)
+		var cl *cluster.Result
+		switch e.cfg.Sampler {
+		case SamplerRandom:
+			cl = cluster.RandomSample(feats, e.clustersPerAttr, arng)
+		case SamplerAgglomerative:
+			cl = cluster.Agglomerative(feats, e.clustersPerAttr, arng, 4*e.clustersPerAttr)
+		default:
+			cl = cluster.KMeans(feats, e.clustersPerAttr, arng, 8)
+		}
+		e.clusterings[j] = cl
+		samples := cl.CentroidSamples(feats) // indices into clusterRows
+		sampledPerAttr[j] = len(samples)
+
+		sampleRows := make([]int, len(samples))
+		for i, s := range samples {
+			sampleRows[i] = e.clusterRows[s]
+		}
+		var guideline *llm.Guideline
+		if !e.cfg.DisableGuidelines {
+			prof := e.client.DistributionAnalysis(e.d, j, randomRows(arng, n, 20))
+			guideline = e.client.GenerateGuideline(e.d, j, e.corrFor(j), prof, samplesHead(sampleRows, 20))
+		}
+		for s := 0; s < len(sampleRows); s += e.cfg.BatchSize {
+			end := min(s+e.cfg.BatchSize, len(sampleRows))
+			batch := sampleRows[s:end]
+			verdicts := e.client.LabelBatch(e.d, j, batch, guideline)
+			for bi, row := range batch {
+				e.labeled[j] = append(e.labeled[j], cellLabel{row: row, col: j, isErr: verdicts[bi]})
+			}
+		}
+	})
+	for _, s := range sampledPerAttr {
+		e.res.SampledCells += s
+	}
+}
+
+// stageTrainingMatrix materializes the feature matrix for the verified
+// training cells plus the synthetic augmented errors. Real cells are
+// featurized in parallel (pure reads of the memo tables); synthetic cells
+// substitute values into the shared dataset in place, so they run serially
+// after the parallel pass.
+func (e *engine) stageTrainingMatrix() ([][]float64, []float64) {
+	dim := e.ext.Dim()
+	total := len(e.training) + len(e.synth)
+	flat := make([]float64, total*dim) // one block for all training vectors
+	X := make([][]float64, total)
+	y := make([]float64, total)
+	nt := len(e.training)
+	e.pool.forN(nt, func(i int) {
+		c := e.training[i]
+		f := flat[i*dim : (i+1)*dim]
+		e.ext.FeatureInto(c.row, c.col, f)
+		X[i] = f
+		if c.isErr {
+			y[i] = 1
+		}
+	})
+	for s, sc := range e.synth {
+		i := nt + s
+		f := flat[i*dim : (i+1)*dim]
+		featureWithSubstitution(e.ext, e.d, sc, f)
+		X[i] = f
+		y[i] = 1
+	}
+	return X, y
+}
+
+// stageTrainAndScore trains the MLP detector and scores every cell of the
+// dataset (Step 4). Scoring is sharded: rows are partitioned into
+// Config.Shards contiguous shards, each shard runs as one unit on the
+// shared pool, and the per-shard verdicts merge into the global mask at
+// their disjoint row ranges. The model is fitted once and shared, so the
+// merged output is bit-identical for every shard count.
+func (e *engine) stageTrainAndScore(X [][]float64, y []float64) error {
+	d := e.d
+	pred := newMask(d)
+	scores := make([][]float64, d.NumRows())
+	if hasBothClasses(y) {
+		mlp := nn.New(e.ext.Dim(), e.cfg.MLP)
+		if _, err := mlp.Train(X, y); err != nil {
+			return fmt.Errorf("zeroed: training detector: %w", err)
+		}
+		shards := shardRanges(d.NumRows(), e.cfg.shardCount(d.NumRows()))
+		e.pool.forN(len(shards), func(s int) {
+			for i := shards[s].lo; i < shards[s].hi; i++ {
+				rowFeats := e.ext.RowFeatures(i)
+				scores[i] = mlp.PredictBatch(rowFeats)
+				for j, p := range scores[i] {
+					pred[i][j] = p >= e.cfg.Threshold
+				}
+			}
+		})
+	} else {
+		// Degenerate labeling (all clean or all dirty): fall back to the
+		// labels themselves propagated through clusters.
+		for _, c := range e.training {
+			pred[c.row][c.col] = c.isErr
+		}
+		for i := range scores {
+			scores[i] = make([]float64, d.NumCols())
+		}
+	}
+	e.res.Pred = pred
+	e.res.Scores = scores
+	return nil
+}
+
+// rowRange is one contiguous scoring shard.
+type rowRange struct{ lo, hi int }
+
+// shardRanges partitions n rows into at most the given number of contiguous
+// non-empty shards of near-equal size.
+func shardRanges(n, shards int) []rowRange {
+	out := make([]rowRange, 0, shards)
+	for s := 0; s < shards; s++ {
+		lo, hi := n*s/shards, n*(s+1)/shards
+		if lo < hi {
+			out = append(out, rowRange{lo, hi})
+		}
+	}
+	return out
+}
+
+// featureWithSubstitution computes the feature vector of a synthetic
+// augmented-error cell by temporarily substituting the value in place.
+// Frequency tables keep their original counts, which is the realistic
+// treatment: a novel error value has (near-)zero observed frequency. The
+// substituted value is interned into the column's pool past the
+// extractor's memo tables, so its per-value quantities are computed on the
+// fly.
+func featureWithSubstitution(ext *feature.Extractor, d *table.Dataset, s syntheticCell, out []float64) {
+	orig := d.Value(s.row, s.col)
+	d.SetValue(s.row, s.col, s.value)
+	ext.FeatureInto(s.row, s.col, out)
+	d.SetValue(s.row, s.col, orig)
+}
+
+func hasBothClasses(y []float64) bool {
+	var pos, neg bool
+	for _, v := range y {
+		if v > 0.5 {
+			pos = true
+		} else {
+			neg = true
+		}
+		if pos && neg {
+			return true
+		}
+	}
+	return false
+}
+
+// randomRows draws k distinct row indices (or all rows when k >= n).
+func randomRows(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		return seq(n)
+	}
+	return rng.Perm(n)[:k]
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func samplesHead(xs []int, k int) []int {
+	if len(xs) > k {
+		return xs[:k]
+	}
+	return xs
+}

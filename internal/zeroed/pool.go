@@ -1,0 +1,79 @@
+package zeroed
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workPool is the one bounded worker budget shared by every stage of the
+// detection engine. A single pool spans criteria generation, sampling and
+// labeling, training-data construction, feature building, and sharded
+// scoring — and, through DetectBatch, all of those stages across several
+// concurrent dataset runs — so nested fan-out never oversubscribes the
+// machine beyond the configured worker count.
+//
+// The design is caller-runs with best-effort helpers: forN always executes
+// work on the calling goroutine and additionally spawns helper goroutines
+// while free worker tokens exist. Because the caller never blocks on a
+// token, arbitrarily nested forN calls (a batch of engines, each running
+// staged fan-outs) cannot deadlock; when the budget is exhausted the inner
+// loops simply degrade to serial execution on their callers.
+//
+// The pool imposes no ordering: correctness relies on the engine's
+// determinism contract — every unit of work writes disjoint slots and draws
+// randomness from its own derived stream — so results are bit-identical for
+// any worker count.
+type workPool struct {
+	// tokens holds workers-1 helper slots; the calling goroutine of each
+	// forN is the implicit extra worker.
+	tokens chan struct{}
+}
+
+// newWorkPool creates a pool with the given worker budget. Config
+// normalization (withDefaults) guarantees workers >= 1 everywhere in this
+// package.
+func newWorkPool(workers int) *workPool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &workPool{tokens: make(chan struct{}, workers-1)}
+}
+
+// forN runs fn(0..n-1), distributing iterations across the caller plus as
+// many helper workers as the shared budget allows, and returns after every
+// iteration completed. Iterations are claimed from an atomic cursor, so the
+// partition adapts to uneven unit costs.
+func (p *workPool) forN(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var cursor atomic.Int64
+	run := func() {
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for s := 0; s < n-1; s++ {
+		select {
+		case p.tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-p.tokens
+					wg.Done()
+				}()
+				run()
+			}()
+		default:
+			break spawn // budget exhausted: the caller handles the rest
+		}
+	}
+	run()
+	wg.Wait()
+}

@@ -9,6 +9,7 @@
 package zeroed
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/llm"
@@ -51,10 +52,22 @@ type Config struct {
 	Threshold float64
 	// Seed drives sampling and training randomness.
 	Seed int64
-	// Workers bounds pipeline parallelism (default GOMAXPROCS). Results
-	// are identical regardless of worker count: every stochastic step uses
-	// a per-attribute derived seed.
+	// Workers bounds pipeline parallelism. Zero or negative means
+	// runtime.GOMAXPROCS(0); withDefaults normalizes it, so everything
+	// downstream can assume Workers >= 1. One bounded worker pool of this
+	// size is shared by every stage of a run (and by every run of a
+	// DetectBatch). Results are bit-identical regardless of worker count:
+	// every stochastic step uses a per-(attribute, phase) derived stream
+	// and writes disjoint output slots.
 	Workers int
+	// Shards partitions the scoring pass (per-row feature extraction + MLP
+	// inference over every cell) into contiguous row shards that are
+	// scheduled as independent units on the shared pool, then merged into
+	// one verdict mask. Zero means auto (a few shards per worker). The
+	// fitted model is shared by all shards, so output is bit-identical for
+	// every shard count; see Detector.DetectShards for the
+	// independent-model-per-shard alternative.
+	Shards int
 
 	// MaxPropagatedPerAttr caps in-cluster label propagation per attribute
 	// to bound training-set size on large datasets (default 2000).
@@ -121,7 +134,29 @@ func (c Config) withDefaults() Config {
 		c.MLP.Epochs = 12
 	}
 	c.MLP.Seed = c.Seed + 101
+	// The one spot that normalizes the worker budget; no other code checks
+	// for Workers <= 0.
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	return c
+}
+
+// shardCount resolves the scoring-shard count for an n-row dataset: the
+// configured Shards, defaulting to a few shards per worker so the pool can
+// balance uneven shard costs, and never more than the row count.
+func (c Config) shardCount(n int) int {
+	s := c.Shards
+	if s <= 0 {
+		s = 4 * c.Workers
+	}
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // Result is the outcome of one detection run.
