@@ -291,9 +291,25 @@ func BenchmarkDetectShardsIndependent(b *testing.B) {
 // number most users care about.
 func BenchmarkZeroEDPipeline(b *testing.B) {
 	bench := datasets.Hospital(500, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := zeroed.New(zeroed.Config{Seed: 3}).Detect(bench.Dirty); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZeroEDPipelineDedupOff is the same run with the scoring dedup
+// cache disabled; the delta vs BenchmarkZeroEDPipeline isolates what
+// dedup-by-value-ID buys (results are bit-identical either way, pinned by
+// TestScoreDedupEquivalence).
+func BenchmarkZeroEDPipelineDedupOff(b *testing.B) {
+	bench := datasets.Hospital(500, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := zeroed.New(zeroed.Config{Seed: 3, DisableScoreDedup: true}).Detect(bench.Dirty); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,160 @@
+// Command benchjson runs the scaled end-to-end pipeline benchmarks
+// in-process and writes the results as machine-readable JSON — the perf
+// trajectory file the repo tracks across PRs (BENCH_PR3.json and
+// successors). For each benchmark it reports ns/op, B/op, and allocs/op,
+// measured with runtime.MemStats around a timed loop (process-global, so
+// allocations on worker goroutines are counted).
+//
+// Usage:
+//
+//	benchjson [-iters 3] [-out BENCH_PR3.json] [-baseline old.json] [-list]
+//
+// -iters is the per-benchmark iteration count (1 = smoke mode, wired into
+// CI). -baseline embeds another benchjson file's results under "baseline",
+// so one file carries the before/after comparison. -list prints the
+// benchmark names and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/zeroed"
+)
+
+// Measurement is one benchmark's result in go-bench units.
+type Measurement struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is the on-disk shape of the trajectory file.
+type File struct {
+	Generated  string        `json:"generated"`
+	Note       string        `json:"note,omitempty"`
+	Benchmarks []Measurement `json:"benchmarks"`
+	// Baseline carries the pre-change numbers the current run is compared
+	// against (another benchjson run, or numbers parsed from
+	// `go test -bench -benchmem` output).
+	Baseline []Measurement `json:"baseline,omitempty"`
+}
+
+// bench is one runnable benchmark: setup happens in the closure factory so
+// dataset generation stays outside the timed loop.
+type bench struct {
+	name string
+	run  func() func() error
+}
+
+// benches mirrors the repo's scaled pipeline benchmarks (bench_test.go):
+// the end-to-end Hospital run most users care about, and the serial vs
+// sharded Tax scoring workload of the Fig. 7b/8b sweeps, plus the dedup
+// ablation so the cache's contribution stays visible.
+func benches() []bench {
+	detect := func(cfg zeroed.Config, gen func() *datasets.Bench) func() func() error {
+		return func() func() error {
+			b := gen()
+			return func() error {
+				_, err := zeroed.New(cfg).Detect(b.Dirty)
+				return err
+			}
+		}
+	}
+	hospital := func() *datasets.Bench { return datasets.Hospital(500, 3) }
+	tax := func() *datasets.Bench { return datasets.Tax(3000, 1) }
+	return []bench{
+		{"BenchmarkZeroEDPipeline", detect(zeroed.Config{Seed: 3}, hospital)},
+		{"BenchmarkZeroEDPipeline/dedup-off", detect(zeroed.Config{Seed: 3, DisableScoreDedup: true}, hospital)},
+		{"BenchmarkDetectSharded/serial", detect(zeroed.Config{Seed: 1, Workers: 1, Shards: 1}, tax)},
+		{"BenchmarkDetectSharded/sharded", detect(zeroed.Config{Seed: 1}, tax)},
+	}
+}
+
+func measure(name string, iters int, factory func() func() error) (Measurement, error) {
+	fn := factory()
+	// One untimed warmup would double the runtime of these second-scale
+	// pipeline benches for little stability gain, so the timed loop starts
+	// cold — matching `go test -benchtime=Nx` semantics.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return Measurement{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return Measurement{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+	}, nil
+}
+
+func main() {
+	iters := flag.Int("iters", 3, "iterations per benchmark (1 = smoke mode)")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	baseline := flag.String("baseline", "", "optional benchjson file whose benchmarks embed as the baseline")
+	note := flag.String("note", "", "optional free-form note stored in the file")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	flag.Parse()
+
+	bs := benches()
+	if *list {
+		for _, b := range bs {
+			fmt.Println(b.name)
+		}
+		return
+	}
+
+	f := File{Generated: time.Now().UTC().Format(time.RFC3339), Note: *note}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var prev File
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *baseline, err))
+		}
+		f.Baseline = prev.Benchmarks
+	}
+
+	for _, b := range bs {
+		fmt.Fprintf(os.Stderr, "running %s (%dx)...\n", b.name, *iters)
+		m, err := measure(b.name, *iters, b.run)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "  %s\t%.0f ns/op\t%.0f B/op\t%.0f allocs/op\n",
+			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		f.Benchmarks = append(f.Benchmarks, m)
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -15,12 +15,21 @@
 // concurrently over one pool: either a comma-separated list of dirty CSVs,
 // or (with -dataset) a replica count, generating the replicas at seeds
 // seed..seed+n-1 (every replica is detected with the same -seed config).
+//
+// Profiling: -cpuprofile FILE records a pprof CPU profile over the whole
+// run, -memprofile FILE writes a post-run heap profile, so hot-path work
+// is measurable without editing code:
+//
+//	zeroed -dataset Tax -size 20000 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -48,8 +57,10 @@ type runOpts struct {
 	workers   int
 	shards    int
 	batch     string
-	outPath   string
-	repairOut string
+	outPath    string
+	repairOut  string
+	cpuProfile string
+	memProfile string
 }
 
 func main() {
@@ -68,9 +79,42 @@ func main() {
 	flag.StringVar(&o.batch, "batch", "", "detect a batch over one shared pool: comma-separated dirty CSVs, or a replica count with -dataset (replicas generated at seeds seed..seed+n-1)")
 	flag.StringVar(&o.outPath, "out", "", "optional path to write the predicted error mask as CSV")
 	flag.StringVar(&o.repairOut, "repair", "", "optional path to write a repaired copy of the data as CSV")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "zeroed: cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "zeroed: cpuprofile:", err)
+			os.Exit(1)
+		}
+	}
+
+	err := run(o)
+
+	if o.cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if o.memProfile != "" {
+		f, merr := os.Create(o.memProfile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "zeroed: memprofile:", merr)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the steady-state heap
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "zeroed: memprofile:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "zeroed:", err)
 		os.Exit(1)
 	}

@@ -2,12 +2,26 @@
 // of ZeroED Section III-C: k-means with k-means++ seeding (the default),
 // agglomerative clustering, and uniform random sampling (the Table VI
 // comparison points), plus centroid-nearest sample extraction.
+//
+// The core operates on a flat row-major points matrix (point i occupies
+// data[i*dim : (i+1)*dim]) — the layout the feature extractor's tile APIs
+// produce — so the inner loops are cache-friendly and allocation-light.
+// KMeansFlat accelerates Lloyd's algorithm with Hamerly-style distance
+// bounds plus cached point/centroid squared norms, and is guaranteed to
+// produce the same assignments as the naive full-scan algorithm: every
+// pruning certificate carries a conservative floating-point margin, and
+// whenever a certificate cannot be established the point falls back to the
+// exact naive scan (same loop order, same tie-breaking).
+//
+// The historical [][]float64 entry points remain as thin wrappers.
 package cluster
 
 import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/randx"
 )
 
 // Result holds a clustering of n points into k groups.
@@ -20,6 +34,22 @@ type Result struct {
 	Members [][]int
 }
 
+// boundSlack is the relative margin applied to Hamerly bound updates so
+// that accumulated floating-point error can never produce a false pruning
+// certificate: upper bounds are inflated and lower bounds deflated by this
+// factor on every update. The quantities involved (sqDist of coordinate
+// differences, sqrt, additions) carry only relative rounding error of a
+// few ulps (~1e-16); 1e-9 dwarfs it while pruning everything that matters.
+const boundSlack = 1e-9
+
+// normCancelErr bounds the relative-to-magnitude error of a norm
+// difference: ‖x‖-‖c‖ cancels two independently rounded norms, so its
+// absolute error is of order (‖x‖+‖c‖)·ε_machine·dim. 1e-12 exceeds that
+// by orders of magnitude for any realistic dimensionality; the norm-gap
+// prefilter deflates the gap by (‖x‖+‖c‖)·normCancelErr before trusting
+// it as a pruning certificate.
+const normCancelErr = 1e-12
+
 func sqDist(a, b []float64) float64 {
 	var s float64
 	for i := range a {
@@ -29,32 +59,54 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
-// KMeans clusters points into k groups using Lloyd's algorithm with
-// k-means++ initialization. The rng makes runs reproducible. k is clamped
-// to len(points). maxIter bounds the Lloyd iterations.
-func KMeans(points [][]float64, k int, rng *rand.Rand, maxIter int) *Result {
+// flatten copies [][]float64 points into a flat row-major matrix.
+func flatten(points [][]float64) ([]float64, int, int) {
 	n := len(points)
 	if n == 0 {
-		return &Result{}
+		return nil, 0, 0
 	}
+	dim := len(points[0])
+	data := make([]float64, n*dim)
+	for i, p := range points {
+		copy(data[i*dim:], p)
+	}
+	return data, n, dim
+}
+
+// clampK normalizes a requested cluster count against the point count.
+func clampK(k, n int) int {
 	if k > n {
 		k = n
 	}
 	if k <= 0 {
 		k = 1
 	}
-	dim := len(points[0])
+	return k
+}
 
-	// k-means++ seeding: first centroid uniform, then proportional to
-	// squared distance from the nearest chosen centroid.
-	centroids := make([][]float64, 0, k)
+// newCentroidBlock allocates k centroids of width dim backed by one flat
+// block.
+func newCentroidBlock(k, dim int) [][]float64 {
+	flat := make([]float64, k*dim)
+	out := make([][]float64, k)
+	for c := range out {
+		out[c] = flat[c*dim : (c+1)*dim]
+	}
+	return out
+}
+
+// seedPlusPlus runs k-means++ seeding over the flat matrix: first centroid
+// uniform, then proportional to squared distance from the nearest chosen
+// centroid.
+func seedPlusPlus(data []float64, n, dim, k int, rng *rand.Rand) [][]float64 {
+	centroids := newCentroidBlock(k, dim)
 	first := rng.Intn(n)
-	centroids = append(centroids, append([]float64(nil), points[first]...))
+	copy(centroids[0], data[first*dim:(first+1)*dim])
 	d2 := make([]float64, n)
 	for i := range d2 {
-		d2[i] = sqDist(points[i], centroids[0])
+		d2[i] = sqDist(data[i*dim:(i+1)*dim], centroids[0])
 	}
-	for len(centroids) < k {
+	for chosen := 1; chosen < k; chosen++ {
 		var sum float64
 		for _, d := range d2 {
 			sum += d
@@ -74,22 +126,207 @@ func KMeans(points [][]float64, k int, rng *rand.Rand, maxIter int) *Result {
 				}
 			}
 		}
-		c := append([]float64(nil), points[idx]...)
-		centroids = append(centroids, c)
+		c := centroids[chosen]
+		copy(c, data[idx*dim:(idx+1)*dim])
 		for i := range d2 {
-			if d := sqDist(points[i], c); d < d2[i] {
+			if d := sqDist(data[i*dim:(i+1)*dim], c); d < d2[i] {
 				d2[i] = d
 			}
 		}
 	}
+	return centroids
+}
+
+// updateCentroids recomputes each centroid as the mean of its members,
+// re-seeding empty clusters at the point farthest from its current
+// centroid. Shared by the pruned and naive Lloyd loops so both see
+// identical centroid sequences.
+func updateCentroids(data []float64, n, dim int, assign []int, centroids [][]float64, counts []int) {
+	k := len(centroids)
+	for c := 0; c < k; c++ {
+		counts[c] = 0
+		cen := centroids[c]
+		for j := range cen {
+			cen[j] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		counts[c]++
+		cen := centroids[c]
+		p := data[i*dim : (i+1)*dim]
+		for j, x := range p {
+			cen[j] += x
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			// Re-seed empty cluster at the point farthest from its
+			// centroid to keep k effective clusters.
+			far, farD := 0, -1.0
+			for i := 0; i < n; i++ {
+				if d := sqDist(data[i*dim:(i+1)*dim], centroids[assign[i]]); d > farD {
+					far, farD = i, d
+				}
+			}
+			copy(centroids[c], data[far*dim:(far+1)*dim])
+			continue
+		}
+		inv := 1.0 / float64(counts[c])
+		cen := centroids[c]
+		for j := range cen {
+			cen[j] *= inv
+		}
+	}
+}
+
+// scanPoint is the exact nearest/second-nearest centroid scan for one
+// point — the naive inner loop, with one cheap prefilter: the reverse
+// triangle inequality on cached norms, d²(x,c) ≥ (‖x‖-‖c‖)², skips
+// centroids that provably cannot beat the current best. The margin on the
+// skip test must account for the fact that ‖x‖-‖c‖ cancels two rounded
+// norms, leaving an ABSOLUTE error of order (‖x‖+‖c‖)·ε — a relative
+// margin alone is unsound when coordinates sit far from the origin (e.g.
+// data offset ~1e9 with sub-unit separations). The gap is therefore
+// deflated by (‖x‖+‖c‖)·1e-12 before squaring, which dwarfs the true
+// rounding error at any dimensionality this repo sees while still pruning
+// whenever norms carry real signal. Uncertain centroids are scanned
+// exactly, so tie-breaking matches the unfiltered loop. Returns the argmin
+// (first index on ties, like the naive loop), its squared distance, and
+// the runner-up squared distance.
+func scanPoint(p []float64, centroids [][]float64, pnorm float64, cnorms []float64) (best int, bestD, secondD float64) {
+	best, bestD, secondD = 0, math.Inf(1), math.Inf(1)
+	for c, cen := range centroids {
+		gap := math.Abs(pnorm - cnorms[c])
+		gap -= (pnorm + cnorms[c]) * normCancelErr
+		if gap > 0 && gap*gap > bestD*(1+boundSlack) {
+			// Cannot beat the incumbent, and cannot tie it either (the
+			// naive loop keeps the incumbent on ties); it may still be the
+			// runner-up, which only needs a conservative lower bound.
+			if g := gap * gap; g < secondD {
+				secondD = g
+			}
+			continue
+		}
+		d := sqDist(p, cen)
+		if d < bestD {
+			secondD = bestD
+			best, bestD = c, d
+		} else if d < secondD {
+			secondD = d
+		}
+	}
+	return best, bestD, secondD
+}
+
+// KMeansFlat clusters n points of width dim, stored row-major in data,
+// into k groups using Lloyd's algorithm with k-means++ initialization,
+// accelerated by Hamerly-style upper/lower distance bounds and cached
+// point/centroid squared norms. The rng makes runs reproducible; results
+// (assignments and centroids) are identical to the naive full-scan
+// algorithm for every input. k is clamped to n; maxIter bounds the Lloyd
+// iterations.
+func KMeansFlat(data []float64, n, dim, k int, rng *rand.Rand, maxIter int) *Result {
+	if n == 0 {
+		return &Result{}
+	}
+	k = clampK(k, n)
+	centroids := seedPlusPlus(data, n, dim, k, rng)
+
+	// Cached norms: points once, centroids per iteration.
+	pnorms := make([]float64, n)
+	for i := range pnorms {
+		pnorms[i] = norm(data[i*dim : (i+1)*dim])
+	}
+	cnorms := make([]float64, k)
 
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
 	}
+	// Hamerly bounds, in distance (not squared) space: ub[i] is an upper
+	// bound on the distance from point i to its assigned centroid, lb[i] a
+	// lower bound on the distance to every other centroid.
+	ub := make([]float64, n)
+	lb := make([]float64, n)
+	counts := make([]int, k)
+	oldCentroids := newCentroidBlock(k, dim)
+	drift := make([]float64, k)
+
+	for iter := 0; iter < maxIter; iter++ {
+		for c, cen := range centroids {
+			cnorms[c] = norm(cen)
+		}
+		changed := false
+		for i := 0; i < n; i++ {
+			p := data[i*dim : (i+1)*dim]
+			if a := assign[i]; a >= 0 {
+				// Certificate 1: stale bounds already separate the
+				// assigned centroid from all others.
+				if ub[i] < lb[i] {
+					continue
+				}
+				// Certificate 2: tighten the upper bound to the exact
+				// current distance and re-test.
+				exact := math.Sqrt(sqDist(p, centroids[a]))
+				ub[i] = exact * (1 + boundSlack)
+				if ub[i] < lb[i] {
+					continue
+				}
+			}
+			// Fall back to the exact naive scan (identical ordering and
+			// tie-breaking), then refresh both bounds from its distances.
+			best, bestD, secondD := scanPoint(p, centroids, pnorms[i], cnorms)
+			ub[i] = math.Sqrt(bestD) * (1 + boundSlack)
+			lb[i] = math.Sqrt(secondD) * (1 - boundSlack)
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		for c, cen := range centroids {
+			copy(oldCentroids[c], cen)
+		}
+		updateCentroids(data, n, dim, assign, centroids, counts)
+		// Bound maintenance: each point's upper bound grows by its own
+		// centroid's drift, every lower bound shrinks by the largest drift.
+		maxDrift := 0.0
+		for c := range centroids {
+			drift[c] = math.Sqrt(sqDist(oldCentroids[c], centroids[c])) * (1 + boundSlack)
+			if drift[c] > maxDrift {
+				maxDrift = drift[c]
+			}
+		}
+		for i := 0; i < n; i++ {
+			ub[i] += drift[assign[i]]
+			lb[i] -= maxDrift
+		}
+	}
+	return finishFlat(assign, centroids)
+}
+
+// kmeansNaiveFlat is the reference full-scan Lloyd loop over the flat
+// matrix: identical seeding, centroid updates, and tie-breaking as
+// KMeansFlat but with no pruning. Kept (package-private) as the oracle for
+// the pruned-equals-naive property test.
+func kmeansNaiveFlat(data []float64, n, dim, k int, rng *rand.Rand, maxIter int) *Result {
+	if n == 0 {
+		return &Result{}
+	}
+	k = clampK(k, n)
+	centroids := seedPlusPlus(data, n, dim, k, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	counts := make([]int, k)
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
-		for i, p := range points {
+		for i := 0; i < n; i++ {
+			p := data[i*dim : (i+1)*dim]
 			best, bestD := 0, math.Inf(1)
 			for c, cen := range centroids {
 				if d := sqDist(p, cen); d < bestD {
@@ -104,54 +341,41 @@ func KMeans(points [][]float64, k int, rng *rand.Rand, maxIter int) *Result {
 		if !changed {
 			break
 		}
-		counts := make([]int, k)
-		for c := range centroids {
-			for j := 0; j < dim; j++ {
-				centroids[c][j] = 0
-			}
-		}
-		for i, p := range points {
-			c := assign[i]
-			counts[c]++
-			for j, x := range p {
-				centroids[c][j] += x
-			}
-		}
-		for c := range centroids {
-			if counts[c] == 0 {
-				// Re-seed empty cluster at the point farthest from its
-				// centroid to keep k effective clusters.
-				far, farD := 0, -1.0
-				for i, p := range points {
-					if d := sqDist(p, centroids[assign[i]]); d > farD {
-						far, farD = i, d
-					}
-				}
-				copy(centroids[c], points[far])
-				continue
-			}
-			inv := 1.0 / float64(counts[c])
-			for j := range centroids[c] {
-				centroids[c][j] *= inv
-			}
-		}
+		updateCentroids(data, n, dim, assign, centroids, counts)
 	}
-	return finish(assign, centroids, points)
+	return finishFlat(assign, centroids)
 }
 
-func finish(assign []int, centroids [][]float64, points [][]float64) *Result {
+// norm returns the Euclidean norm of v; v[i]*v[i] sums exactly like
+// sqDist(v, 0), so norm-based bounds and sqDist agree bit-for-bit on the
+// degenerate origin comparison.
+func norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func finishFlat(assign []int, centroids [][]float64) *Result {
 	members := make([][]int, len(centroids))
 	for i, c := range assign {
 		members[c] = append(members[c], i)
 	}
-	_ = points
 	return &Result{Assign: assign, Centroids: centroids, Members: members}
 }
 
-// CentroidSamples returns, for each non-empty cluster, the index of the
-// member nearest its centroid — ZeroED's representative sample q_cje.
-// The result is sorted ascending for determinism.
-func (r *Result) CentroidSamples(points [][]float64) []int {
+// KMeans is the [][]float64 wrapper around KMeansFlat.
+func KMeans(points [][]float64, k int, rng *rand.Rand, maxIter int) *Result {
+	data, n, dim := flatten(points)
+	return KMeansFlat(data, n, dim, k, rng, maxIter)
+}
+
+// CentroidSamplesFlat returns, for each non-empty cluster, the index of
+// the member nearest its centroid — ZeroED's representative sample q_cje —
+// over the flat points matrix the clustering was computed on. The result
+// is sorted ascending for determinism.
+func (r *Result) CentroidSamplesFlat(data []float64, dim int) []int {
 	var out []int
 	for c, mem := range r.Members {
 		if len(mem) == 0 {
@@ -159,7 +383,7 @@ func (r *Result) CentroidSamples(points [][]float64) []int {
 		}
 		best, bestD := mem[0], math.Inf(1)
 		for _, i := range mem {
-			if d := sqDist(points[i], r.Centroids[c]); d < bestD {
+			if d := sqDist(data[i*dim:(i+1)*dim], r.Centroids[c]); d < bestD {
 				best, bestD = i, d
 			}
 		}
@@ -169,27 +393,29 @@ func (r *Result) CentroidSamples(points [][]float64) []int {
 	return out
 }
 
-// RandomSample clusters points trivially: it draws k distinct indices
-// uniformly and assigns every point to its nearest sampled index. This is
-// the "Random" row of Table VI expressed in the same Result shape.
-func RandomSample(points [][]float64, k int, rng *rand.Rand) *Result {
-	n := len(points)
+// CentroidSamples is the [][]float64 wrapper around CentroidSamplesFlat.
+func (r *Result) CentroidSamples(points [][]float64) []int {
+	data, _, dim := flatten(points)
+	return r.CentroidSamplesFlat(data, dim)
+}
+
+// RandomSampleFlat clusters points trivially: it draws k distinct indices
+// uniformly (an O(k) partial Fisher–Yates draw) and assigns every point to
+// its nearest sampled index. This is the "Random" row of Table VI
+// expressed in the same Result shape.
+func RandomSampleFlat(data []float64, n, dim, k int, rng *rand.Rand) *Result {
 	if n == 0 {
 		return &Result{}
 	}
-	if k > n {
-		k = n
-	}
-	if k <= 0 {
-		k = 1
-	}
-	perm := rng.Perm(n)[:k]
-	centroids := make([][]float64, k)
+	k = clampK(k, n)
+	perm := randx.PartialPerm(rng, n, k)
+	centroids := newCentroidBlock(k, dim)
 	for c, i := range perm {
-		centroids[c] = append([]float64(nil), points[i]...)
+		copy(centroids[c], data[i*dim:(i+1)*dim])
 	}
 	assign := make([]int, n)
-	for i, p := range points {
+	for i := 0; i < n; i++ {
+		p := data[i*dim : (i+1)*dim]
 		best, bestD := 0, math.Inf(1)
 		for c, cen := range centroids {
 			if d := sqDist(p, cen); d < bestD {
@@ -198,25 +424,25 @@ func RandomSample(points [][]float64, k int, rng *rand.Rand) *Result {
 		}
 		assign[i] = best
 	}
-	return finish(assign, centroids, points)
+	return finishFlat(assign, centroids)
 }
 
-// Agglomerative performs average-linkage hierarchical clustering down to k
-// clusters. To keep the O(n^2)-ish cost tractable on large attributes it
-// first reduces the data to at most maxLeaves seed groups via a fine
-// k-means pass, then merges those groups hierarchically — the standard
-// "hybrid" trick for scalable AGC.
-func Agglomerative(points [][]float64, k int, rng *rand.Rand, maxLeaves int) *Result {
-	n := len(points)
+// RandomSample is the [][]float64 wrapper around RandomSampleFlat.
+func RandomSample(points [][]float64, k int, rng *rand.Rand) *Result {
+	data, n, dim := flatten(points)
+	return RandomSampleFlat(data, n, dim, k, rng)
+}
+
+// AgglomerativeFlat performs average-linkage hierarchical clustering down
+// to k clusters over the flat matrix. To keep the O(n^2)-ish cost
+// tractable on large attributes it first reduces the data to at most
+// maxLeaves seed groups via a fine k-means pass, then merges those groups
+// hierarchically — the standard "hybrid" trick for scalable AGC.
+func AgglomerativeFlat(data []float64, n, dim, k int, rng *rand.Rand, maxLeaves int) *Result {
 	if n == 0 {
 		return &Result{}
 	}
-	if k > n {
-		k = n
-	}
-	if k <= 0 {
-		k = 1
-	}
+	k = clampK(k, n)
 	if maxLeaves < k {
 		maxLeaves = k
 	}
@@ -225,14 +451,14 @@ func Agglomerative(points [][]float64, k int, rng *rand.Rand, maxLeaves int) *Re
 	var seed *Result
 	if n <= maxLeaves {
 		assign := make([]int, n)
-		cents := make([][]float64, n)
-		for i := range points {
+		cents := newCentroidBlock(n, dim)
+		for i := 0; i < n; i++ {
 			assign[i] = i
-			cents[i] = append([]float64(nil), points[i]...)
+			copy(cents[i], data[i*dim:(i+1)*dim])
 		}
-		seed = finish(assign, cents, points)
+		seed = finishFlat(assign, cents)
 	} else {
-		seed = KMeans(points, maxLeaves, rng, 10)
+		seed = KMeansFlat(data, n, dim, maxLeaves, rng, 10)
 	}
 
 	type group struct {
@@ -296,5 +522,11 @@ func Agglomerative(points [][]float64, k int, rng *rand.Rand, maxLeaves int) *Re
 		centroids = append(centroids, g.centroid)
 		c++
 	}
-	return finish(assign, centroids, points)
+	return finishFlat(assign, centroids)
+}
+
+// Agglomerative is the [][]float64 wrapper around AgglomerativeFlat.
+func Agglomerative(points [][]float64, k int, rng *rand.Rand, maxLeaves int) *Result {
+	data, n, dim := flatten(points)
+	return AgglomerativeFlat(data, n, dim, k, rng, maxLeaves)
 }

@@ -177,6 +177,139 @@ func TestKMeansInvariants(t *testing.T) {
 	}
 }
 
+// flatBlobs builds random gaussian mixtures directly in flat row-major
+// layout: n points of width dim around nc random centers.
+func flatBlobs(rng *rand.Rand, n, dim, nc int) []float64 {
+	centers := make([]float64, nc*dim)
+	for i := range centers {
+		centers[i] = rng.NormFloat64() * 5
+	}
+	data := make([]float64, n*dim)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(nc)
+		for j := 0; j < dim; j++ {
+			data[i*dim+j] = centers[c*dim+j] + rng.NormFloat64()*0.5
+		}
+	}
+	return data
+}
+
+// TestKMeansPrunedMatchesNaive is the acceleration-correctness property
+// test: the Hamerly-pruned KMeansFlat must produce exactly the assignments
+// and centroids of the naive full-scan Lloyd loop, on a spread of random
+// shapes including duplicate-heavy data (interned feature vectors repeat a
+// lot in the real pipeline).
+func TestKMeansPrunedMatchesNaive(t *testing.T) {
+	for _, tc := range []struct{ n, dim, nc, k, iters int }{
+		{60, 2, 3, 3, 25},
+		{200, 8, 5, 12, 25},
+		{300, 16, 4, 7, 15},
+		{100, 3, 2, 30, 10}, // many clusters, few blobs: empty-cluster reseeds
+		{50, 4, 1, 5, 10},   // single blob: heavy near-ties
+	} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed*31 + int64(tc.n)))
+			data := flatBlobs(rng, tc.n, tc.dim, tc.nc)
+			if seed%2 == 1 {
+				// Duplicate half the points onto the first half: exact
+				// duplicates exercise tie-breaking.
+				for i := tc.n / 2; i < tc.n; i++ {
+					src := (i - tc.n/2) * tc.dim
+					copy(data[i*tc.dim:(i+1)*tc.dim], data[src:src+tc.dim])
+				}
+			}
+			if seed%4 == 2 {
+				// Offset all coordinates far from the origin: norms
+				// cancel catastrophically, so an unsound norm-gap
+				// prefilter would silently diverge from naive here.
+				for i := range data {
+					data[i] += 1e9
+				}
+			}
+			pruned := KMeansFlat(data, tc.n, tc.dim, tc.k, rand.New(rand.NewSource(seed+99)), tc.iters)
+			naive := kmeansNaiveFlat(data, tc.n, tc.dim, tc.k, rand.New(rand.NewSource(seed+99)), tc.iters)
+			if len(pruned.Assign) != len(naive.Assign) {
+				t.Fatalf("case %+v seed %d: assign lengths differ", tc, seed)
+			}
+			for i := range pruned.Assign {
+				if pruned.Assign[i] != naive.Assign[i] {
+					t.Fatalf("case %+v seed %d: assignment of point %d differs: pruned %d, naive %d",
+						tc, seed, i, pruned.Assign[i], naive.Assign[i])
+				}
+			}
+			for c := range pruned.Centroids {
+				for j := range pruned.Centroids[c] {
+					if pruned.Centroids[c][j] != naive.Centroids[c][j] {
+						t.Fatalf("case %+v seed %d: centroid %d[%d] differs", tc, seed, c, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFlatWrappersAgree pins the [][]float64 wrappers to the flat core.
+func TestFlatWrappersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts, _ := threeBlobs(rng, 30)
+	dim := 2
+	data := make([]float64, len(pts)*dim)
+	for i, p := range pts {
+		copy(data[i*dim:], p)
+	}
+	a := KMeans(pts, 4, rand.New(rand.NewSource(5)), 20)
+	b := KMeansFlat(data, len(pts), dim, 4, rand.New(rand.NewSource(5)), 20)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("KMeans wrapper and KMeansFlat disagree")
+		}
+	}
+	sa := a.CentroidSamples(pts)
+	sb := b.CentroidSamplesFlat(data, dim)
+	if len(sa) != len(sb) {
+		t.Fatalf("centroid sample counts differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("CentroidSamples wrapper and flat form disagree")
+		}
+	}
+	ra := RandomSample(pts, 6, rand.New(rand.NewSource(6)))
+	rb := RandomSampleFlat(data, len(pts), dim, 6, rand.New(rand.NewSource(6)))
+	for i := range ra.Assign {
+		if ra.Assign[i] != rb.Assign[i] {
+			t.Fatal("RandomSample wrapper and flat form disagree")
+		}
+	}
+	ga := Agglomerative(pts, 3, rand.New(rand.NewSource(7)), 40)
+	gb := AgglomerativeFlat(data, len(pts), dim, 3, rand.New(rand.NewSource(7)), 40)
+	for i := range ga.Assign {
+		if ga.Assign[i] != gb.Assign[i] {
+			t.Fatal("Agglomerative wrapper and flat form disagree")
+		}
+	}
+}
+
+func BenchmarkKMeansFlat(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := flatBlobs(rng, 1500, 32, 8)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KMeansFlat(data, 1500, 32, 20, rand.New(rand.NewSource(1)), 25)
+	}
+}
+
+func BenchmarkKMeansNaiveFlat(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	data := flatBlobs(rng, 1500, 32, 8)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		kmeansNaiveFlat(data, 1500, 32, 20, rand.New(rand.NewSource(1)), 25)
+	}
+}
+
 func BenchmarkKMeans(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	pts, _ := threeBlobs(rng, 500)

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/criteria"
 	"repro/internal/embed"
+	"repro/internal/randx"
 	"repro/internal/stats"
 	"repro/internal/table"
 	"repro/internal/text"
@@ -133,7 +134,7 @@ func NewExtractor(d *table.Dataset, cfg Config) *Extractor {
 	nmiData := d
 	if d.NumRows() > nmiSampleCap {
 		rng := rand.New(rand.NewSource(nmiSampleSeed))
-		rows := rng.Perm(d.NumRows())[:nmiSampleCap]
+		rows := randx.PartialPerm(rng, d.NumRows(), nmiSampleCap)
 		sort.Ints(rows)
 		nmiData = d.SubsetRows(rows)
 	}
@@ -337,42 +338,117 @@ func (e *Extractor) Feature(i, j int) []float64 {
 	return out
 }
 
-// RowFeatures returns the unified feature vectors for all cells of row i,
-// computing each base vector exactly once. This is the memory-bounded path
-// used for full-dataset prediction.
-func (e *Extractor) RowFeatures(i int) [][]float64 {
+// RowFeaturesInto writes the unified feature vectors of every cell of row
+// i into tile, a caller-owned flat row-major block of length
+// NumCols()*Dim() (cell j occupies tile[j*Dim() : (j+1)*Dim()]). Each base
+// vector is computed exactly once, directly into its own cell's leading
+// block, and correlated-context blocks are filled by copying — no
+// intermediate buffer, no allocation. This is the scoring hot path: one
+// reusable tile per scoring shard serves the whole dataset.
+func (e *Extractor) RowFeaturesInto(i int, tile []float64) {
 	m := e.d.NumCols()
 	bd := e.BaseDim()
-	bases := make([]float64, m*bd)
-	for j := 0; j < m; j++ {
-		e.base(i, j, bases[j*bd:(j+1)*bd])
-	}
 	dim := e.Dim()
-	flat := make([]float64, m*dim)
-	out := make([][]float64, m)
+	// Pass 1: every cell's base vector lands at offset 0 of its own block.
 	for j := 0; j < m; j++ {
-		f := flat[j*dim : (j+1)*dim]
-		copy(f, bases[j*bd:(j+1)*bd])
+		e.base(i, j, tile[j*dim:j*dim+bd])
+	}
+	// Pass 2: correlated blocks copy from the already-computed bases.
+	for j := 0; j < m; j++ {
+		f := tile[j*dim : (j+1)*dim]
+		written := bd
 		if !e.cfg.DisableCorrelated {
 			for idx, q := range e.corr[j] {
-				copy(f[(1+idx)*bd:], bases[q*bd:(q+1)*bd])
+				copy(f[(1+idx)*bd:(2+idx)*bd], tile[q*dim:q*dim+bd])
+				written += bd
 			}
 		}
-		out[j] = f
+		for k := written; k < dim; k++ {
+			f[k] = 0
+		}
+	}
+}
+
+// RowFeatures returns the unified feature vectors for all cells of row i,
+// computing each base vector exactly once. Allocating convenience wrapper
+// around RowFeaturesInto; the prediction hot path uses the tile form.
+func (e *Extractor) RowFeatures(i int) [][]float64 {
+	m := e.d.NumCols()
+	dim := e.Dim()
+	flat := make([]float64, m*dim)
+	e.RowFeaturesInto(i, flat)
+	out := make([][]float64, m)
+	for j := 0; j < m; j++ {
+		out[j] = flat[j*dim : (j+1)*dim]
 	}
 	return out
 }
 
+// FeaturesInto writes the unified feature vectors of attribute j for the
+// given rows into tile, a caller-owned flat row-major block of length
+// len(rows)*Dim(). It allocates nothing in steady state.
+func (e *Extractor) FeaturesInto(j int, rows []int, tile []float64) {
+	dim := e.Dim()
+	for idx, i := range rows {
+		e.FeatureInto(i, j, tile[idx*dim:(idx+1)*dim])
+	}
+}
+
 // ColumnFeatures materializes unified features for the given rows of one
 // attribute — the clustering input for sampling (Section III-C).
+// Allocating convenience wrapper around FeaturesInto; the clustering stage
+// consumes the flat tile directly.
 func (e *Extractor) ColumnFeatures(j int, rows []int) [][]float64 {
 	dim := e.Dim()
 	flat := make([]float64, len(rows)*dim)
+	e.FeaturesInto(j, rows, flat)
 	out := make([][]float64, len(rows))
-	for idx, i := range rows {
-		f := flat[idx*dim : (idx+1)*dim]
-		e.FeatureInto(i, j, f)
-		out[idx] = f
+	for idx := range rows {
+		out[idx] = flat[idx*dim : (idx+1)*dim]
 	}
+	return out
+}
+
+// DepCols returns the sorted set of column indices whose value IDs in a
+// tuple fully determine FeatureInto(i, j): the cell's own column, the
+// columns feeding its vicinity frequencies and correlated-context base
+// vectors, those columns' own vicinity inputs, and the determinant columns
+// of any FD criteria in play. Two rows that agree on these columns' value
+// IDs produce bit-identical feature vectors for attribute j — the key
+// contract behind the engine's score-dedup cache.
+//
+// The result reflects the criteria sets installed at call time; callers
+// must re-derive it after SetCriteria (the engine computes it once per
+// scoring pass, after criteria refinement has settled).
+func (e *Extractor) DepCols(j int) []int {
+	dep := map[int]bool{}
+	// Base vectors included in the unified representation: the cell's own,
+	// plus its correlated attributes' (unless ablated).
+	baseCols := []int{j}
+	if !e.cfg.DisableCorrelated {
+		baseCols = append(baseCols, e.corr[j]...)
+	}
+	for _, b := range baseCols {
+		dep[b] = true
+		// f_stat vicinity frequencies pair b's value with each correlated
+		// attribute's value (computed even under the Corr. ablation — the
+		// ablation zeroes context blocks, not the base's own vicinity).
+		for _, q := range e.corr[b] {
+			dep[q] = true
+		}
+		// FD criteria read the determinant attribute of the same tuple.
+		if !e.cfg.DisableCriteria {
+			for k := range e.critCols[b].slots {
+				if dc := e.critCols[b].slots[k].detCol; dc >= 0 {
+					dep[dc] = true
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(dep))
+	for c := range dep {
+		out = append(out, c)
+	}
+	sort.Ints(out)
 	return out
 }

@@ -231,6 +231,130 @@ func TestFeatureIntoZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestRowFeaturesIntoMatchesFeatureInto pins the tile path against the
+// per-cell path element for element, including under the ablations.
+func TestRowFeaturesIntoMatchesFeatureInto(t *testing.T) {
+	for _, cfg := range []Config{
+		{EmbedDim: 8, CorrK: 2},
+		{EmbedDim: 8, CorrK: 2, DisableCorrelated: true},
+		{EmbedDim: 8, CorrK: 2, DisableCriteria: true},
+	} {
+		d := sample()
+		d.SetValue(0, 2, "Phd") // perturb one cell so rows differ
+		e := NewExtractor(d, cfg)
+		set := &criteria.Set{Attr: "Education", Criteria: []*criteria.Criterion{
+			{Kind: criteria.KindFD, Attr: "Education", DetAttr: "Name",
+				Mapping: map[string]string{"Alice": "Phd", "Bob": "Master", "Carol": "Bachelor", "Dave": "Master"}},
+		}}
+		e.SetCriteria(2, set)
+		dim := e.Dim()
+		tile := make([]float64, d.NumCols()*dim)
+		cell := make([]float64, dim)
+		for i := 0; i < 8; i++ {
+			// Poison the tile so stale values would be caught.
+			for k := range tile {
+				tile[k] = -999
+			}
+			e.RowFeaturesInto(i, tile)
+			for j := 0; j < d.NumCols(); j++ {
+				e.FeatureInto(i, j, cell)
+				for k := 0; k < dim; k++ {
+					if tile[j*dim+k] != cell[k] {
+						t.Fatalf("cfg %+v row %d col %d idx %d: tile %v != cell %v",
+							cfg, i, j, k, tile[j*dim+k], cell[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFeaturesIntoMatchesColumnFeatures pins the column-tile path.
+func TestFeaturesIntoMatchesColumnFeatures(t *testing.T) {
+	e := NewExtractor(sample(), Config{EmbedDim: 8, CorrK: 1})
+	rows := []int{0, 3, 7, 42}
+	dim := e.Dim()
+	tile := make([]float64, len(rows)*dim)
+	e.FeaturesInto(2, rows, tile)
+	ref := e.ColumnFeatures(2, rows)
+	for idx := range rows {
+		for k := 0; k < dim; k++ {
+			if tile[idx*dim+k] != ref[idx][k] {
+				t.Fatalf("row idx %d index %d: FeaturesInto %v != ColumnFeatures %v",
+					idx, k, tile[idx*dim+k], ref[idx][k])
+			}
+		}
+	}
+}
+
+// TestRowFeaturesIntoZeroAllocs guards the tile path's steady-state
+// allocation-free contract.
+func TestRowFeaturesIntoZeroAllocs(t *testing.T) {
+	d := sample()
+	e := NewExtractor(d, Config{EmbedDim: 8, CorrK: 2})
+	tile := make([]float64, d.NumCols()*e.Dim())
+	allocs := testing.AllocsPerRun(100, func() {
+		e.RowFeaturesInto(0, tile)
+		e.RowFeaturesInto(1, tile)
+	})
+	if allocs != 0 {
+		t.Errorf("RowFeaturesInto allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestDepColsCoverFeatureInputs checks the dedup-key contract: two rows
+// that agree on the value IDs of DepCols(j) must produce identical feature
+// vectors for attribute j, and DepCols must include the column itself plus
+// its correlated set and any FD determinant.
+func TestDepColsCoverFeatureInputs(t *testing.T) {
+	d := sample()
+	e := NewExtractor(d, Config{EmbedDim: 8, CorrK: 2})
+	set := &criteria.Set{Attr: "Salary", Criteria: []*criteria.Criterion{
+		{Kind: criteria.KindFD, Attr: "Salary", DetAttr: "Name",
+			Mapping: map[string]string{"Alice": "50000"}},
+	}}
+	e.SetCriteria(3, set)
+	for j := 0; j < d.NumCols(); j++ {
+		dep := e.DepCols(j)
+		has := map[int]bool{}
+		for _, c := range dep {
+			has[c] = true
+		}
+		if !has[j] {
+			t.Errorf("DepCols(%d) = %v misses the column itself", j, dep)
+		}
+		for _, q := range e.Correlated(j) {
+			if !has[q] {
+				t.Errorf("DepCols(%d) = %v misses correlated attr %d", j, dep, q)
+			}
+		}
+		for i := 1; i < len(dep); i++ {
+			if dep[i] <= dep[i-1] {
+				t.Errorf("DepCols(%d) = %v not sorted ascending", j, dep)
+			}
+		}
+	}
+	// FD determinant (Name, col 0) must be a dependency of Salary (col 3).
+	found := false
+	for _, c := range e.DepCols(3) {
+		if c == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("DepCols(3) = %v misses FD determinant column 0", e.DepCols(3))
+	}
+	// The behavioral contract: equal dep-IDs ⇒ equal features. Rows 0 and 4
+	// are replicas in sample(), so they agree on every column.
+	a := e.Feature(0, 3)
+	b := e.Feature(4, 3)
+	for k := range a {
+		if a[k] != b[k] {
+			t.Fatalf("rows with identical dep IDs differ at feature index %d", k)
+		}
+	}
+}
+
 func BenchmarkFeatureInto(b *testing.B) {
 	e := NewExtractor(sample(), DefaultConfig())
 	out := make([]float64, e.Dim())

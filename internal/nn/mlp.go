@@ -3,12 +3,20 @@
 // with the binary cross-entropy objective of Section III-D using Adam and
 // mini-batches. It is written from scratch on float64 slices — no external
 // ML dependencies — and is deterministic for a given seed.
+//
+// All weight matrices live in flat row-major []float64 buffers: layer i's
+// row r occupies w[r*cols : (r+1)*cols]. The training loop updates those
+// buffers in place (no flatten/unflatten round-trips), and inference
+// (Predict / PredictBatch / PredictInto) is allocation-free in steady
+// state, drawing activation scratch from an internal pool so that many
+// goroutines can score against one fitted model concurrently.
 package nn
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Config controls MLP shape and training.
@@ -28,15 +36,25 @@ func DefaultConfig() Config {
 	return Config{Hidden1: 64, Hidden2: 32, LR: 1e-3, Epochs: 30, BatchSize: 32, Seed: 1, L2: 1e-5}
 }
 
-// MLP is a 2-hidden-layer binary classifier.
+// MLP is a 2-hidden-layer binary classifier. Weights are flat row-major.
 type MLP struct {
 	cfg     Config
 	in      int
-	w1, w2  [][]float64 // layer weights
-	w3      []float64   // output weights
+	w1      []float64 // Hidden1 x in
+	w2      []float64 // Hidden2 x Hidden1
+	w3      []float64 // output weights (len Hidden2)
 	b1, b2  []float64
 	b3      float64
 	trained bool
+
+	// scratch pools forward-pass activation buffers so concurrent
+	// inference against one fitted model never allocates in steady state.
+	scratch sync.Pool
+}
+
+// fwdScratch is one goroutine's activation workspace.
+type fwdScratch struct {
+	h1, h2 []float64
 }
 
 // New creates an MLP for the given input dimension with seeded He
@@ -64,29 +82,26 @@ func New(in int, cfg Config) *MLP {
 	m := &MLP{cfg: cfg, in: in}
 	m.w1 = heInit(rng, cfg.Hidden1, in)
 	m.w2 = heInit(rng, cfg.Hidden2, cfg.Hidden1)
-	m.w3 = heVec(rng, cfg.Hidden2)
+	m.w3 = heInit(rng, 1, cfg.Hidden2)
 	m.b1 = make([]float64, cfg.Hidden1)
 	m.b2 = make([]float64, cfg.Hidden2)
+	m.scratch.New = func() any {
+		return &fwdScratch{
+			h1: make([]float64, cfg.Hidden1),
+			h2: make([]float64, cfg.Hidden2),
+		}
+	}
 	return m
 }
 
-func heInit(rng *rand.Rand, rows, cols int) [][]float64 {
+// heInit fills a flat rows x cols matrix with seeded He-initialized
+// weights, drawn in row-major order (the same draw order as the historical
+// [][]float64 initialization, so seeded weights are unchanged).
+func heInit(rng *rand.Rand, rows, cols int) []float64 {
 	scale := math.Sqrt(2.0 / float64(max(cols, 1)))
-	w := make([][]float64, rows)
+	w := make([]float64, rows*cols)
 	for i := range w {
-		w[i] = make([]float64, cols)
-		for j := range w[i] {
-			w[i][j] = rng.NormFloat64() * scale
-		}
-	}
-	return w
-}
-
-func heVec(rng *rand.Rand, cols int) []float64 {
-	scale := math.Sqrt(2.0 / float64(max(cols, 1)))
-	w := make([]float64, cols)
-	for j := range w {
-		w[j] = rng.NormFloat64() * scale
+		w[i] = rng.NormFloat64() * scale
 	}
 	return w
 }
@@ -115,15 +130,16 @@ func dotFrom(s float64, w, x []float64) float64 {
 
 // forward computes activations; h1 and h2 receive post-ReLU activations.
 func (m *MLP) forward(x []float64, h1, h2 []float64) float64 {
-	for i, row := range m.w1 {
-		s := dotFrom(m.b1[i], row, x)
+	in, h1n := m.in, m.cfg.Hidden1
+	for i := range h1 {
+		s := dotFrom(m.b1[i], m.w1[i*in:(i+1)*in], x)
 		if s < 0 {
 			s = 0
 		}
 		h1[i] = s
 	}
-	for i, row := range m.w2 {
-		s := dotFrom(m.b2[i], row, h1)
+	for i := range h2 {
+		s := dotFrom(m.b2[i], m.w2[i*h1n:(i+1)*h1n], h1)
 		if s < 0 {
 			s = 0
 		}
@@ -157,7 +173,8 @@ func (a *adamState) step(params, grads []float64, lr float64) {
 }
 
 // Train fits the MLP on features X and binary labels y (1 = error). It
-// returns the final epoch's mean cross-entropy loss.
+// returns the final epoch's mean cross-entropy loss. Adam updates apply
+// directly to the flat weight buffers.
 func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 	if len(X) == 0 {
 		return 0, fmt.Errorf("nn: empty training set")
@@ -173,7 +190,6 @@ func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 	h1n, h2n := m.cfg.Hidden1, m.cfg.Hidden2
 	rng := rand.New(rand.NewSource(m.cfg.Seed + 7))
 
-	// Flatten parameter views for Adam.
 	optW1 := newAdam(h1n * m.in)
 	optW2 := newAdam(h2n * h1n)
 	optW3 := newAdam(h2n)
@@ -187,8 +203,6 @@ func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 	gradB1 := make([]float64, h1n)
 	gradB2 := make([]float64, h2n)
 	gradB3 := make([]float64, 1)
-	flatW1 := make([]float64, h1n*m.in)
-	flatW2 := make([]float64, h2n*h1n)
 
 	h1 := make([]float64, h1n)
 	h2 := make([]float64, h2n)
@@ -232,7 +246,7 @@ func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 				for j := range d1 {
 					d1[j] = 0
 				}
-				for r := range m.w2 {
+				for r := 0; r < h2n; r++ {
 					d2r := d2[r]
 					if d2r == 0 {
 						continue
@@ -240,7 +254,7 @@ func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 					// Reslice scratch views to the row length so the inner
 					// loop runs without bounds checks; per-element arithmetic
 					// order is unchanged.
-					row := m.w2[r]
+					row := m.w2[r*h1n : (r+1)*h1n]
 					g := gradW2[r*h1n : r*h1n+len(row)]
 					hr := h1[:len(row)]
 					dr := d1[:len(row)]
@@ -255,7 +269,7 @@ func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 						d1[r] = 0
 					}
 				}
-				for r := range m.w1 {
+				for r := 0; r < h1n; r++ {
 					d1r := d1[r]
 					if d1r == 0 {
 						continue
@@ -269,23 +283,17 @@ func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 				}
 			}
 
-			// L2 decay + Adam updates on flattened views.
-			flatten(m.w1, flatW1)
-			addL2(gradW1, flatW1, m.cfg.L2)
-			optW1.step(flatW1, gradW1, m.cfg.LR)
-			unflatten(flatW1, m.w1)
-
-			flatten(m.w2, flatW2)
-			addL2(gradW2, flatW2, m.cfg.L2)
-			optW2.step(flatW2, gradW2, m.cfg.LR)
-			unflatten(flatW2, m.w2)
-
+			// L2 decay + Adam updates directly on the flat weights.
+			addL2(gradW1, m.w1, m.cfg.L2)
+			optW1.step(m.w1, gradW1, m.cfg.LR)
+			addL2(gradW2, m.w2, m.cfg.L2)
+			optW2.step(m.w2, gradW2, m.cfg.LR)
 			addL2(gradW3, m.w3, m.cfg.L2)
 			optW3.step(m.w3, gradW3, m.cfg.LR)
 			optB1.step(m.b1, gradB1, m.cfg.LR)
 			optB2.step(m.b2, gradB2, m.cfg.LR)
-			b3 := []float64{m.b3}
-			optB3.step(b3, gradB3, m.cfg.LR)
+			b3 := [1]float64{m.b3}
+			optB3.step(b3[:], gradB3, m.cfg.LR)
 			m.b3 = b3[0]
 		}
 		lastLoss = epochLoss / float64(len(idx))
@@ -305,22 +313,6 @@ func zero(xs []float64) {
 	}
 }
 
-func flatten(w [][]float64, out []float64) {
-	k := 0
-	for _, row := range w {
-		copy(out[k:], row)
-		k += len(row)
-	}
-}
-
-func unflatten(flat []float64, w [][]float64) {
-	k := 0
-	for _, row := range w {
-		copy(row, flat[k:k+len(row)])
-		k += len(row)
-	}
-}
-
 func addL2(grads, params []float64, l2 float64) {
 	if l2 == 0 {
 		return
@@ -330,24 +322,48 @@ func addL2(grads, params []float64, l2 float64) {
 	}
 }
 
-// Predict returns the error probability for a single feature vector.
+// Predict returns the error probability for a single feature vector. It is
+// allocation-free in steady state and safe for concurrent use.
 func (m *MLP) Predict(x []float64) float64 {
-	h1 := make([]float64, m.cfg.Hidden1)
-	h2 := make([]float64, m.cfg.Hidden2)
-	return m.forward(x, h1, h2)
+	sc := m.getScratch()
+	p := m.forward(x, sc.h1, sc.h2)
+	m.scratch.Put(sc)
+	return p
+}
+
+// PredictInto runs batched inference over a flat row-major feature tile:
+// X holds nRows vectors of the model's input dimension back to back, and
+// out (length >= nRows) receives the error probability of each row. The
+// activation scratch is pooled, so steady-state calls allocate nothing,
+// and many goroutines may score against one fitted model concurrently.
+func (m *MLP) PredictInto(X []float64, nRows int, out []float64) {
+	if nRows <= 0 {
+		return
+	}
+	dim := m.in
+	sc := m.getScratch()
+	for r := 0; r < nRows; r++ {
+		out[r] = m.forward(X[r*dim:(r+1)*dim], sc.h1, sc.h2)
+	}
+	m.scratch.Put(sc)
 }
 
 // PredictBatch returns error probabilities for many feature vectors,
 // reusing scratch buffers.
 func (m *MLP) PredictBatch(X [][]float64) []float64 {
-	h1 := make([]float64, m.cfg.Hidden1)
-	h2 := make([]float64, m.cfg.Hidden2)
 	out := make([]float64, len(X))
+	sc := m.getScratch()
 	for i, x := range X {
-		out[i] = m.forward(x, h1, h2)
+		out[i] = m.forward(x, sc.h1, sc.h2)
 	}
+	m.scratch.Put(sc)
 	return out
 }
+
+func (m *MLP) getScratch() *fwdScratch { return m.scratch.Get().(*fwdScratch) }
+
+// InputDim returns the model's input dimensionality.
+func (m *MLP) InputDim() int { return m.in }
 
 // Trained reports whether Train has completed successfully.
 func (m *MLP) Trained() bool { return m.trained }

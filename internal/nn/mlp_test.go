@@ -3,6 +3,7 @@ package nn
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -140,6 +141,99 @@ func TestConfigDefaultsApplied(t *testing.T) {
 	}
 }
 
+// TestPredictIntoMatchesPredict pins the flat-tile inference path to the
+// single-vector path bit for bit.
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	X, y := xorData(rng, 120)
+	cfg := DefaultConfig()
+	cfg.Epochs = 5
+	m := New(2, cfg)
+	if _, err := m.Train(X, y); err != nil {
+		t.Fatal(err)
+	}
+	n := 32
+	tile := make([]float64, n*2)
+	for i := 0; i < n; i++ {
+		copy(tile[i*2:], X[i])
+	}
+	out := make([]float64, n)
+	m.PredictInto(tile, n, out)
+	for i := 0; i < n; i++ {
+		if got, want := out[i], m.Predict(X[i]); got != want {
+			t.Fatalf("PredictInto[%d] = %v, Predict = %v", i, got, want)
+		}
+	}
+	// nRows <= 0 is a no-op.
+	m.PredictInto(nil, 0, nil)
+}
+
+// TestPredictZeroAlloc guards the steady-state allocation-free contract of
+// the inference paths.
+func TestPredictZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode bypasses sync.Pool caching; alloc counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(12))
+	X, y := xorData(rng, 80)
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	m := New(2, cfg)
+	if _, err := m.Train(X, y); err != nil {
+		t.Fatal(err)
+	}
+	x := X[0]
+	if allocs := testing.AllocsPerRun(200, func() { m.Predict(x) }); allocs != 0 {
+		t.Errorf("Predict allocates %v per run, want 0", allocs)
+	}
+	tile := make([]float64, 16*2)
+	out := make([]float64, 16)
+	for i := 0; i < 16; i++ {
+		copy(tile[i*2:], X[i])
+	}
+	if allocs := testing.AllocsPerRun(200, func() { m.PredictInto(tile, 16, out) }); allocs != 0 {
+		t.Errorf("PredictInto allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestPredictConcurrentSafe runs concurrent inference against one fitted
+// model; pooled scratch must keep results identical to serial calls.
+func TestPredictConcurrentSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	X, y := xorData(rng, 100)
+	cfg := DefaultConfig()
+	cfg.Epochs = 3
+	m := New(2, cfg)
+	if _, err := m.Train(X, y); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, len(X))
+	for i, x := range X {
+		want[i] = m.Predict(x)
+	}
+	var wg sync.WaitGroup
+	errs := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, x := range X {
+					if m.Predict(x) != want[i] {
+						errs[g]++
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, n := range errs {
+		if n != 0 {
+			t.Fatalf("goroutine %d saw %d mismatched predictions", g, n)
+		}
+	}
+}
+
 func BenchmarkTrainSmall(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	X, y := xorData(rng, 200)
@@ -183,24 +277,24 @@ func TestGradientNumerically(t *testing.T) {
 		p := m.Predict(X[0])
 		return bceLoss(y[0], p)
 	}
-	// Finite difference on one weight.
+	// Finite difference on one weight (flat index 0 = row 0, col 0).
 	base := New(2, cfg)
 	l0 := loss(base)
 	const eps = 1e-6
-	base.w1[0][0] += eps
+	base.w1[0] += eps
 	l1 := loss(base)
-	base.w1[0][0] -= eps
+	base.w1[0] -= eps
 	numGrad := (l1 - l0) / eps
 
 	// One full training step on a single sample approximates a gradient
 	// step: the weight must move opposite the numerical gradient (when the
 	// gradient is non-negligible).
 	trained := New(2, cfg)
-	before := trained.w1[0][0]
+	before := trained.w1[0]
 	if _, err := trained.Train(X, y); err != nil {
 		t.Fatal(err)
 	}
-	after := trained.w1[0][0]
+	after := trained.w1[0]
 	if numGrad > 1e-4 && after >= before {
 		t.Errorf("positive gradient %v but weight moved %v -> %v", numGrad, before, after)
 	}

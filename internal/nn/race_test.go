@@ -1,0 +1,8 @@
+//go:build race
+
+package nn
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where sync.Pool deliberately bypasses its caches (to widen race
+// coverage), making allocation-count assertions meaningless.
+const raceEnabled = true

@@ -1,0 +1,101 @@
+package randx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPartialPermInvariants: k distinct values, all within [0, n), same
+// seed ⇒ same draw.
+func TestPartialPermInvariants(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		k := int(kRaw) % (n + 10) // sometimes k > n: must clamp
+		a := PartialPerm(rand.New(rand.NewSource(seed)), n, k)
+		b := PartialPerm(rand.New(rand.NewSource(seed)), n, k)
+		want := k
+		if want > n {
+			want = n
+		}
+		if len(a) != want || len(b) != want {
+			return false
+		}
+		seen := make(map[int]bool, len(a))
+		for i, v := range a {
+			if v < 0 || v >= n || seen[v] || b[i] != v {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPartialPermFullDrawIsPermutation: k == n yields a permutation of
+// 0..n-1.
+func TestPartialPermFullDrawIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 100
+	p := PartialPerm(rng, n, n)
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+// TestPartialPermEdgeCases covers empty and degenerate draws.
+func TestPartialPermEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if got := PartialPerm(rng, 10, 0); len(got) != 0 {
+		t.Errorf("k=0 should draw nothing, got %v", got)
+	}
+	if got := PartialPerm(rng, 10, -3); len(got) != 0 {
+		t.Errorf("k<0 should draw nothing, got %v", got)
+	}
+	if got := PartialPerm(rng, 1, 1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("n=1 draw = %v, want [0]", got)
+	}
+}
+
+// TestPartialPermUniform spot-checks that every element is drawn with
+// roughly equal probability (a biased partial shuffle would skew the
+// cluster-row and labeling samples).
+func TestPartialPermUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n, k, trials = 20, 5, 20000
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		for _, v := range PartialPerm(rng, n, k) {
+			counts[v]++
+		}
+	}
+	expected := float64(trials*k) / n
+	for v, c := range counts {
+		if ratio := float64(c) / expected; ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("value %d drawn %d times, expected ~%.0f", v, c, expected)
+		}
+	}
+}
+
+func BenchmarkPartialPerm(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PartialPerm(rng, 200000, 30)
+	}
+}
+
+func BenchmarkFullPermSlice(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rng.Perm(200000)[:30]
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/llm"
 	"repro/internal/nn"
+	"repro/internal/randx"
 	"repro/internal/table"
 )
 
@@ -161,20 +162,25 @@ func (e *engine) stageSampleAndLabel() {
 	e.labeled = make([][]cellLabel, m)
 	e.clusterings = make([]*cluster.Result, m)
 	sampledPerAttr := make([]int, m)
+	dim := e.ext.Dim()
 	e.pool.forN(m, func(j int) {
 		arng := attrRng(e.cfg.Seed, j, phaseSample)
-		feats := e.ext.ColumnFeatures(j, e.clusterRows)
+		// One flat row-major feature tile per attribute: the clustering
+		// core consumes it directly, with no per-row slice headers.
+		nPts := len(e.clusterRows)
+		feats := make([]float64, nPts*dim)
+		e.ext.FeaturesInto(j, e.clusterRows, feats)
 		var cl *cluster.Result
 		switch e.cfg.Sampler {
 		case SamplerRandom:
-			cl = cluster.RandomSample(feats, e.clustersPerAttr, arng)
+			cl = cluster.RandomSampleFlat(feats, nPts, dim, e.clustersPerAttr, arng)
 		case SamplerAgglomerative:
-			cl = cluster.Agglomerative(feats, e.clustersPerAttr, arng, 4*e.clustersPerAttr)
+			cl = cluster.AgglomerativeFlat(feats, nPts, dim, e.clustersPerAttr, arng, 4*e.clustersPerAttr)
 		default:
-			cl = cluster.KMeans(feats, e.clustersPerAttr, arng, 8)
+			cl = cluster.KMeansFlat(feats, nPts, dim, e.clustersPerAttr, arng, 8)
 		}
 		e.clusterings[j] = cl
-		samples := cl.CentroidSamples(feats) // indices into clusterRows
+		samples := cl.CentroidSamplesFlat(feats, dim) // indices into clusterRows
 		sampledPerAttr[j] = len(samples)
 
 		sampleRows := make([]int, len(samples))
@@ -234,36 +240,41 @@ func (e *engine) stageTrainingMatrix() ([][]float64, []float64) {
 // stageTrainAndScore trains the MLP detector and scores every cell of the
 // dataset (Step 4). Scoring is sharded: rows are partitioned into
 // Config.Shards contiguous shards, each shard runs as one unit on the
-// shared pool, and the per-shard verdicts merge into the global mask at
-// their disjoint row ranges. The model is fitted once and shared, so the
-// merged output is bit-identical for every shard count.
+// shared pool with its own fused shardScorer (reusable feature tile,
+// batched flat inference, per-shard score-dedup cache), and the per-shard
+// verdicts merge into the global mask at their disjoint row ranges. The
+// model is fitted once and shared, and cached scores are bit-identical to
+// freshly computed ones, so the merged output is bit-identical for every
+// shard count and for dedup on vs off.
 func (e *engine) stageTrainAndScore(X [][]float64, y []float64) error {
 	d := e.d
+	n, m := d.NumRows(), d.NumCols()
 	pred := newMask(d)
-	scores := make([][]float64, d.NumRows())
+	scores := newMatrix(n, m)
 	if hasBothClasses(y) {
 		mlp := nn.New(e.ext.Dim(), e.cfg.MLP)
 		if _, err := mlp.Train(X, y); err != nil {
 			return fmt.Errorf("zeroed: training detector: %w", err)
 		}
-		shards := shardRanges(d.NumRows(), e.cfg.shardCount(d.NumRows()))
-		e.pool.forN(len(shards), func(s int) {
-			for i := shards[s].lo; i < shards[s].hi; i++ {
-				rowFeats := e.ext.RowFeatures(i)
-				scores[i] = mlp.PredictBatch(rowFeats)
-				for j, p := range scores[i] {
-					pred[i][j] = p >= e.cfg.Threshold
-				}
+		// depCols[j] is the value-ID tuple that keys column j's dedup
+		// cache; derived once, after criteria refinement has settled.
+		var depCols [][]int
+		if !e.cfg.DisableScoreDedup {
+			depCols = make([][]int, m)
+			for j := range depCols {
+				depCols[j] = e.ext.DepCols(j)
 			}
+		}
+		shards := shardRanges(n, e.cfg.shardCount(n))
+		e.pool.forN(len(shards), func(s int) {
+			sc := newShardScorer(e.ext, mlp, d, depCols, e.cfg.Threshold, scores, pred)
+			sc.scoreRows(shards[s].lo, shards[s].hi)
 		})
 	} else {
 		// Degenerate labeling (all clean or all dirty): fall back to the
 		// labels themselves propagated through clusters.
 		for _, c := range e.training {
 			pred[c.row][c.col] = c.isErr
-		}
-		for i := range scores {
-			scores[i] = make([]float64, d.NumCols())
 		}
 	}
 	e.res.Pred = pred
@@ -316,12 +327,14 @@ func hasBothClasses(y []float64) bool {
 	return false
 }
 
-// randomRows draws k distinct row indices (or all rows when k >= n).
+// randomRows draws k distinct row indices (or all rows when k >= n) via an
+// O(k) partial Fisher–Yates draw — no O(n) permutation materialized, which
+// matters for the small per-attribute samples on Tax-scale datasets.
 func randomRows(rng *rand.Rand, n, k int) []int {
 	if k >= n {
 		return seq(n)
 	}
-	return rng.Perm(n)[:k]
+	return randx.PartialPerm(rng, n, k)
 }
 
 func seq(n int) []int {

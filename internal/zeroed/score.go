@@ -1,0 +1,133 @@
+package zeroed
+
+import (
+	"repro/internal/feature"
+	"repro/internal/nn"
+	"repro/internal/table"
+)
+
+// shardScorer is one scoring shard's fused, allocation-free workspace for
+// Step 4: per row it fills one reusable flat feature tile
+// (feature.RowFeaturesInto) and runs batched inference over it
+// (nn.PredictInto) — no per-cell slice materialization, no per-row
+// allocation.
+//
+// When dedup is enabled (depCols non-nil), the scorer also memoizes scores
+// per column behind a value-ID key: FeatureInto(i, j) is a pure function
+// of the tuple's value IDs over feature.DepCols(j), so two rows that agree
+// on those IDs receive bit-identical feature vectors and therefore
+// bit-identical MLP outputs. Each repeated (own value, correlated context)
+// combination — which value interning makes very common — is featurized
+// and scored once per shard and replayed from the cache afterwards. The
+// cached value is the exact float64 the model produced, so scoring with
+// the cache is bit-identical to scoring without it, for every shard count.
+type shardScorer struct {
+	ext       *feature.Extractor
+	mlp       *nn.MLP
+	d         *table.Dataset
+	m, dim    int
+	threshold float64
+
+	// Shared output matrices; shards write disjoint row ranges.
+	scores [][]float64
+	pred   [][]bool
+
+	// depCols[j] keys column j's cache; nil disables dedup entirely.
+	depCols [][]int
+	caches  []map[string]float64
+
+	tile   []float64 // m x dim row feature tile, reused across rows
+	ptile  []float64 // compacted tile of this row's cache-miss columns
+	pout   []float64 // PredictInto output for ptile
+	missJ  []int     // columns missing from the cache this row
+	keyBuf []byte    // packed value-ID keys for every column of one row
+	keyOff []int     // keyBuf offset of each miss column's key
+}
+
+// newShardScorer builds a scorer over the shared extractor, fitted model,
+// and output matrices. depCols enables the dedup cache when non-nil.
+func newShardScorer(ext *feature.Extractor, mlp *nn.MLP, d *table.Dataset,
+	depCols [][]int, threshold float64, scores [][]float64, pred [][]bool) *shardScorer {
+	m := d.NumCols()
+	dim := ext.Dim()
+	s := &shardScorer{
+		ext: ext, mlp: mlp, d: d, m: m, dim: dim,
+		threshold: threshold, scores: scores, pred: pred,
+		depCols: depCols,
+		tile:    make([]float64, m*dim),
+		ptile:   make([]float64, m*dim),
+		pout:    make([]float64, m),
+		missJ:   make([]int, 0, m),
+		keyOff:  make([]int, m),
+	}
+	if depCols != nil {
+		s.caches = make([]map[string]float64, m)
+		keyCap := 0
+		for j := range s.caches {
+			s.caches[j] = make(map[string]float64)
+			keyCap += 4 * len(depCols[j])
+		}
+		s.keyBuf = make([]byte, 0, keyCap)
+	}
+	return s
+}
+
+// scoreRows scores every cell of rows [lo, hi).
+func (s *shardScorer) scoreRows(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s.scoreRow(i)
+	}
+}
+
+// scoreRow scores all m cells of row i into the shared matrices. Steady
+// state (warm cache, or dedup off) allocates nothing; cache misses
+// allocate only their interned key strings and map growth.
+func (s *shardScorer) scoreRow(i int) {
+	scoresRow := s.scores[i]
+	if s.depCols == nil {
+		s.ext.RowFeaturesInto(i, s.tile)
+		s.mlp.PredictInto(s.tile, s.m, scoresRow)
+	} else {
+		s.missJ = s.missJ[:0]
+		s.keyBuf = s.keyBuf[:0]
+		for j := 0; j < s.m; j++ {
+			start := len(s.keyBuf)
+			for _, c := range s.depCols[j] {
+				id := s.d.ValueID(i, c)
+				s.keyBuf = append(s.keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			}
+			// The conversion in the map index does not allocate (compiler
+			// optimizes map[string] lookups keyed by string([]byte)).
+			if v, ok := s.caches[j][string(s.keyBuf[start:])]; ok {
+				scoresRow[j] = v
+				s.keyBuf = s.keyBuf[:start]
+			} else {
+				s.keyOff[len(s.missJ)] = start
+				s.missJ = append(s.missJ, j)
+			}
+		}
+		if len(s.missJ) > 0 {
+			// Featurize the whole row once (bases computed once, shared by
+			// the correlated-context blocks), compact the missing columns'
+			// vectors, and run one batched forward pass over them.
+			s.ext.RowFeaturesInto(i, s.tile)
+			for mi, j := range s.missJ {
+				copy(s.ptile[mi*s.dim:(mi+1)*s.dim], s.tile[j*s.dim:(j+1)*s.dim])
+			}
+			s.mlp.PredictInto(s.ptile, len(s.missJ), s.pout)
+			for mi, j := range s.missJ {
+				v := s.pout[mi]
+				scoresRow[j] = v
+				end := len(s.keyBuf)
+				if mi+1 < len(s.missJ) {
+					end = s.keyOff[mi+1]
+				}
+				s.caches[j][string(s.keyBuf[s.keyOff[mi]:end])] = v
+			}
+		}
+	}
+	predRow := s.pred[i]
+	for j, p := range scoresRow {
+		predRow[j] = p >= s.threshold
+	}
+}

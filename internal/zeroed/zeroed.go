@@ -68,6 +68,16 @@ type Config struct {
 	// every shard count; see Detector.DetectShards for the
 	// independent-model-per-shard alternative.
 	Shards int
+	// DisableScoreDedup turns off the scoring dedup cache. By default each
+	// scoring shard memoizes cell scores behind the cell's value-ID tuple
+	// over its feature dependency columns (feature.DepCols), so repeated
+	// (value, correlated-context) combinations — common after value
+	// interning — are featurized and scored once per shard. Cached scores
+	// are the exact float64 the model would recompute, so results are
+	// bit-identical with the cache on or off (pinned by
+	// TestScoreDedupEquivalence); the flag exists for benchmarking and as
+	// an escape hatch.
+	DisableScoreDedup bool
 
 	// MaxPropagatedPerAttr caps in-cluster label propagation per attribute
 	// to bound training-set size on large datasets (default 2000).
@@ -203,11 +213,25 @@ type syntheticCell struct {
 	value    string
 }
 
-// newMask allocates a rows x cols boolean matrix.
+// newMask allocates a rows x cols boolean matrix over one flat backing
+// block (two allocations total, not rows+1).
 func newMask(d *table.Dataset) [][]bool {
-	m := make([][]bool, d.NumRows())
+	rows, cols := d.NumRows(), d.NumCols()
+	flat := make([]bool, rows*cols)
+	m := make([][]bool, rows)
 	for i := range m {
-		m[i] = make([]bool, d.NumCols())
+		m[i] = flat[i*cols : (i+1)*cols]
+	}
+	return m
+}
+
+// newMatrix allocates a rows x cols float64 matrix over one flat backing
+// block; the scoring shards fill disjoint row ranges of it in place.
+func newMatrix(rows, cols int) [][]float64 {
+	flat := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = flat[i*cols : (i+1)*cols]
 	}
 	return m
 }
