@@ -65,7 +65,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "datagen:", err)
 			os.Exit(1)
 		}
+		rate, err := b.ErrorRate()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("%s: %d tuples x %d attrs, %.2f%% errors -> %s, %s\n",
-			b.Name, b.Dirty.NumRows(), b.Dirty.NumCols(), 100*b.ErrorRate(), dirtyPath, cleanPath)
+			b.Name, b.Dirty.NumRows(), b.Dirty.NumCols(), 100*rate, dirtyPath, cleanPath)
 	}
 }

@@ -45,18 +45,18 @@ import (
 
 // runOpts carries the parsed command line.
 type runOpts struct {
-	dirtyPath string
-	cleanPath string
-	dataset   string
-	size      int
-	method    string
-	model     string
-	labelRate float64
-	corrK     int
-	seed      int64
-	workers   int
-	shards    int
-	batch     string
+	dirtyPath  string
+	cleanPath  string
+	dataset    string
+	size       int
+	method     string
+	model      string
+	labelRate  float64
+	corrK      int
+	seed       int64
+	workers    int
+	shards     int
+	batch      string
 	outPath    string
 	repairOut  string
 	cpuProfile string
@@ -163,8 +163,12 @@ func run(o runOpts) error {
 		}
 		b := gen(o.size, o.seed)
 		dirty, clean, kb, fdPairs = b.Dirty, b.Clean, b.KB, b.FDPairs
+		rate, err := b.ErrorRate()
+		if err != nil {
+			return err
+		}
 		fmt.Printf("generated %s: %d tuples x %d attributes, %.2f%% cell errors\n",
-			b.Name, dirty.NumRows(), dirty.NumCols(), 100*b.ErrorRate())
+			b.Name, dirty.NumRows(), dirty.NumCols(), 100*rate)
 	case o.dirtyPath != "":
 		var err error
 		dirty, err = table.ReadCSVFile("input", o.dirtyPath)
@@ -251,7 +255,7 @@ func run(o runOpts) error {
 					row[j] = "0"
 				}
 			}
-			mask.AppendRow(row)
+			mask.MustAppendRow(row)
 		}
 		if err := mask.WriteCSVFile(o.outPath); err != nil {
 			return err

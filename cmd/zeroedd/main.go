@@ -1,0 +1,86 @@
+// Command zeroedd runs the ZeroED detection service: a long-running HTTP
+// server that accepts CSV uploads as asynchronous detection jobs, runs them
+// on one shared bounded worker pool, and serves per-cell verdicts and
+// scores. Jobs with a fixed seed return verdicts bit-identical to a
+// cmd/zeroed run on the same input.
+//
+// Usage:
+//
+//	zeroedd [-addr :8080] [-workers N] [-shards N]
+//	        [-max-concurrent 2] [-max-queue 16]
+//	        [-max-upload-bytes 33554432] [-max-rows 1000000] [-max-cols 256]
+//
+// Quickstart:
+//
+//	zeroedd -addr :8080 &
+//	curl -s -X POST --data-binary @dirty.csv 'localhost:8080/v1/jobs?seed=1'
+//	curl -s localhost:8080/v1/jobs/j-000001            # poll state
+//	curl -s localhost:8080/v1/jobs/j-000001/result     # verdicts + scores
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener stops, and
+// in-flight jobs are canceled through their contexts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "shared worker-pool size all jobs draw from (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "per-job scoring-shard count (0 = auto); results are identical for any value")
+		maxConc  = flag.Int("max-concurrent", 2, "jobs detecting concurrently (they share the one pool)")
+		maxQueue = flag.Int("max-queue", 16, "admission-queue depth; beyond it submissions get 429")
+		maxBytes = flag.Int64("max-upload-bytes", 32<<20, "request-body byte cap (413 beyond it)")
+		maxRows  = flag.Int("max-rows", 1_000_000, "per-upload row cap")
+		maxCols  = flag.Int("max-cols", 256, "per-upload column cap")
+	)
+	flag.Parse()
+
+	svc := serve.New(serve.Config{
+		Workers:           *workers,
+		Shards:            *shards,
+		MaxConcurrentJobs: *maxConc,
+		MaxQueuedJobs:     *maxQueue,
+		MaxUploadBytes:    *maxBytes,
+		MaxRows:           *maxRows,
+		MaxCols:           *maxCols,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("zeroedd: listening on %s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("zeroedd: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = httpSrv.Shutdown(ctx)
+		cancel()
+		svc.Close() // cancels in-flight jobs and drains the runners
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "zeroedd:", err)
+			svc.Close()
+			os.Exit(1)
+		}
+	}
+}

@@ -6,4 +6,12 @@
 // regenerates every table and figure of the paper's evaluation; the
 // implementation lives under internal/ (see DESIGN.md for the system
 // inventory) and the runnable entry points under cmd/ and examples/.
+//
+// Entry points: cmd/zeroed (one-shot CLI detection), cmd/zeroedd (the
+// HTTP/JSON detection service over internal/serve), cmd/experiments
+// (paper tables and figures), cmd/datagen (benchmark CSV export), and
+// cmd/benchjson (scaling benchmarks as JSON). Every path reachable from
+// untrusted input — CSV parsing, schema arity, degenerate dataset
+// shapes, non-finite training values — reports errors instead of
+// panicking, so the service can face adversarial uploads.
 package repro

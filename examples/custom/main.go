@@ -64,7 +64,7 @@ func main() {
 					row[5] = "IL"
 				}
 			}
-			big.AppendRow(row)
+			big.MustAppendRow(row)
 		}
 	}
 

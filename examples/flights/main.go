@@ -20,8 +20,12 @@ import (
 
 func main() {
 	bench := datasets.Flights(1200, 7)
+	rate, err := bench.ErrorRate()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("Flights: %d tuples x %d attributes, %.1f%% of cells erroneous\n",
-		bench.Dirty.NumRows(), bench.Dirty.NumCols(), 100*bench.ErrorRate())
+		bench.Dirty.NumRows(), bench.Dirty.NumCols(), 100*rate)
 
 	// ZeroED.
 	res, err := zeroed.New(zeroed.Config{Seed: 7}).Detect(bench.Dirty)

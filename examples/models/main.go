@@ -19,8 +19,12 @@ import (
 
 func main() {
 	bench := datasets.Beers(800, 17)
+	rate, err := bench.ErrorRate()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("Beers: %d tuples x %d attributes, %.1f%% of cells erroneous\n\n",
-		bench.Dirty.NumRows(), bench.Dirty.NumCols(), 100*bench.ErrorRate())
+		bench.Dirty.NumRows(), bench.Dirty.NumCols(), 100*rate)
 	fmt.Printf("%-14s | %9s %9s %9s | %s\n", "model", "precision", "recall", "F1", "tokens")
 
 	for _, p := range llm.Profiles() {

@@ -18,8 +18,12 @@ func main() {
 	// a dirty copy with typos, pattern violations, outliers, and rule
 	// violations injected (Table II rates).
 	bench := datasets.Hospital(500, 42)
+	rate, err := bench.ErrorRate()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("dataset: %d tuples x %d attributes, %.2f%% of cells erroneous\n",
-		bench.Dirty.NumRows(), bench.Dirty.NumCols(), 100*bench.ErrorRate())
+		bench.Dirty.NumRows(), bench.Dirty.NumCols(), 100*rate)
 
 	// Run ZeroED with paper defaults: 5%% LLM label rate, 2 correlated
 	// attributes, k-means sampling, the Qwen2.5-72b profile.

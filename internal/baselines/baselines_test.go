@@ -15,7 +15,10 @@ func bench(t *testing.T) *datasets.Bench {
 }
 
 func oracleFor(b *datasets.Bench) LabelOracle {
-	mask := b.Mask()
+	mask, err := b.Mask()
+	if err != nil {
+		panic(err)
+	}
 	return func(row int) []bool { return mask[row] }
 }
 
@@ -47,7 +50,7 @@ func TestDBoostDetectsOutliers(t *testing.T) {
 func TestDBoostEmptyNumericSafe(t *testing.T) {
 	d := table.New("x", []string{"n"})
 	for i := 0; i < 10; i++ {
-		d.AppendRow([]string{"5"})
+		d.MustAppendRow([]string{"5"})
 	}
 	pred, err := NewDBoost().Detect(d)
 	if err != nil {

@@ -172,9 +172,9 @@ func TestAccuracyAndVerifySet(t *testing.T) {
 func eduDataset() *table.Dataset {
 	d := table.New("t", []string{"Education", "Salary"})
 	for i := 0; i < 30; i++ {
-		d.AppendRow([]string{"Bachelor", "50000"})
-		d.AppendRow([]string{"Master", "70000"})
-		d.AppendRow([]string{"Phd", "90000"})
+		d.MustAppendRow([]string{"Bachelor", "50000"})
+		d.MustAppendRow([]string{"Master", "70000"})
+		d.MustAppendRow([]string{"Phd", "90000"})
 	}
 	return d
 }
@@ -233,8 +233,8 @@ func TestInduceNumeric(t *testing.T) {
 func TestInduceFD(t *testing.T) {
 	d := table.New("t", []string{"Country", "Capital", "Pop"})
 	for i := 0; i < 20; i++ {
-		d.AppendRow([]string{"France", "Paris", "67"})
-		d.AppendRow([]string{"Japan", "Tokyo", "125"})
+		d.MustAppendRow([]string{"France", "Paris", "67"})
+		d.MustAppendRow([]string{"Japan", "Tokyo", "125"})
 	}
 	s := Induce(d, 1, allRows(d), []int{0}, DefaultInduceOptions())
 	var fd *Criterion

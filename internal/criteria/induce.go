@@ -193,7 +193,7 @@ func Induce(d *table.Dataset, j int, sampleRows []int, corr []int, opt InduceOpt
 	// a ~30-row sample over Tax-scale dicts.
 	sub := table.NewWithCapacity(d.Name, d.Attrs, len(sampleRows))
 	for _, r := range sampleRows {
-		sub.AppendRow(d.Row(r))
+		sub.MustAppendRow(d.Row(r))
 	}
 	for _, q := range corr {
 		if q == j {

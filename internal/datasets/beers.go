@@ -39,7 +39,7 @@ func Beers(n int, seed int64) *Bench {
 	for i := 0; i < n; i++ {
 		b := rng.Intn(numBreweries)
 		abv := 0.035 + rng.Float64()*0.06
-		clean.AppendRow([]string{
+		clean.MustAppendRow([]string{
 			fmt.Sprintf("%d", 1000+i),
 			fmt.Sprintf("%s %s", pick(rng, beerAdjectives), pick(rng, beerNouns)),
 			pick(rng, beerStyles),

@@ -47,7 +47,7 @@ func Billionaire(n int, seed int64) *Bench {
 		first := pick(rng, firstNames)
 		last := pick(rng, lastNames)
 		founded := 1900 + rng.Intn(110)
-		clean.AppendRow([]string{
+		clean.MustAppendRow([]string{
 			first + " " + last,
 			fmt.Sprintf("%d", 1+rng.Intn(1500)),
 			fmt.Sprintf("%d", []int{1996, 2001, 2014}[rng.Intn(3)]),

@@ -31,22 +31,25 @@ type Bench struct {
 	FDPairs [][2]int
 }
 
-// ErrorRate returns the realized cell error rate of the benchmark.
-func (b *Bench) ErrorRate() float64 {
+// ErrorRate returns the realized cell error rate of the benchmark, or an
+// error when dirty and clean have drifted out of shape (possible once a
+// Bench is assembled from external files rather than a generator).
+func (b *Bench) ErrorRate() (float64, error) {
 	r, err := table.ErrorRate(b.Dirty, b.Clean)
 	if err != nil {
-		panic(fmt.Sprintf("datasets: %s shape mismatch: %v", b.Name, err))
+		return 0, fmt.Errorf("datasets: %s: %w", b.Name, err)
 	}
-	return r
+	return r, nil
 }
 
-// Mask returns the ground-truth error mask.
-func (b *Bench) Mask() [][]bool {
+// Mask returns the ground-truth error mask, or an error on a dirty/clean
+// shape mismatch.
+func (b *Bench) Mask() ([][]bool, error) {
 	m, err := table.ErrorMask(b.Dirty, b.Clean)
 	if err != nil {
-		panic(fmt.Sprintf("datasets: %s shape mismatch: %v", b.Name, err))
+		return nil, fmt.Errorf("datasets: %s: %w", b.Name, err)
 	}
-	return m
+	return m, nil
 }
 
 // Generator builds a benchmark with n tuples and a seed. n <= 0 selects

@@ -38,7 +38,11 @@ func TestTableIIShapes(t *testing.T) {
 			if b.Dirty.NumCols() != tc.attrs {
 				t.Errorf("attrs = %d, want %d", b.Dirty.NumCols(), tc.attrs)
 			}
-			if got := b.ErrorRate(); math.Abs(got-tc.errRate) > tc.tol {
+			got, err := b.ErrorRate()
+			if err != nil {
+				t.Fatalf("ErrorRate: %v", err)
+			}
+			if math.Abs(got-tc.errRate) > tc.tol {
 				t.Errorf("error rate = %.4f, want %.4f +/- %.3f", got, tc.errRate, tc.tol)
 			}
 		})
@@ -53,7 +57,11 @@ func TestTaxShape(t *testing.T) {
 	if b.Dirty.NumRows() != 5000 {
 		t.Errorf("Tax rows = %d, want 5000", b.Dirty.NumRows())
 	}
-	if rate := b.ErrorRate(); rate <= 0 || rate > 0.01 {
+	rate, err := b.ErrorRate()
+	if err != nil {
+		t.Fatalf("ErrorRate: %v", err)
+	}
+	if rate <= 0 || rate > 0.01 {
 		t.Errorf("Tax error rate = %v, want small nonzero", rate)
 	}
 }

@@ -55,7 +55,7 @@ func Flights(n int, seed int64) *Bench {
 
 	for i := 0; i < n; i++ {
 		f := flights[i/len(sources)%numFlights]
-		clean.AppendRow([]string{
+		clean.MustAppendRow([]string{
 			sources[i%len(sources)], f.id, f.schedDep, f.actDep, f.schedArr, f.actArr, f.gate,
 		})
 	}

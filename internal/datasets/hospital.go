@@ -65,7 +65,7 @@ func Hospital(n int, seed int64) *Bench {
 			fmt.Sprintf("%d", 2010+rng.Intn(5)),
 			fmt.Sprintf("%d", 1+rng.Intn(5)),
 		}
-		clean.AppendRow(row)
+		clean.MustAppendRow(row)
 	}
 
 	fdPairs := [][2]int{

@@ -27,7 +27,7 @@ func Movies(n int, seed int64) *Bench {
 	studios := []string{"Universal", "Paramount", "Warner Bros", "Columbia", "Lionsgate", "A24", "Focus"}
 	for i := 0; i < n; i++ {
 		year := 1970 + rng.Intn(50)
-		clean.AppendRow([]string{
+		clean.MustAppendRow([]string{
 			fmt.Sprintf("tt%07d", 100000+i),
 			fmt.Sprintf("The %s %s", pick(rng, movieWords1), pick(rng, movieWords2)),
 			fmt.Sprintf("%d", year),

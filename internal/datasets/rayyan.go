@@ -33,7 +33,7 @@ func Rayyan(n int, seed int64) *Bench {
 		j := pick(rng, jNames)
 		first := 100 + rng.Intn(900)
 		year := 1995 + rng.Intn(25)
-		clean.AppendRow([]string{
+		clean.MustAppendRow([]string{
 			fmt.Sprintf("%d", 50000+i),
 			fmt.Sprintf("A %s %s in adults", pick(rng, paperTopics), pick(rng, paperSubjects)),
 			j,

@@ -45,7 +45,7 @@ func Tax(n int, seed int64) *Bench {
 		state := cityState[city]
 		first := pick(rng, firstNames)
 		salary := 20000 + rng.Intn(180000)
-		clean.AppendRow([]string{
+		clean.MustAppendRow([]string{
 			first,
 			pick(rng, lastNames),
 			genderOf(first),

@@ -14,7 +14,7 @@ func cleanData(n int) *table.Dataset {
 	countries := [][2]string{{"France", "Paris"}, {"Japan", "Tokyo"}, {"Brazil", "Brasilia"}, {"Kenya", "Nairobi"}}
 	for i := 0; i < n; i++ {
 		c := countries[i%len(countries)]
-		d.AppendRow([]string{c[0], c[1], "50000"})
+		d.MustAppendRow([]string{c[0], c[1], "50000"})
 	}
 	return d
 }

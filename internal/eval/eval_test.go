@@ -61,7 +61,7 @@ func TestF1HarmonicProperty(t *testing.T) {
 
 func TestComputeAgainst(t *testing.T) {
 	clean := table.New("t", []string{"a", "b"})
-	clean.AppendRow([]string{"x", "y"})
+	clean.MustAppendRow([]string{"x", "y"})
 	dirty := clean.Clone()
 	dirty.SetValue(0, 1, "z")
 	pred := [][]bool{{false, true}}
@@ -80,7 +80,7 @@ func TestComputeAgainst(t *testing.T) {
 func TestPerType(t *testing.T) {
 	clean := table.New("t", []string{"Name", "Score"})
 	for i := 0; i < 50; i++ {
-		clean.AppendRow([]string{"Alice", "10"})
+		clean.MustAppendRow([]string{"Alice", "10"})
 	}
 	dirty := clean.Clone()
 	dirty.SetValue(0, 0, "")      // MV

@@ -108,8 +108,11 @@ func runZeroED(b *datasets.Bench, cfg zeroed.Config) (eval.Metrics, *zeroed.Resu
 
 // methodSet builds the six baselines for a benchmark, sharing the label
 // oracle the paper grants label-based methods.
-func methodSet(b *datasets.Bench, seed int64) []baselines.Method {
-	mask := b.Mask()
+func methodSet(b *datasets.Bench, seed int64) ([]baselines.Method, error) {
+	mask, err := b.Mask()
+	if err != nil {
+		return nil, err
+	}
 	oracle := baselines.LabelOracle(func(row int) []bool { return mask[row] })
 	raha := baselines.NewRaha(oracle)
 	raha.Seed = seed
@@ -122,7 +125,7 @@ func methodSet(b *datasets.Bench, seed int64) []baselines.Method {
 		ac,
 		raha,
 		baselines.NewFMED(llm.NewClient(llm.Qwen72B), b.KB),
-	}
+	}, nil
 }
 
 // runMethod scores one baseline on one benchmark with wall-clock timing.
@@ -179,11 +182,12 @@ func (o Options) taxSizes() []int {
 	return out
 }
 
-// benchByName generates one scaled benchmark by dataset name.
-func benchByName(name string, o Options) *datasets.Bench {
+// benchByName generates one scaled benchmark by dataset name, or errors on
+// an unregistered name.
+func benchByName(name string, o Options) (*datasets.Bench, error) {
 	gen := datasets.ByName(name)
 	if gen == nil {
-		panic("experiments: unknown dataset " + name)
+		return nil, fmt.Errorf("experiments: unknown dataset %q", name)
 	}
-	return gen(o.scaledSize(defaultSizes[name]), o.Seed)
+	return gen(o.scaledSize(defaultSizes[name]), o.Seed), nil
 }

@@ -43,7 +43,10 @@ func Fig6(o Options) (*Fig6Result, error) {
 		}
 		res.ZeroEDF1[b.Name] = zm.F1
 
-		mask := b.Mask()
+		mask, err := b.Mask()
+		if err != nil {
+			return nil, err
+		}
 		oracle := baselines.LabelOracle(func(row int) []bool { return mask[row] })
 		var curve []float64
 		for _, budget := range res.Budgets {
@@ -100,7 +103,11 @@ func Fig7(o Options) (*Fig7Result, error) {
 		res.PerDataset[method][ds] = d
 	}
 	for _, b := range benches {
-		for _, m := range methodSet(b, o.Seed) {
+		methods, err := methodSet(b, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methods {
 			_, el, err := runMethod(m, b)
 			if err != nil {
 				return nil, err
@@ -133,7 +140,11 @@ func Fig7(o Options) (*Fig7Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, m := range methodSet(b, o.Seed) {
+		methods, err := methodSet(b, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methods {
 			_, el, err := runMethod(m, b)
 			if err != nil {
 				return nil, err
@@ -348,7 +359,11 @@ func Fig11(o Options) (*Fig11Result, error) {
 			}
 			res.F1[method][sc.name] = f1
 		}
-		for _, m := range methodSet(b, o.Seed) {
+		methods, err := methodSet(b, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methods {
 			met, _, err := runMethod(m, b)
 			if err != nil {
 				return nil, err

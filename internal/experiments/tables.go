@@ -42,7 +42,10 @@ func Table3(o Options) (*Table3Result, error) {
 		var name string
 		cells := map[string]eval.Metrics{}
 		for _, b := range benches {
-			methods := methodSet(b, o.Seed)
+			methods, err := methodSet(b, o.Seed)
+			if err != nil {
+				return nil, err
+			}
 			m := methods[mi]
 			name = m.Name()
 			met, _, err := runMethod(m, b)
@@ -217,7 +220,10 @@ func Table6(o Options) (*Table6Result, error) {
 		cells := map[string]eval.Metrics{}
 		rowMetrics := make([]eval.Metrics, len(names))
 		for i, n := range names {
-			b := benchByName(n, o)
+			b, err := benchByName(n, o)
+			if err != nil {
+				return nil, err
+			}
 			cfg := o.zeroedConfig()
 			cfg.Sampler = sp.s
 			met, _, err := runZeroED(b, cfg)

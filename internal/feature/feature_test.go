@@ -14,7 +14,7 @@ func sample() *table.Dataset {
 	edus := []string{"Phd", "Master", "Bachelor", "Master"}
 	for r := 0; r < 25; r++ {
 		for i := range names {
-			d.AppendRow([]string{names[i], genders[i], edus[i], "50000"})
+			d.MustAppendRow([]string{names[i], genders[i], edus[i], "50000"})
 		}
 	}
 	return d
@@ -157,8 +157,8 @@ func TestColumnFeatures(t *testing.T) {
 // including a row-dependent FD criterion.
 func TestFeatureMatchesMapBasedCriteria(t *testing.T) {
 	d := sample()
-	d.SetValue(0, 2, "Phd")      // break Name->Education for row 0
-	d.SetValue(1, 3, "notanum")  // fail numeric range
+	d.SetValue(0, 2, "Phd")     // break Name->Education for row 0
+	d.SetValue(1, 3, "notanum") // fail numeric range
 	e := NewExtractor(d, Config{EmbedDim: 8, CorrK: 1})
 	set := &criteria.Set{Attr: "Education", Criteria: []*criteria.Criterion{
 		{Kind: criteria.KindDomain, Attr: "Education", Name: "dom",

@@ -14,9 +14,9 @@ import (
 func hospital() *table.Dataset {
 	d := table.New("hospital", []string{"Condition", "MeasureCode", "Score"})
 	for i := 0; i < 40; i++ {
-		d.AppendRow([]string{"surgical infection prevention", "SCIP-1", "85"})
-		d.AppendRow([]string{"heart attack", "AMI-2", "90"})
-		d.AppendRow([]string{"pneumonia", "PN-3", "78"})
+		d.MustAppendRow([]string{"surgical infection prevention", "SCIP-1", "85"})
+		d.MustAppendRow([]string{"heart attack", "AMI-2", "90"})
+		d.MustAppendRow([]string{"pneumonia", "PN-3", "78"})
 	}
 	return d
 }

@@ -13,6 +13,7 @@
 package nn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -176,6 +177,16 @@ func (a *adamState) step(params, grads []float64, lr float64) {
 // returns the final epoch's mean cross-entropy loss. Adam updates apply
 // directly to the flat weight buffers.
 func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
+	return m.TrainContext(context.Background(), X, y)
+}
+
+// TrainContext is Train with cooperative cancellation: the context is
+// checked once per epoch, and a canceled context aborts training with the
+// context's error. Inputs are validated up front — a non-finite feature or
+// label value is rejected before it can poison the weights, and a
+// non-finite epoch loss (divergence, however caused) aborts with an error
+// rather than training onward through NaNs.
+func (m *MLP) TrainContext(ctx context.Context, X [][]float64, y []float64) (float64, error) {
 	if len(X) == 0 {
 		return 0, fmt.Errorf("nn: empty training set")
 	}
@@ -185,6 +196,14 @@ func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 	for i, x := range X {
 		if len(x) != m.in {
 			return 0, fmt.Errorf("nn: sample %d has dim %d, want %d", i, len(x), m.in)
+		}
+		for k, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("nn: sample %d has non-finite feature %v at index %d", i, v, k)
+			}
+		}
+		if v := y[i]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("nn: label %d is non-finite (%v)", i, v)
 		}
 	}
 	h1n, h2n := m.cfg.Hidden1, m.cfg.Hidden2
@@ -216,6 +235,9 @@ func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 
 	var lastLoss float64
 	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("nn: training canceled at epoch %d: %w", epoch, err)
+		}
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochLoss := 0.0
 		for start := 0; start < len(idx); start += m.cfg.BatchSize {
@@ -297,6 +319,9 @@ func (m *MLP) Train(X [][]float64, y []float64) (float64, error) {
 			m.b3 = b3[0]
 		}
 		lastLoss = epochLoss / float64(len(idx))
+		if math.IsNaN(lastLoss) || math.IsInf(lastLoss, 0) {
+			return 0, fmt.Errorf("nn: non-finite training loss %v at epoch %d", lastLoss, epoch)
+		}
 	}
 	m.trained = true
 	return lastLoss, nil

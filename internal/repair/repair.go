@@ -242,7 +242,7 @@ func unflaggedSubset(d *table.Dataset, mask [][]bool) *table.Dataset {
 				row[j] = ""
 			}
 		}
-		out.AppendRow(row)
+		out.MustAppendRow(row)
 	}
 	return out
 }

@@ -13,8 +13,8 @@ import (
 func geo() (*table.Dataset, [][]bool) {
 	d := table.New("geo", []string{"Country", "Capital", "Pop"})
 	for i := 0; i < 40; i++ {
-		d.AppendRow([]string{"France", "Paris", "67"})
-		d.AppendRow([]string{"Japan", "Tokyo", "125"})
+		d.MustAppendRow([]string{"France", "Paris", "67"})
+		d.MustAppendRow([]string{"Japan", "Tokyo", "125"})
 	}
 	mask := make([][]bool, d.NumRows())
 	for i := range mask {
@@ -118,7 +118,7 @@ func TestNoConfidentFixLeavesCell(t *testing.T) {
 	d := table.New("t", []string{"ID"})
 	mask := [][]bool{}
 	for i := 0; i < 20; i++ {
-		d.AppendRow([]string{string(rune('a'+i)) + "-unique-xyz"})
+		d.MustAppendRow([]string{string(rune('a'+i)) + "-unique-xyz"})
 		mask = append(mask, []bool{i == 0})
 	}
 	fixes := New(Config{}).Propose(d, mask)

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/zeroed"
+)
+
+// FuzzDetect drives arbitrary small CSV bytes through the full
+// request-reachable path — boundary ingestion (limits, arity validation)
+// followed by an end-to-end Detect — and asserts the service robustness
+// contract: every input yields an error or a result, never a panic. The
+// engine configuration is shrunk (tiny MLP, one worker) so individual
+// executions stay fast; the code paths exercised are the same ones a real
+// job runs.
+func FuzzDetect(f *testing.F) {
+	f.Add([]byte("a,b\n1,2\n3,4\n"))
+	f.Add([]byte("a\nx\n"))
+	f.Add([]byte("name,age\nalice,30\nbob,-1\nalice,\n"))
+	f.Add([]byte("a,b\n\"q\"\"x\",2\n,\n"))
+	f.Add([]byte("h\n" + "0\n0\n0\n0\n0\n0\n0\n0\n"))
+	f.Add([]byte("x,y,z\n1,2,3\n1,2,3\n4,5,6\n7,8,9\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 2048 {
+			t.Skip("cap input size to keep executions fast")
+		}
+		ds, err := ingestCSV("fuzz", bytes.NewReader(data), ingestLimits{maxRows: 40, maxCols: 6})
+		if err != nil {
+			return // rejected at the boundary: exactly the contract
+		}
+		cfg := zeroed.Config{
+			Seed:     1,
+			Workers:  1,
+			EmbedDim: 8,
+			MLP:      nn.Config{Hidden1: 4, Hidden2: 3, Epochs: 2, BatchSize: 8, Seed: 1},
+		}
+		// Error or result are both fine; a panic fails the fuzz run.
+		if _, err := zeroed.New(cfg).Detect(ds); err != nil {
+			t.Logf("detect error (acceptable): %v", err)
+		}
+	})
+}

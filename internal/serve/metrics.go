@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates service counters. Everything is lock-free atomics;
+// per-state gauges are derived from the job table at render time so they
+// are exact, not drift-prone increments.
+type metrics struct {
+	submitted    atomic.Int64
+	done         atomic.Int64
+	failed       atomic.Int64
+	canceled     atomic.Int64
+	rowsIngested atomic.Int64
+	detectRuns   atomic.Int64
+	detectNanos  atomic.Int64
+}
+
+// render writes the Prometheus text exposition of the counters plus the
+// jobs-by-state gauges.
+func (m *metrics) render(w io.Writer, byState map[JobState]int) {
+	fmt.Fprintln(w, "# HELP zeroedd_jobs_submitted_total Jobs accepted into the admission queue.")
+	fmt.Fprintln(w, "# TYPE zeroedd_jobs_submitted_total counter")
+	fmt.Fprintf(w, "zeroedd_jobs_submitted_total %d\n", m.submitted.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_jobs_finished_total Jobs finished, by outcome.")
+	fmt.Fprintln(w, "# TYPE zeroedd_jobs_finished_total counter")
+	fmt.Fprintf(w, "zeroedd_jobs_finished_total{outcome=\"done\"} %d\n", m.done.Load())
+	fmt.Fprintf(w, "zeroedd_jobs_finished_total{outcome=\"failed\"} %d\n", m.failed.Load())
+	fmt.Fprintf(w, "zeroedd_jobs_finished_total{outcome=\"canceled\"} %d\n", m.canceled.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_jobs_current Retained jobs by lifecycle state.")
+	fmt.Fprintln(w, "# TYPE zeroedd_jobs_current gauge")
+	for _, st := range []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled} {
+		fmt.Fprintf(w, "zeroedd_jobs_current{state=%q} %d\n", st, byState[st])
+	}
+
+	fmt.Fprintln(w, "# HELP zeroedd_rows_ingested_total Data rows parsed from accepted uploads.")
+	fmt.Fprintln(w, "# TYPE zeroedd_rows_ingested_total counter")
+	fmt.Fprintf(w, "zeroedd_rows_ingested_total %d\n", m.rowsIngested.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_detect_seconds Total detection wall-clock across completed jobs.")
+	fmt.Fprintln(w, "# TYPE zeroedd_detect_seconds summary")
+	fmt.Fprintf(w, "zeroedd_detect_seconds_sum %g\n", time.Duration(m.detectNanos.Load()).Seconds())
+	fmt.Fprintf(w, "zeroedd_detect_seconds_count %d\n", m.detectRuns.Load())
+}

@@ -1,0 +1,396 @@
+// Package serve exposes the ZeroED detection engine as a long-running
+// HTTP/JSON job service — detection as a service over the sharded engine.
+//
+// Design contract ("validate at the boundary, errors not panics"): every
+// request-reachable code path returns a structured JSON error instead of
+// panicking, uploads are streamed straight into the columnar dataset's
+// intern pools (never materializing a row-oriented copy) under byte, row,
+// and column limits, and a bounded admission queue multiplexes all accepted
+// jobs onto one shared worker pool so concurrent clients cannot
+// oversubscribe the machine. Detection results uphold the engine's
+// determinism guarantee: a job with a fixed seed produces verdicts and
+// scores bit-identical to a cmd/zeroed run on the same input, for any
+// worker, shard, or concurrency configuration.
+//
+// API (see the README "Serving" section for the full reference):
+//
+//	POST   /v1/jobs          submit a CSV (streamed body) -> 202 {id, state}
+//	GET    /v1/jobs          list retained jobs, newest first
+//	GET    /v1/jobs/{id}     job lifecycle status
+//	GET    /v1/jobs/{id}/result   per-cell verdicts + scores (done jobs)
+//	DELETE /v1/jobs/{id}     cancel a queued/running job; delete a finished one
+//	GET    /healthz          liveness
+//	GET    /metrics          Prometheus text metrics
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/llm"
+	"repro/internal/table"
+	"repro/internal/zeroed"
+)
+
+// Config tunes the service. Zero values select serving defaults.
+type Config struct {
+	// Workers is the shared worker-pool size every concurrent job draws
+	// from (0 = GOMAXPROCS). This is the machine-wide parallelism bound.
+	Workers int
+	// Shards is the per-job scoring-shard count (0 = auto). Results are
+	// bit-identical for any value.
+	Shards int
+	// MaxConcurrentJobs bounds how many admitted jobs detect at once
+	// (default 2). They share the one pool, so this trades per-job latency
+	// against cross-job fairness, never total load.
+	MaxConcurrentJobs int
+	// MaxQueuedJobs bounds the admission queue (default 16); submissions
+	// beyond it are rejected with 429 rather than buffered without bound.
+	MaxQueuedJobs int
+	// MaxUploadBytes caps a request body (default 32 MiB); larger uploads
+	// are rejected with 413.
+	MaxUploadBytes int64
+	// MaxRows caps the parsed row count of one upload (default 1e6).
+	MaxRows int
+	// MaxCols caps the column count of one upload (default 256).
+	MaxCols int
+	// MaxRetainedJobs bounds the finished-job table (default 256); the
+	// oldest finished jobs are evicted first. Live jobs are never evicted.
+	MaxRetainedJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrentJobs <= 0 {
+		c.MaxConcurrentJobs = 2
+	}
+	if c.MaxQueuedJobs <= 0 {
+		c.MaxQueuedJobs = 16
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 32 << 20
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 1_000_000
+	}
+	if c.MaxCols <= 0 {
+		c.MaxCols = 256
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 256
+	}
+	return c
+}
+
+// Server is the detection service: an http.Handler plus the job manager
+// behind it.
+type Server struct {
+	cfg Config
+	mgr *manager
+	met *metrics
+	mux *http.ServeMux
+}
+
+// New creates a service with its runner goroutines started.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	met := &metrics{}
+	s := &Server{cfg: cfg, met: met, mgr: newManager(cfg, met)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler, wrapped in a last-resort
+// recovery layer: the request paths are built to return errors, and if a
+// panic slips through anyway the client gets a structured 500 instead of a
+// dropped connection from a crashed process.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				writeErr(w, http.StatusInternalServerError, "internal",
+					fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close cancels all in-flight jobs and stops the runners.
+func (s *Server) Close() { s.mgr.close() }
+
+// apiError is the structured error envelope every failure path returns.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // client gone is not a server error
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
+// jobConfig resolves a job's zeroed configuration. It mirrors cmd/zeroed's
+// flag handling so that equal (input, seed, knobs) pairs produce bit-equal
+// verdicts across the CLI and the service.
+func (m *manager) jobConfig(p JobParams) (zeroed.Config, error) {
+	profile, ok := llm.ProfileByName(p.Profile)
+	if !ok {
+		return zeroed.Config{}, fmt.Errorf("unknown model %q", p.Profile)
+	}
+	return zeroed.Config{
+		LabelRate: p.LabelRate,
+		CorrK:     p.CorrK,
+		Threshold: p.Threshold,
+		Seed:      p.Seed,
+		Workers:   m.cfg.Workers,
+		Shards:    m.cfg.Shards,
+		Profile:   profile,
+	}, nil
+}
+
+// parseParams validates the submit-time query parameters.
+func parseParams(r *http.Request) (JobParams, error) {
+	q := r.URL.Query()
+	p := JobParams{
+		Name:      q.Get("name"),
+		Seed:      1,
+		LabelRate: 0.05,
+		CorrK:     2,
+		Threshold: 0, // zeroed default (0.4) via withDefaults
+		Profile:   "Qwen2.5-72b",
+	}
+	if p.Name == "" {
+		p.Name = "upload"
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad seed %q: %v", v, err)
+		}
+		p.Seed = n
+	}
+	if v := q.Get("label_rate"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f > 1 {
+			return p, fmt.Errorf("bad label_rate %q: must be a float in (0, 1]", v)
+		}
+		p.LabelRate = f
+	}
+	if v := q.Get("corr"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 || n > 64 {
+			return p, fmt.Errorf("bad corr %q: must be an int in [0, 64]", v)
+		}
+		p.CorrK = n
+	}
+	if v := q.Get("threshold"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 || f >= 1 {
+			return p, fmt.Errorf("bad threshold %q: must be a float in (0, 1)", v)
+		}
+		p.Threshold = f
+	}
+	if v := q.Get("model"); v != "" {
+		if _, ok := llm.ProfileByName(v); !ok {
+			return p, fmt.Errorf("unknown model %q", v)
+		}
+		p.Profile = v
+	}
+	return p, nil
+}
+
+// ingestLimits bound one CSV ingestion.
+type ingestLimits struct {
+	maxRows int
+	maxCols int
+}
+
+// ingestCSV streams a CSV body straight into a columnar dataset via
+// table.NewCSVStream — rows are interned into the per-column dictionaries
+// as they are decoded, never materialized as a record set — enforcing the
+// row and column limits as the stream advances. Every malformed input
+// (missing header, ragged rows, quoting errors, oversized shapes, empty
+// data) comes back as an error, not a panic.
+func ingestCSV(name string, r io.Reader, lim ingestLimits) (*table.Dataset, error) {
+	stream, err := table.NewCSVStream(name, r)
+	if err != nil {
+		return nil, err
+	}
+	ds := stream.Dataset()
+	if lim.maxCols > 0 && ds.NumCols() > lim.maxCols {
+		return nil, fmt.Errorf("serve: %d columns exceeds the limit of %d", ds.NumCols(), lim.maxCols)
+	}
+	const chunk = 4096
+	for {
+		_, err := stream.ReadChunk(chunk)
+		if lim.maxRows > 0 && ds.NumRows() > lim.maxRows {
+			return nil, fmt.Errorf("serve: row count exceeds the limit of %d", lim.maxRows)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ds.NumRows() == 0 {
+		return nil, fmt.Errorf("serve: dataset has no data rows")
+	}
+	return ds, nil
+}
+
+// handleSubmit accepts a CSV upload and enqueues a detection job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	params, err := parseParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_param", err.Error())
+		return
+	}
+	// Advisory fast-path: when the queue is already full, reject before
+	// paying for the upload parse. submit re-checks authoritatively under
+	// its lock, so a slot freed in between still admits the job.
+	if s.mgr.queueFull() {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "queue_full", errQueueFull.Error())
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	ds, err := ingestCSV(params.Name, body, ingestLimits{maxRows: s.cfg.MaxRows, maxCols: s.cfg.MaxCols})
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("upload exceeds the %d-byte limit", s.cfg.MaxUploadBytes))
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "bad_csv", err.Error())
+		return
+	}
+	j, err := s.mgr.submit(ds, params)
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "queue_full", err.Error())
+			return
+		}
+		writeErr(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.list()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", "unknown job id")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// JobResult is the wire form of a finished job's verdicts.
+type JobResult struct {
+	ID      string   `json:"id"`
+	Name    string   `json:"name"`
+	Attrs   []string `json:"attrs"`
+	Rows    int      `json:"rows"`
+	Flagged int      `json:"flagged"`
+	// Pred[i][j] is the verdict for cell (i, j); Scores[i][j] the error
+	// probability. Scores round-trip through JSON bit-exactly (Go encodes
+	// the shortest representation that decodes to the same float64).
+	Pred   [][]bool    `json:"pred"`
+	Scores [][]float64 `json:"scores,omitempty"`
+
+	SampledCells  int       `json:"sampled_cells"`
+	TrainingCells int       `json:"training_cells"`
+	AugmentedErrs int       `json:"augmented_errs"`
+	CriteriaCount int       `json:"criteria_count"`
+	Usage         llm.Usage `json:"usage"`
+	RuntimeMS     int64     `json:"runtime_ms"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", "unknown job id")
+		return
+	}
+	j.mu.Lock()
+	state, res, errMsg := j.state, j.res, j.errMsg
+	id, name, attrs := j.id, j.params.Name, j.attrs
+	j.mu.Unlock()
+	switch state {
+	case JobQueued, JobRunning:
+		writeErr(w, http.StatusConflict, "not_done", fmt.Sprintf("job is %s", state))
+		return
+	case JobFailed, JobCanceled:
+		writeErr(w, http.StatusConflict, fmt.Sprintf("job_%s", state), errMsg)
+		return
+	}
+	out := JobResult{
+		ID:            id,
+		Name:          name,
+		Attrs:         attrs,
+		Rows:          len(res.Pred),
+		Pred:          res.Pred,
+		SampledCells:  res.SampledCells,
+		TrainingCells: res.TrainingCells,
+		AugmentedErrs: res.AugmentedErrs,
+		CriteriaCount: res.CriteriaCount,
+		Usage:         res.Usage,
+		RuntimeMS:     res.Runtime.Milliseconds(),
+	}
+	if r.URL.Query().Get("scores") != "0" {
+		out.Scores = res.Scores
+	}
+	for _, row := range res.Pred {
+		for _, p := range row {
+			if p {
+				out.Flagged++
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	state, ok := s.mgr.cancelJob(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", "unknown job id")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "state": state})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "time": time.Now().UTC().Format(time.RFC3339)})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, s.mgr.counts())
+}

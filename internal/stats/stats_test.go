@@ -11,10 +11,10 @@ import (
 
 func sample() *table.Dataset {
 	d := table.New("tax", []string{"Name", "Gender", "Salary"})
-	d.AppendRow([]string{"Bob", "M", "80000"})
-	d.AppendRow([]string{"Carol", "F", "60000"})
-	d.AppendRow([]string{"Dave", "M", "64000"})
-	d.AppendRow([]string{"Carol", "F", "60000"})
+	d.MustAppendRow([]string{"Bob", "M", "80000"})
+	d.MustAppendRow([]string{"Carol", "F", "60000"})
+	d.MustAppendRow([]string{"Dave", "M", "64000"})
+	d.MustAppendRow([]string{"Carol", "F", "60000"})
 	return d
 }
 
@@ -155,9 +155,9 @@ func TestMeanStd(t *testing.T) {
 func TestProfileAttribute(t *testing.T) {
 	d := table.New("t", []string{"Salary"})
 	for i := 0; i < 99; i++ {
-		d.AppendRow([]string{"50000"})
+		d.MustAppendRow([]string{"50000"})
 	}
-	d.AppendRow([]string{""})
+	d.MustAppendRow([]string{""})
 	p := ProfileAttribute(d, 0)
 	if p.Missing != 1 {
 		t.Errorf("Missing = %d, want 1", p.Missing)
@@ -179,10 +179,10 @@ func TestProfileAttribute(t *testing.T) {
 func TestFindFD(t *testing.T) {
 	d := table.New("t", []string{"Country", "Capital"})
 	for i := 0; i < 10; i++ {
-		d.AppendRow([]string{"France", "Paris"})
-		d.AppendRow([]string{"Japan", "Tokyo"})
+		d.MustAppendRow([]string{"France", "Paris"})
+		d.MustAppendRow([]string{"Japan", "Tokyo"})
 	}
-	d.AppendRow([]string{"France", "Lyon"}) // one violation
+	d.MustAppendRow([]string{"France", "Lyon"}) // one violation
 	fd := FindFD(d, 0, 1)
 	if fd.Mapping["France"] != "Paris" || fd.Mapping["Japan"] != "Tokyo" {
 		t.Errorf("Mapping = %v", fd.Mapping)
@@ -194,8 +194,8 @@ func TestFindFD(t *testing.T) {
 
 func TestFindFDIgnoresNulls(t *testing.T) {
 	d := table.New("t", []string{"A", "B"})
-	d.AppendRow([]string{"", "x"})
-	d.AppendRow([]string{"", "y"})
+	d.MustAppendRow([]string{"", "x"})
+	d.MustAppendRow([]string{"", "y"})
 	fd := FindFD(d, 0, 1)
 	if len(fd.Mapping) != 0 {
 		t.Errorf("null determinants should be skipped, got %v", fd.Mapping)

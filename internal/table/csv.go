@@ -62,7 +62,9 @@ func (s *CSVStream) ReadChunk(maxRows int) (int, error) {
 			return appended, fmt.Errorf("table: row %d has %d fields, want %d",
 				s.d.NumRows()+1, len(rec), len(s.d.Attrs))
 		}
-		s.d.AppendRow(rec)
+		if err := s.d.AppendRow(rec); err != nil {
+			return appended, err
+		}
 		appended++
 	}
 	return appended, nil

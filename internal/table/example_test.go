@@ -8,14 +8,14 @@ import (
 
 func ExampleDataset_SerializeTuple() {
 	d := table.New("tax", []string{"Name", "Salary"})
-	d.AppendRow([]string{"Carol Brown", "60000"})
+	d.MustAppendRow([]string{"Carol Brown", "60000"})
 	fmt.Println(d.SerializeTuple(0))
 	// Output: Name: Carol Brown, Salary: 60000
 }
 
 func ExampleErrorMask() {
 	clean := table.New("t", []string{"City", "State"})
-	clean.AppendRow([]string{"Chicago", "IL"})
+	clean.MustAppendRow([]string{"Chicago", "IL"})
 	dirty := clean.Clone()
 	dirty.SetValue(0, 1, "CA")
 	mask, _ := table.ErrorMask(dirty, clean)

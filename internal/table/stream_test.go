@@ -153,7 +153,7 @@ func TestStreamEdgeCases(t *testing.T) {
 func TestCompactSubsetRows(t *testing.T) {
 	d := New("c", []string{"x", "y"})
 	for i := 0; i < 10; i++ {
-		d.AppendRow([]string{fmt.Sprintf("x%d", i%4), fmt.Sprintf("y%d", i)})
+		d.MustAppendRow([]string{fmt.Sprintf("x%d", i%4), fmt.Sprintf("y%d", i)})
 	}
 	rows := []int{5, 6, 7, 5} // repeats allowed, order preserved
 	compact := d.CompactSubsetRows(rows)

@@ -170,17 +170,31 @@ func (d *Dataset) DistinctCount(col int) int {
 	return n
 }
 
-// AppendRow adds a tuple. It panics if the arity does not match the schema,
-// because that is always a programming error in this codebase.
-func (d *Dataset) AppendRow(row []string) {
+// AppendRow adds a tuple. A row whose arity does not match the schema is
+// rejected with an error and the dataset is left unchanged; ingestion paths
+// that accept untrusted input (CSV streams, service uploads) propagate it
+// as a validation failure. Code sites where the arity is a structural
+// invariant use MustAppendRow.
+func (d *Dataset) AppendRow(row []string) error {
 	if len(row) != len(d.Attrs) {
-		panic(fmt.Sprintf("table: row arity %d does not match schema arity %d", len(row), len(d.Attrs)))
+		return fmt.Errorf("table: row arity %d does not match schema arity %d", len(row), len(d.Attrs))
 	}
 	for j, v := range row {
 		c := &d.cols[j]
 		c.ids = append(c.ids, c.intern(v))
 	}
 	d.nrows++
+	return nil
+}
+
+// MustAppendRow is AppendRow for call sites where the row arity is
+// guaranteed by construction (generators, test fixtures, rows copied from a
+// same-schema dataset). It panics on a mismatch, which at such a site is
+// always a programming error.
+func (d *Dataset) MustAppendRow(row []string) {
+	if err := d.AppendRow(row); err != nil {
+		panic(err)
+	}
 }
 
 // ColIndex returns the index of the named attribute, or -1 if absent.

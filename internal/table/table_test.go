@@ -9,9 +9,9 @@ import (
 
 func sample() *Dataset {
 	d := New("tax", []string{"Name", "Gender", "Education", "Salary"})
-	d.AppendRow([]string{"Bob Johnson", "M", "Phd", "80000"})
-	d.AppendRow([]string{"Carol Brown", "F", "Master", "6000"})
-	d.AppendRow([]string{"DaveGreen", "M", "Bechxlor", "64000"})
+	d.MustAppendRow([]string{"Bob Johnson", "M", "Phd", "80000"})
+	d.MustAppendRow([]string{"Carol Brown", "F", "Master", "6000"})
+	d.MustAppendRow([]string{"DaveGreen", "M", "Bechxlor", "64000"})
 	return d
 }
 
@@ -58,13 +58,24 @@ func TestColumn(t *testing.T) {
 	}
 }
 
-func TestAppendRowArityPanics(t *testing.T) {
+func TestAppendRowArityError(t *testing.T) {
+	d := sample()
+	rows := d.NumRows()
+	if err := d.AppendRow([]string{"only", "three", "fields"}); err == nil {
+		t.Fatal("AppendRow with wrong arity must return an error")
+	}
+	if d.NumRows() != rows {
+		t.Fatalf("failed AppendRow must leave the dataset unchanged: %d rows, want %d", d.NumRows(), rows)
+	}
+}
+
+func TestMustAppendRowArityPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("AppendRow with wrong arity must panic")
+			t.Fatal("MustAppendRow with wrong arity must panic")
 		}
 	}()
-	sample().AppendRow([]string{"only", "three", "fields"})
+	sample().MustAppendRow([]string{"only", "three", "fields"})
 }
 
 func TestCloneIsDeep(t *testing.T) {
@@ -287,8 +298,8 @@ func TestSubsetRows(t *testing.T) {
 
 func TestDistinctCountIgnoresStaleDictEntries(t *testing.T) {
 	d := New("t", []string{"A"})
-	d.AppendRow([]string{"x"})
-	d.AppendRow([]string{"y"})
+	d.MustAppendRow([]string{"x"})
+	d.MustAppendRow([]string{"y"})
 	d.SetValue(1, 0, "x") // "y" is now stale in the pool
 	if got := d.DistinctCount(0); got != 1 {
 		t.Errorf("DistinctCount = %d, want 1", got)
@@ -306,7 +317,7 @@ func TestColumnarMatchesRowMajorSemantics(t *testing.T) {
 		ref := [][]string{}
 		for i := 0; i < 5; i++ {
 			row := []string{"a0", "b0", "c0"}
-			d.AppendRow(row)
+			d.MustAppendRow(row)
 			ref = append(ref, append([]string(nil), row...))
 		}
 		for k, w := range writes {
@@ -348,7 +359,7 @@ func TestCSVRoundTripProperty(t *testing.T) {
 			return true // csv normalizes \r\n; out of scope
 		}
 		d := New("p", []string{"x", "y", "z"})
-		d.AppendRow([]string{a, b, c})
+		d.MustAppendRow([]string{a, b, c})
 		var buf bytes.Buffer
 		if err := d.WriteCSV(&buf); err != nil {
 			return false

@@ -1,6 +1,7 @@
 package zeroed
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,11 +20,17 @@ import (
 // so concurrent runs may not share a dataset. Clone to detect one dataset
 // under several slots.
 func (dt *Detector) DetectBatch(ds []*table.Dataset) ([]*Result, error) {
+	return dt.DetectBatchContext(context.Background(), ds)
+}
+
+// DetectBatchContext is DetectBatch with cooperative cancellation; a
+// canceled context aborts every run of the batch.
+func (dt *Detector) DetectBatchContext(ctx context.Context, ds []*table.Dataset) ([]*Result, error) {
 	pool := newWorkPool(dt.cfg.Workers)
 	results := make([]*Result, len(ds))
 	errs := make([]error, len(ds))
 	pool.forN(len(ds), func(i int) {
-		results[i], errs[i] = dt.detect(ds[i], pool)
+		results[i], errs[i] = dt.detect(ctx, ds[i], pool)
 	})
 	for i, err := range errs {
 		if err != nil {

@@ -1,0 +1,109 @@
+package zeroed
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/table"
+)
+
+// tinyCfg shrinks the pipeline so degenerate-shape runs stay fast while
+// exercising every stage.
+func tinyCfg() Config {
+	return Config{
+		Seed:     1,
+		Workers:  1,
+		EmbedDim: 8,
+		MLP:      nn.Config{Hidden1: 4, Hidden2: 3, Epochs: 2, BatchSize: 8, Seed: 1},
+	}
+}
+
+func mustCSV(t *testing.T, csv string) *table.Dataset {
+	t.Helper()
+	d, err := table.ReadCSV("t", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDetectDegenerateShapes pins "clean error or defined verdict, never a
+// panic" across the degenerate shapes reachable from untrusted uploads:
+// one row, one cell, all-identical columns (zero-entropy NMI,
+// zero-variance features), and cluster counts k >= n.
+func TestDetectDegenerateShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+		cfg  func(Config) Config
+	}{
+		{"one row", "a,b\n1,2\n", nil},
+		{"one cell", "a\nv\n", nil},
+		{"identical column", "a,b\nx,1\nx,2\nx,3\nx,4\nx,5\n", nil},
+		{"all cells identical", "a,b\n" + strings.Repeat("s,s\n", 20), nil},
+		{"two rows high label rate (k>=n)", "a,b\n1,2\n3,4\n", func(c Config) Config {
+			c.LabelRate = 1.0 // forces clustersPerAttr >= sampled rows
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tinyCfg()
+			if tc.cfg != nil {
+				cfg = tc.cfg(cfg)
+			}
+			res, err := New(cfg).Detect(mustCSV(t, tc.csv))
+			if err != nil {
+				t.Logf("clean error (acceptable): %v", err)
+				return
+			}
+			if res == nil || res.Pred == nil {
+				t.Fatal("nil result without error")
+			}
+		})
+	}
+}
+
+// TestDetectContextCanceled pins that a pre-canceled context aborts
+// immediately with the context error and no partial result.
+func TestDetectContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := New(tinyCfg()).DetectContext(ctx, mustCSV(t, "a,b\n1,2\n3,4\n5,6\n"))
+	if err == nil {
+		t.Fatal("canceled context must abort detection")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v must wrap context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("canceled run must not return a partial result")
+	}
+}
+
+// TestDetectOnSharedPool pins that DetectOn over one shared pool is
+// bit-identical to Detect with its own pool, for two jobs sharing the pool.
+func TestDetectOnSharedPool(t *testing.T) {
+	csv := "a,b\nx,1\ny,2\nx,3\nz,4\ny,5\nx,6\n"
+	want, err := New(tinyCfg()).Detect(mustCSV(t, csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(2)
+	for run := 0; run < 2; run++ {
+		got, err := New(tinyCfg()).DetectOn(context.Background(), pool, mustCSV(t, csv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Pred {
+			for j := range want.Pred[i] {
+				if got.Pred[i][j] != want.Pred[i][j] || got.Scores[i][j] != want.Scores[i][j] {
+					t.Fatalf("run %d: cell (%d,%d) differs between DetectOn and Detect", run, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package zeroed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -43,6 +44,7 @@ func attrRng(seed int64, attr, phase int) *rand.Rand {
 // Workers and Shards setting.
 type engine struct {
 	cfg    Config
+	ctx    context.Context
 	pool   *workPool
 	d      *table.Dataset
 	client *llm.Client
@@ -62,31 +64,68 @@ type engine struct {
 // Detect runs the full ZeroED pipeline on a dirty dataset and returns
 // per-cell error predictions. It never consults ground truth.
 func (dt *Detector) Detect(d *table.Dataset) (*Result, error) {
-	return dt.detect(d, newWorkPool(dt.cfg.Workers))
+	return dt.DetectContext(context.Background(), d)
+}
+
+// DetectContext is Detect with cooperative cancellation: the context is
+// checked between pipeline stages, between per-attribute and per-shard work
+// units, and per training epoch, so a canceled job releases its workers
+// promptly (within the current unit of work). A canceled run returns an
+// error wrapping the context's error; cancellation never produces a partial
+// Result.
+func (dt *Detector) DetectContext(ctx context.Context, d *table.Dataset) (*Result, error) {
+	return dt.detect(ctx, d, newWorkPool(dt.cfg.Workers))
+}
+
+// DetectOn runs detection on an externally owned shared pool (NewPool).
+// Serving layers use this to multiplex many concurrently admitted jobs over
+// one machine-wide worker budget: every job draws from the pool's tokens
+// instead of spawning its own workers. Results are bit-identical to Detect
+// for any pool size.
+func (dt *Detector) DetectOn(ctx context.Context, p *Pool, d *table.Dataset) (*Result, error) {
+	return dt.detect(ctx, d, p.wp)
 }
 
 // detect runs one engine over an externally owned pool (shared across the
-// datasets of a DetectBatch).
-func (dt *Detector) detect(d *table.Dataset, pool *workPool) (*Result, error) {
+// datasets of a DetectBatch, or across the jobs of a serving process).
+func (dt *Detector) detect(ctx context.Context, d *table.Dataset, pool *workPool) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if d.NumRows() == 0 || d.NumCols() == 0 {
 		return nil, fmt.Errorf("zeroed: empty dataset")
 	}
 	e := &engine{
 		cfg:    dt.cfg,
+		ctx:    ctx,
 		pool:   pool,
 		d:      d,
 		client: llm.NewClient(dt.cfg.Profile),
 		rng:    rand.New(rand.NewSource(dt.cfg.Seed)),
 		res:    &Result{},
 	}
-	e.stageExtractor()
-	e.stageCriteria()
-	e.stageSampleAndLabel()
-	e.stageTrainingData()
-	X, y := e.stageTrainingMatrix()
-	if err := e.stageTrainAndScore(X, y); err != nil {
-		return nil, err
+	for _, stage := range []func() error{
+		func() error { e.stageExtractor(); return nil },
+		func() error { e.stageCriteria(); return nil },
+		func() error { e.stageSampleAndLabel(); return nil },
+		func() error { e.stageTrainingData(); return nil },
+		func() error {
+			X, y := e.stageTrainingMatrix()
+			return e.stageTrainAndScore(X, y)
+		},
+	} {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("zeroed: detection canceled: %w", err)
+		}
+		if err := stage(); err != nil {
+			return nil, err
+		}
+	}
+	// A stage interrupted mid-flight leaves partial state; surface the
+	// cancellation rather than a half-scored result.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("zeroed: detection canceled: %w", err)
 	}
 	e.res.Usage = e.client.Usage()
 	e.res.Runtime = time.Since(start)
@@ -125,11 +164,17 @@ func (e *engine) stageCriteria() {
 		return
 	}
 	e.pool.forN(m, func(j int) {
+		if e.ctx.Err() != nil {
+			return
+		}
 		arng := attrRng(e.cfg.Seed, j, phaseCriteria)
 		sample := randomRows(arng, e.d.NumRows(), 30)
 		e.critSets[j] = e.client.GenerateCriteria(e.d, j, sample, e.corrFor(j))
 		e.ext.SetCriteria(j, e.critSets[j])
 	})
+	if e.ctx.Err() != nil {
+		return
+	}
 	for j := 0; j < m; j++ {
 		e.res.CriteriaCount += len(e.critSets[j].Criteria)
 	}
@@ -164,6 +209,9 @@ func (e *engine) stageSampleAndLabel() {
 	sampledPerAttr := make([]int, m)
 	dim := e.ext.Dim()
 	e.pool.forN(m, func(j int) {
+		if e.ctx.Err() != nil {
+			return
+		}
 		arng := attrRng(e.cfg.Seed, j, phaseSample)
 		// One flat row-major feature tile per attribute: the clustering
 		// core consumes it directly, with no per-row slice headers.
@@ -193,6 +241,9 @@ func (e *engine) stageSampleAndLabel() {
 			guideline = e.client.GenerateGuideline(e.d, j, e.corrFor(j), prof, samplesHead(sampleRows, 20))
 		}
 		for s := 0; s < len(sampleRows); s += e.cfg.BatchSize {
+			if e.ctx.Err() != nil {
+				return
+			}
 			end := min(s+e.cfg.BatchSize, len(sampleRows))
 			batch := sampleRows[s:end]
 			verdicts := e.client.LabelBatch(e.d, j, batch, guideline)
@@ -253,7 +304,7 @@ func (e *engine) stageTrainAndScore(X [][]float64, y []float64) error {
 	scores := newMatrix(n, m)
 	if hasBothClasses(y) {
 		mlp := nn.New(e.ext.Dim(), e.cfg.MLP)
-		if _, err := mlp.Train(X, y); err != nil {
+		if _, err := mlp.TrainContext(e.ctx, X, y); err != nil {
 			return fmt.Errorf("zeroed: training detector: %w", err)
 		}
 		// depCols[j] is the value-ID tuple that keys column j's dedup
@@ -267,8 +318,11 @@ func (e *engine) stageTrainAndScore(X [][]float64, y []float64) error {
 		}
 		shards := shardRanges(n, e.cfg.shardCount(n))
 		e.pool.forN(len(shards), func(s int) {
+			if e.ctx.Err() != nil {
+				return
+			}
 			sc := newShardScorer(e.ext, mlp, d, depCols, e.cfg.Threshold, scores, pred)
-			sc.scoreRows(shards[s].lo, shards[s].hi)
+			sc.scoreRows(e.ctx, shards[s].lo, shards[s].hi)
 		})
 	} else {
 		// Degenerate labeling (all clean or all dirty): fall back to the

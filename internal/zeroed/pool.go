@@ -1,9 +1,33 @@
 package zeroed
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// Pool is an exported handle on one shared bounded worker pool, for callers
+// that multiplex many detection runs arriving over time — a serving process
+// admitting jobs, for example — onto a single machine-wide worker budget
+// via Detector.DetectOn. Every stage of every run scheduled on the pool
+// draws from the same token budget, so N concurrent jobs never oversubscribe
+// the machine beyond the pool's worker count. A Pool is safe for concurrent
+// use and needs no shutdown.
+type Pool struct {
+	wp *workPool
+}
+
+// NewPool creates a shared pool with the given worker budget; zero or
+// negative means runtime.GOMAXPROCS(0), mirroring Config.Workers.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{wp: newWorkPool(workers)}
+}
+
+// Workers returns the pool's worker budget.
+func (p *Pool) Workers() int { return cap(p.wp.tokens) + 1 }
 
 // workPool is the one bounded worker budget shared by every stage of the
 // detection engine. A single pool spans criteria generation, sampling and

@@ -1,6 +1,8 @@
 package zeroed
 
 import (
+	"context"
+
 	"repro/internal/feature"
 	"repro/internal/nn"
 	"repro/internal/table"
@@ -72,9 +74,15 @@ func newShardScorer(ext *feature.Extractor, mlp *nn.MLP, d *table.Dataset,
 	return s
 }
 
-// scoreRows scores every cell of rows [lo, hi).
-func (s *shardScorer) scoreRows(lo, hi int) {
+// scoreRows scores every cell of rows [lo, hi). The context is polled every
+// few hundred rows so a canceled job stops mid-shard instead of finishing a
+// potentially large row range; a partially scored shard is fine because the
+// engine discards all output once it observes the cancellation.
+func (s *shardScorer) scoreRows(ctx context.Context, lo, hi int) {
 	for i := lo; i < hi; i++ {
+		if i&0xff == 0 && ctx.Err() != nil {
+			return
+		}
 		s.scoreRow(i)
 	}
 }

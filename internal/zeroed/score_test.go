@@ -1,6 +1,7 @@
 package zeroed
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -92,8 +93,8 @@ func TestFusedScoringZeroAllocSteadyState(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			sc, n := scorerFixture(t, tc.dedup)
 			// Warm pass: fills the dedup cache (and the nn scratch pool).
-			sc.scoreRows(0, n)
-			if allocs := testing.AllocsPerRun(50, func() { sc.scoreRows(0, n) }); allocs != 0 {
+			sc.scoreRows(context.Background(), 0, n)
+			if allocs := testing.AllocsPerRun(50, func() { sc.scoreRows(context.Background(), 0, n) }); allocs != 0 {
 				t.Errorf("steady-state scoring allocates %.2f times per %d-row pass, want 0", allocs, n)
 			}
 		})
@@ -105,8 +106,8 @@ func TestFusedScoringZeroAllocSteadyState(t *testing.T) {
 func TestShardScorerDedupMatchesDirect(t *testing.T) {
 	sc, n := scorerFixture(t, true)
 	ref, _ := scorerFixture(t, false)
-	sc.scoreRows(0, n)
-	ref.scoreRows(0, n)
+	sc.scoreRows(context.Background(), 0, n)
+	ref.scoreRows(context.Background(), 0, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < sc.m; j++ {
 			if sc.scores[i][j] != ref.scores[i][j] {

@@ -26,6 +26,9 @@ func (e *engine) stageTrainingData() {
 	perTrain := make([][]cellLabel, m)
 	perSynth := make([][]syntheticCell, m)
 	e.pool.forN(m, func(j int) {
+		if e.ctx.Err() != nil {
+			return
+		}
 		arng := attrRng(e.cfg.Seed, j, phaseTrainData)
 		perTrain[j], perSynth[j] = e.attrTrainingData(j, posOf, arng)
 	})

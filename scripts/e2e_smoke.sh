@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the detection service: build zeroedd, start it,
+# submit a small CSV job, poll it to completion, and check the result and
+# metrics endpoints. Exercises the same path CI pins with httptest, but
+# against the real binary over a real socket.
+set -euo pipefail
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/zeroedd"
+
+go build -o "$BIN" ./cmd/zeroedd
+"$BIN" -addr "$ADDR" -workers 2 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for liveness.
+for _ in $(seq 1 100); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+# Submit a small dataset.
+CSV="$(mktemp)"
+printf 'city,state,zip\nchicago,IL,60601\nspringfield,IL,62701\nchicago,IL,60601\nmadison,WI,53703\nchicago,XX,60601\n' > "$CSV"
+ID="$(curl -fsS -X POST --data-binary @"$CSV" "$BASE/v1/jobs?seed=1&name=smoke" \
+  | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$ID" ] || { echo "e2e: no job id in submit response"; exit 1; }
+echo "e2e: submitted $ID"
+
+# Poll to completion.
+STATE=""
+for _ in $(seq 1 150); do
+  STATE="$(curl -fsS "$BASE/v1/jobs/$ID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+  case "$STATE" in
+    done) break ;;
+    failed|canceled) echo "e2e: job ended $STATE"; curl -fsS "$BASE/v1/jobs/$ID"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+[ "$STATE" = done ] || { echo "e2e: timeout in state '$STATE'"; exit 1; }
+
+# The result must carry verdicts for every submitted row.
+curl -fsS "$BASE/v1/jobs/$ID/result" | grep -q '"pred":' || { echo "e2e: result missing pred"; exit 1; }
+
+# Metrics must account for the finished job.
+curl -fsS "$BASE/metrics" | grep -q 'zeroedd_jobs_finished_total{outcome="done"} 1' \
+  || { echo "e2e: metrics missing finished job"; exit 1; }
+
+echo "e2e: OK"
