@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	benchjson [-iters 3] [-out BENCH_PR3.json] [-baseline old.json] [-list]
+//	benchjson [-iters 3] [-out BENCH_PR5.json] [-baseline old.json] [-list]
 //
 // -iters is the per-benchmark iteration count (1 = smoke mode, wired into
 // CI). -baseline embeds another benchjson file's results under "baseline",
@@ -41,6 +41,10 @@ type File struct {
 	Generated  string        `json:"generated"`
 	Note       string        `json:"note,omitempty"`
 	Benchmarks []Measurement `json:"benchmarks"`
+	// FitScoreRatio is fit-only ns/op divided by score-only ns/op when both
+	// arms ran — the factor a registered model saves per scoring request
+	// versus refitting the pipeline.
+	FitScoreRatio float64 `json:"fit_score_ratio,omitempty"`
 	// Baseline carries the pre-change numbers the current run is compared
 	// against (another benchjson run, or numbers parsed from
 	// `go test -bench -benchmem` output).
@@ -75,8 +79,38 @@ func benches() []bench {
 		{"BenchmarkZeroEDPipeline/dedup-off", detect(zeroed.Config{Seed: 3, DisableScoreDedup: true}, hospital)},
 		{"BenchmarkDetectSharded/serial", detect(zeroed.Config{Seed: 1, Workers: 1, Shards: 1}, tax)},
 		{"BenchmarkDetectSharded/sharded", detect(zeroed.Config{Seed: 1}, tax)},
+		// The fit/score split: fit-only measures the expensive phase alone;
+		// score-only fits once in setup and then re-scores the same scaled
+		// Tax dataset per iteration, the registered-model serving workload.
+		// The ratio between the two is the File.FitScoreRatio the model
+		// registry's economics rest on.
+		{benchFitOnly, func() func() error {
+			b := tax()
+			cfg := zeroed.Config{Seed: 1}
+			return func() error {
+				_, err := zeroed.New(cfg).Fit(b.Dirty)
+				return err
+			}
+		}},
+		{benchScoreOnly, func() func() error {
+			b := tax()
+			m, err := zeroed.New(zeroed.Config{Seed: 1}).Fit(b.Dirty)
+			if err != nil {
+				fatal(err)
+			}
+			return func() error {
+				_, err := m.Score(b.Dirty)
+				return err
+			}
+		}},
 	}
 }
+
+// Names of the fit/score arms, referenced when deriving the ratio.
+const (
+	benchFitOnly   = "BenchmarkFitScore/fit-only"
+	benchScoreOnly = "BenchmarkFitScore/score-only"
+)
 
 func measure(name string, iters int, factory func() func() error) (Measurement, error) {
 	fn := factory()
@@ -106,7 +140,7 @@ func measure(name string, iters int, factory func() func() error) (Measurement, 
 
 func main() {
 	iters := flag.Int("iters", 3, "iterations per benchmark (1 = smoke mode)")
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
 	baseline := flag.String("baseline", "", "optional benchjson file whose benchmarks embed as the baseline")
 	note := flag.String("note", "", "optional free-form note stored in the file")
 	list := flag.Bool("list", false, "list benchmark names and exit")
@@ -142,6 +176,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  %s\t%.0f ns/op\t%.0f B/op\t%.0f allocs/op\n",
 			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
 		f.Benchmarks = append(f.Benchmarks, m)
+	}
+
+	var fitNs, scoreNs float64
+	for _, m := range f.Benchmarks {
+		switch m.Name {
+		case benchFitOnly:
+			fitNs = m.NsPerOp
+		case benchScoreOnly:
+			scoreNs = m.NsPerOp
+		}
+	}
+	if fitNs > 0 && scoreNs > 0 {
+		f.FitScoreRatio = fitNs / scoreNs
+		fmt.Fprintf(os.Stderr, "fit/score ratio: %.1fx (score-only reuses the fitted model)\n", f.FitScoreRatio)
 	}
 
 	enc, err := json.MarshalIndent(f, "", "  ")

@@ -16,6 +16,14 @@
 // or (with -dataset) a replica count, generating the replicas at seeds
 // seed..seed+n-1 (every replica is detected with the same -seed config).
 //
+// Model artifacts (ZeroED only): -model-out FILE fits, persists the fitted
+// model as a versioned artifact, and scores with it; -model-in FILE skips
+// fitting entirely and scores the input with a previously saved artifact —
+// verdicts and scores are bit-identical to the run that produced it:
+//
+//	zeroed -dataset Hospital -model-out hospital.zedm
+//	zeroed -dirty fresh.csv -model-in hospital.zedm -out mask.csv
+//
 // Profiling: -cpuprofile FILE records a pprof CPU profile over the whole
 // run, -memprofile FILE writes a post-run heap profile, so hot-path work
 // is measurable without editing code:
@@ -38,6 +46,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/knowledge"
 	"repro/internal/llm"
+	"repro/internal/model"
 	"repro/internal/repair"
 	"repro/internal/table"
 	"repro/internal/zeroed"
@@ -59,6 +68,8 @@ type runOpts struct {
 	batch      string
 	outPath    string
 	repairOut  string
+	modelOut   string
+	modelIn    string
 	cpuProfile string
 	memProfile string
 }
@@ -79,6 +90,8 @@ func main() {
 	flag.StringVar(&o.batch, "batch", "", "detect a batch over one shared pool: comma-separated dirty CSVs, or a replica count with -dataset (replicas generated at seeds seed..seed+n-1)")
 	flag.StringVar(&o.outPath, "out", "", "optional path to write the predicted error mask as CSV")
 	flag.StringVar(&o.repairOut, "repair", "", "optional path to write a repaired copy of the data as CSV")
+	flag.StringVar(&o.modelOut, "model-out", "", "fit and write the model artifact to this path, then score with it (ZeroED only)")
+	flag.StringVar(&o.modelIn, "model-in", "", "skip fitting: load a model artifact and score the input with it (ZeroED only; pipeline flags like -seed and -label-rate are taken from the artifact)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	flag.Parse()
@@ -132,6 +145,12 @@ func run(o runOpts) error {
 	if !ok {
 		return fmt.Errorf("unknown model %q", o.model)
 	}
+	if o.modelIn != "" && o.modelOut != "" {
+		return fmt.Errorf("-model-in and -model-out cannot be combined")
+	}
+	if (o.modelIn != "" || o.modelOut != "") && strings.ToLower(o.method) != "zeroed" {
+		return fmt.Errorf("-model-in/-model-out support only -method zeroed")
+	}
 	if o.batch != "" {
 		// Flags that only apply to single-dataset runs would be silently
 		// ignored in batch mode; reject the combination instead.
@@ -143,6 +162,8 @@ func run(o runOpts) error {
 			{"-clean", o.cleanPath != ""},
 			{"-out", o.outPath != ""},
 			{"-repair", o.repairOut != ""},
+			{"-model-out", o.modelOut != ""},
+			{"-model-in", o.modelIn != ""},
 		} {
 			if c.set {
 				return fmt.Errorf("%s cannot be combined with -batch", c.name)
@@ -192,15 +213,55 @@ func run(o runOpts) error {
 		cfg := o.zeroedConfig()
 		cfg.Profile = profile
 		det := zeroed.New(cfg)
-		res, err := det.Detect(dirty)
-		if err != nil {
-			return err
+		switch {
+		case o.modelIn != "":
+			// Score-only: load the fitted artifact and run the cheap phase.
+			m, err := model.LoadFile(o.modelIn)
+			if err != nil {
+				return err
+			}
+			m.SetParallelism(o.workers, o.shards)
+			res, err := m.Score(dirty)
+			if err != nil {
+				return err
+			}
+			pred = res.Pred
+			fmt.Printf("scored %d rows with model %s (fitted on %d rows, seed %d) in %v — no refit\n",
+				dirty.NumRows(), o.modelIn, m.FitRows(), m.Config().Seed, res.Runtime.Round(1e6))
+		case o.modelOut != "":
+			// Fit, persist the artifact, then score with the fitted model.
+			m, err := det.Fit(dirty)
+			if err != nil {
+				return err
+			}
+			if err := model.SaveFile(o.modelOut, m); err != nil {
+				return err
+			}
+			info := m.Info()
+			fmt.Printf("ZeroED: sampled %d cells, trained on %d cells (%d augmented), %d criteria\n",
+				info.SampledCells, info.TrainingCells, info.AugmentedErrs, info.CriteriaCount)
+			fmt.Printf("LLM usage: %d calls, %d input + %d output tokens; fit runtime %v\n",
+				info.Usage.Calls, info.Usage.InputTokens, info.Usage.OutputTokens, info.FitRuntime.Round(1e6))
+			res, err := m.Score(dirty)
+			if err != nil {
+				return err
+			}
+			pred = res.Pred
+			if fi, err := os.Stat(o.modelOut); err == nil {
+				fmt.Printf("wrote model to %s (%d bytes); score-only pass took %v\n",
+					o.modelOut, fi.Size(), res.Runtime.Round(1e6))
+			}
+		default:
+			res, err := det.Detect(dirty)
+			if err != nil {
+				return err
+			}
+			pred = res.Pred
+			fmt.Printf("ZeroED: sampled %d cells, trained on %d cells (%d augmented), %d criteria\n",
+				res.SampledCells, res.TrainingCells, res.AugmentedErrs, res.CriteriaCount)
+			fmt.Printf("LLM usage: %d calls, %d input + %d output tokens; runtime %v\n",
+				res.Usage.Calls, res.Usage.InputTokens, res.Usage.OutputTokens, res.Runtime.Round(1e6))
 		}
-		pred = res.Pred
-		fmt.Printf("ZeroED: sampled %d cells, trained on %d cells (%d augmented), %d criteria\n",
-			res.SampledCells, res.TrainingCells, res.AugmentedErrs, res.CriteriaCount)
-		fmt.Printf("LLM usage: %d calls, %d input + %d output tokens; runtime %v\n",
-			res.Usage.Calls, res.Usage.InputTokens, res.Usage.OutputTokens, res.Runtime.Round(1e6))
 	default:
 		m, err := baselineByName(o.method, profile, kb, fdPairs, dirty, clean)
 		if err != nil {

@@ -180,3 +180,62 @@ func TestBaselineByNameAll(t *testing.T) {
 		}
 	}
 }
+
+// TestRunModelOutIn: -model-out fits and persists an artifact, -model-in
+// scores with it and produces the identical mask without refitting.
+func TestRunModelOutIn(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "hospital.zedm")
+	fitMask := filepath.Join(dir, "fit_mask.csv")
+	scoreMask := filepath.Join(dir, "score_mask.csv")
+	base := func(o *runOpts) {
+		o.dataset = "Hospital"
+		o.size = 200
+		o.labelRate = 0.08
+		o.seed = 5
+	}
+	if err := run(opts(func(o *runOpts) {
+		base(o)
+		o.modelOut = artifact
+		o.outPath = fitMask
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(artifact); err != nil || fi.Size() == 0 {
+		t.Fatalf("artifact missing: %v", err)
+	}
+	if err := run(opts(func(o *runOpts) {
+		base(o)
+		o.modelIn = artifact
+		o.outPath = scoreMask
+	})); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(fitMask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(scoreMask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("score-only mask differs from fit-time mask")
+	}
+}
+
+// TestRunModelFlagValidation: contradictory model-flag combinations fail
+// fast.
+func TestRunModelFlagValidation(t *testing.T) {
+	for name, mod := range map[string]func(*runOpts){
+		"in+out":       func(o *runOpts) { o.dataset = "Hospital"; o.modelIn = "a"; o.modelOut = "b" },
+		"non-zeroed":   func(o *runOpts) { o.dataset = "Hospital"; o.modelIn = "a"; o.method = "dboost" },
+		"batch+out":    func(o *runOpts) { o.dataset = "Hospital"; o.batch = "2"; o.modelOut = "b" },
+		"batch+in":     func(o *runOpts) { o.dataset = "Hospital"; o.batch = "2"; o.modelIn = "a" },
+		"missing-file": func(o *runOpts) { o.dataset = "Hospital"; o.size = 50; o.modelIn = "/nonexistent.zedm" },
+	} {
+		if err := run(opts(mod)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}

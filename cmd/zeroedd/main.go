@@ -9,6 +9,7 @@
 //	zeroedd [-addr :8080] [-workers N] [-shards N]
 //	        [-max-concurrent 2] [-max-queue 16]
 //	        [-max-upload-bytes 33554432] [-max-rows 1000000] [-max-cols 256]
+//	        [-max-models 32] [-model-dir DIR]
 //
 // Quickstart:
 //
@@ -16,6 +17,14 @@
 //	curl -s -X POST --data-binary @dirty.csv 'localhost:8080/v1/jobs?seed=1'
 //	curl -s localhost:8080/v1/jobs/j-000001            # poll state
 //	curl -s localhost:8080/v1/jobs/j-000001/result     # verdicts + scores
+//
+// Online scoring ("fit once, score forever"): POST /v1/models fits a model
+// from a CSV and registers it (persisted under -model-dir when set); POST
+// /v1/models/{id}/score then scores small CSV bodies synchronously against
+// the fitted model at a latency orders of magnitude below a fit job:
+//
+//	curl -s -X POST --data-binary @dirty.csv 'localhost:8080/v1/models?seed=1'
+//	curl -s -X POST --data-binary @fresh.csv 'localhost:8080/v1/models/m-000001/score'
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener stops, and
 // in-flight jobs are canceled through their contexts.
@@ -37,14 +46,16 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "shared worker-pool size all jobs draw from (0 = GOMAXPROCS)")
-		shards   = flag.Int("shards", 0, "per-job scoring-shard count (0 = auto); results are identical for any value")
-		maxConc  = flag.Int("max-concurrent", 2, "jobs detecting concurrently (they share the one pool)")
-		maxQueue = flag.Int("max-queue", 16, "admission-queue depth; beyond it submissions get 429")
-		maxBytes = flag.Int64("max-upload-bytes", 32<<20, "request-body byte cap (413 beyond it)")
-		maxRows  = flag.Int("max-rows", 1_000_000, "per-upload row cap")
-		maxCols  = flag.Int("max-cols", 256, "per-upload column cap")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "shared worker-pool size all jobs draw from (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "per-job scoring-shard count (0 = auto); results are identical for any value")
+		maxConc   = flag.Int("max-concurrent", 2, "jobs detecting concurrently (they share the one pool)")
+		maxQueue  = flag.Int("max-queue", 16, "admission-queue depth; beyond it submissions get 429")
+		maxBytes  = flag.Int64("max-upload-bytes", 32<<20, "request-body byte cap (413 beyond it)")
+		maxRows   = flag.Int("max-rows", 1_000_000, "per-upload row cap")
+		maxCols   = flag.Int("max-cols", 256, "per-upload column cap")
+		maxModels = flag.Int("max-models", 32, "fitted-model registry capacity (409 beyond it)")
+		modelDir  = flag.String("model-dir", "", "persist fitted models as artifacts under this directory and restore them on startup")
 	)
 	flag.Parse()
 
@@ -56,6 +67,8 @@ func main() {
 		MaxUploadBytes:    *maxBytes,
 		MaxRows:           *maxRows,
 		MaxCols:           *maxCols,
+		MaxModels:         *maxModels,
+		ModelDir:          *modelDir,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

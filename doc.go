@@ -7,11 +7,20 @@
 // implementation lives under internal/ (see DESIGN.md for the system
 // inventory) and the runnable entry points under cmd/ and examples/.
 //
-// Entry points: cmd/zeroed (one-shot CLI detection), cmd/zeroedd (the
-// HTTP/JSON detection service over internal/serve), cmd/experiments
-// (paper tables and figures), cmd/datagen (benchmark CSV export), and
-// cmd/benchjson (scaling benchmarks as JSON). Every path reachable from
+// Entry points: cmd/zeroed (one-shot CLI detection, plus -model-out /
+// -model-in for producing and consuming fitted-model artifacts),
+// cmd/zeroedd (the HTTP/JSON detection service over internal/serve,
+// including the /v1/models registry for fit-once/score-forever online
+// scoring), cmd/experiments (paper tables and figures), cmd/datagen
+// (benchmark CSV export), and cmd/benchjson (scaling benchmarks as JSON).
+//
+// The pipeline itself is split across internal/zeroed (Fit: the expensive
+// induction/labeling/training phase, returning a reusable Model; Score:
+// the cheap featurize-and-infer phase, with Detect ≡ Fit+Score bit-for-
+// bit) and internal/model (versioned, checksummed binary artifacts whose
+// save→load→score round trip is bit-identical). Every path reachable from
 // untrusted input — CSV parsing, schema arity, degenerate dataset
-// shapes, non-finite training values — reports errors instead of
-// panicking, so the service can face adversarial uploads.
+// shapes, non-finite training values, corrupt model artifacts — reports
+// errors instead of panicking, so the service can face adversarial
+// uploads.
 package repro

@@ -1,0 +1,380 @@
+package model
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The codec primitives: a little-endian append-only writer and an
+// error-latching bounds-checked reader. Every variable-length structure is
+// length-prefixed, every prefix is validated against the bytes actually
+// remaining before anything is allocated, and map contents are written in
+// sorted key order — so encoding is a pure deterministic function of the
+// model state, and decoding arbitrary bytes terminates with an error
+// instead of a panic or an unbounded allocation.
+
+var le = binary.LittleEndian
+
+// writer accumulates one section payload.
+type writer struct {
+	b []byte
+}
+
+func (w *writer) u32(v uint32) {
+	w.b = le.AppendUint32(w.b, v)
+}
+
+func (w *writer) u64(v uint64) {
+	w.b = le.AppendUint64(w.b, v)
+}
+
+func (w *writer) i64(v int64) { w.u64(uint64(v)) }
+
+func (w *writer) int(v int) { w.i64(int64(v)) }
+
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.b = append(w.b, 1)
+	} else {
+		w.b = append(w.b, 0)
+	}
+}
+
+func (w *writer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+
+func (w *writer) strs(xs []string) {
+	w.u32(uint32(len(xs)))
+	for _, s := range xs {
+		w.str(s)
+	}
+}
+
+func (w *writer) f64s(xs []float64) {
+	w.u32(uint32(len(xs)))
+	for _, v := range xs {
+		w.f64(v)
+	}
+}
+
+func (w *writer) ints(xs []int) {
+	w.u32(uint32(len(xs)))
+	for _, v := range xs {
+		w.int(v)
+	}
+}
+
+func (w *writer) u64s(xs []uint64) {
+	w.u32(uint32(len(xs)))
+	for _, v := range xs {
+		w.u64(v)
+	}
+}
+
+// strBoolMap writes a map[string]bool in sorted key order.
+func (w *writer) strBoolMap(m map[string]bool) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.bool(m[k])
+	}
+}
+
+// strStrMap writes a map[string]string in sorted key order.
+func (w *writer) strStrMap(m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.str(m[k])
+	}
+}
+
+// strIntMap writes a map[string]int in sorted key order.
+func (w *writer) strIntMap(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.int(m[k])
+	}
+}
+
+// byteBoolMap writes a map[byte]bool in sorted key order.
+func (w *writer) byteBoolMap(m map[byte]bool) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.b = append(w.b, byte(k))
+		w.bool(m[byte(k)])
+	}
+}
+
+// reader decodes one section payload. The first structural violation
+// latches an error; every subsequent read returns a zero value, so decode
+// code can read linearly and check err once per section.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+// rem returns the bytes left to read.
+func (r *reader) rem() int { return len(r.b) - r.off }
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.rem() {
+		r.failf("model: truncated: need %d bytes, have %d", n, r.rem())
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return le.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return le.Uint64(b)
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+// int reads an i64 and rejects values outside the platform int range.
+func (r *reader) int() int {
+	v := r.i64()
+	if int64(int(v)) != v {
+		r.failf("model: integer %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bool() bool {
+	b := r.take(1)
+	if b == nil {
+		return false
+	}
+	switch b[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.failf("model: invalid bool byte %d", b[0])
+		return false
+	}
+}
+
+func (r *reader) str() string {
+	n := r.u32()
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// count reads a length prefix for items of at least minItemBytes each and
+// validates it against the remaining payload, bounding every allocation by
+// the input size.
+func (r *reader) count(minItemBytes int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if minItemBytes > 0 && n > r.rem()/minItemBytes {
+		r.failf("model: count %d exceeds remaining payload", n)
+		return 0
+	}
+	return n
+}
+
+func (r *reader) strs() []string {
+	n := r.count(4)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.str()
+	}
+	return out
+}
+
+func (r *reader) f64s() []float64 {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *reader) ints() []int {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = r.int()
+	}
+	return out
+}
+
+func (r *reader) u64s() []uint64 {
+	n := r.count(8)
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.u64()
+	}
+	return out
+}
+
+// strBoolMap reads a map written by writer.strBoolMap. Duplicate keys mark
+// a corrupt artifact.
+func (r *reader) strBoolMap() map[string]bool {
+	n := r.count(5)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		v := r.bool()
+		if r.err != nil {
+			return nil
+		}
+		if _, dup := out[k]; dup {
+			r.failf("model: duplicate map key %q", k)
+			return nil
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func (r *reader) strStrMap() map[string]string {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		v := r.str()
+		if r.err != nil {
+			return nil
+		}
+		if _, dup := out[k]; dup {
+			r.failf("model: duplicate map key %q", k)
+			return nil
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func (r *reader) strIntMap() map[string]int {
+	n := r.count(12)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		v := r.int()
+		if r.err != nil {
+			return nil
+		}
+		if _, dup := out[k]; dup {
+			r.failf("model: duplicate map key %q", k)
+			return nil
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func (r *reader) byteBoolMap() map[byte]bool {
+	n := r.count(2)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make(map[byte]bool, n)
+	for i := 0; i < n; i++ {
+		kb := r.take(1)
+		v := r.bool()
+		if r.err != nil {
+			return nil
+		}
+		if _, dup := out[kb[0]]; dup {
+			r.failf("model: duplicate map key %d", kb[0])
+			return nil
+		}
+		out[kb[0]] = v
+	}
+	return out
+}
+
+// done asserts the payload was consumed exactly.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.rem() != 0 {
+		return fmt.Errorf("model: %d trailing bytes in section", r.rem())
+	}
+	return nil
+}

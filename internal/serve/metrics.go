@@ -18,11 +18,21 @@ type metrics struct {
 	rowsIngested atomic.Int64
 	detectRuns   atomic.Int64
 	detectNanos  atomic.Int64
+
+	// Model registry: fit and score are separate phases with separate
+	// latency summaries — the whole point of the registry is that score
+	// stays orders of magnitude below fit.
+	modelsFitted      atomic.Int64
+	modelLoadFailures atomic.Int64
+	fitRuns           atomic.Int64
+	fitNanos          atomic.Int64
+	scoreRuns         atomic.Int64
+	scoreNanos        atomic.Int64
 }
 
 // render writes the Prometheus text exposition of the counters plus the
-// jobs-by-state gauges.
-func (m *metrics) render(w io.Writer, byState map[JobState]int) {
+// jobs-by-state and model-count gauges.
+func (m *metrics) render(w io.Writer, byState map[JobState]int, modelCount int) {
 	fmt.Fprintln(w, "# HELP zeroedd_jobs_submitted_total Jobs accepted into the admission queue.")
 	fmt.Fprintln(w, "# TYPE zeroedd_jobs_submitted_total counter")
 	fmt.Fprintf(w, "zeroedd_jobs_submitted_total %d\n", m.submitted.Load())
@@ -47,4 +57,26 @@ func (m *metrics) render(w io.Writer, byState map[JobState]int) {
 	fmt.Fprintln(w, "# TYPE zeroedd_detect_seconds summary")
 	fmt.Fprintf(w, "zeroedd_detect_seconds_sum %g\n", time.Duration(m.detectNanos.Load()).Seconds())
 	fmt.Fprintf(w, "zeroedd_detect_seconds_count %d\n", m.detectRuns.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_models_current Fitted models currently registered.")
+	fmt.Fprintln(w, "# TYPE zeroedd_models_current gauge")
+	fmt.Fprintf(w, "zeroedd_models_current %d\n", modelCount)
+
+	fmt.Fprintln(w, "# HELP zeroedd_models_fitted_total Models fitted and registered over the process lifetime.")
+	fmt.Fprintln(w, "# TYPE zeroedd_models_fitted_total counter")
+	fmt.Fprintf(w, "zeroedd_models_fitted_total %d\n", m.modelsFitted.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_model_load_failures_total Persisted artifacts skipped as corrupt or unreadable at startup.")
+	fmt.Fprintln(w, "# TYPE zeroedd_model_load_failures_total counter")
+	fmt.Fprintf(w, "zeroedd_model_load_failures_total %d\n", m.modelLoadFailures.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_fit_seconds Fit-phase wall-clock across model fits.")
+	fmt.Fprintln(w, "# TYPE zeroedd_fit_seconds summary")
+	fmt.Fprintf(w, "zeroedd_fit_seconds_sum %g\n", time.Duration(m.fitNanos.Load()).Seconds())
+	fmt.Fprintf(w, "zeroedd_fit_seconds_count %d\n", m.fitRuns.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_score_seconds Score-phase wall-clock across model scoring calls.")
+	fmt.Fprintln(w, "# TYPE zeroedd_score_seconds summary")
+	fmt.Fprintf(w, "zeroedd_score_seconds_sum %g\n", time.Duration(m.scoreNanos.Load()).Seconds())
+	fmt.Fprintf(w, "zeroedd_score_seconds_count %d\n", m.scoreRuns.Load())
 }

@@ -1,0 +1,435 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/table"
+	"repro/internal/zeroed"
+)
+
+// The model registry: fit once over the wire, score forever. POST /v1/models
+// runs the expensive Fit phase synchronously (bounded by a fit semaphore and
+// the shared worker pool) and registers the fitted model under an ID —
+// persisted as a versioned artifact when Config.ModelDir is set, and
+// reloaded from there on startup. POST /v1/models/{id}/score then scores
+// small CSV bodies against the registered model with no criteria induction,
+// sampling, labeling, or training — the p50 score latency sits orders of
+// magnitude below a fit job (tracked by the score-latency metric).
+
+// artifactExt is the on-disk suffix of persisted model artifacts.
+const artifactExt = ".zedm"
+
+// regEntry is one registered fitted model. All fields are immutable after
+// registration; the model itself is safe for concurrent scoring.
+type regEntry struct {
+	id      string
+	name    string
+	m       *zeroed.Model
+	created time.Time
+	bytes   int
+}
+
+// registry owns the fitted-model table. The fit semaphore bounds how many
+// expensive fits run at once (they still share the one worker pool with
+// detection jobs; the semaphore bounds peak memory, not CPU).
+type registry struct {
+	mu     sync.Mutex
+	models map[string]*regEntry
+	order  []string // insertion order, oldest first
+	nextID int64
+	max    int
+	dir    string
+
+	fitSem chan struct{}
+}
+
+func newRegistry(cfg Config, met *metrics) *registry {
+	r := &registry{
+		models: make(map[string]*regEntry),
+		max:    cfg.MaxModels,
+		dir:    cfg.ModelDir,
+		fitSem: make(chan struct{}, cfg.MaxConcurrentJobs),
+	}
+	r.loadDir(met)
+	return r
+}
+
+// loadDir restores persisted artifacts from the model directory. Corrupt or
+// unreadable files are skipped (and counted), so one damaged artifact never
+// takes down the service with it.
+func (r *registry) loadDir(met *metrics) {
+	if r.dir == "" {
+		return
+	}
+	entries, err := os.ReadDir(r.dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return // directory absent: first boot, nothing to restore
+	}
+	if err != nil {
+		// Unreadable directory is NOT a first boot — surface it in the
+		// load-failure metric instead of silently serving an empty registry.
+		fmt.Fprintf(os.Stderr, "zeroedd: model dir %s unreadable: %v\n", r.dir, err)
+		met.modelLoadFailures.Add(1)
+		return
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), artifactExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	// Advance the ID counter past EVERY artifact on disk — including files
+	// skipped below as corrupt or beyond capacity — so a freshly assigned
+	// ID can never collide with (and overwrite) an existing artifact.
+	for _, name := range names {
+		id := strings.TrimSuffix(name, artifactExt)
+		if n, err := strconv.ParseInt(strings.TrimPrefix(id, "m-"), 10, 64); err == nil && n > r.nextID {
+			r.nextID = n
+		}
+	}
+	for _, name := range names {
+		if len(r.models) >= r.max {
+			break
+		}
+		id := strings.TrimSuffix(name, artifactExt)
+		m, err := model.LoadFile(filepath.Join(r.dir, name))
+		if err != nil {
+			met.modelLoadFailures.Add(1)
+			continue
+		}
+		fi, _ := os.Stat(filepath.Join(r.dir, name))
+		size := 0
+		created := time.Now()
+		if fi != nil {
+			size = int(fi.Size())
+			created = fi.ModTime() // approximate the original fit time
+		}
+		r.models[id] = &regEntry{id: id, name: id, m: m, created: created, bytes: size}
+		r.order = append(r.order, id)
+	}
+}
+
+// full reports whether the registry is at capacity.
+func (r *registry) full() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.models) >= r.max
+}
+
+// add registers a fitted model, re-checking capacity under the lock.
+func (r *registry) add(name string, m *zeroed.Model, bytes int) (*regEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.models) >= r.max {
+		return nil, fmt.Errorf("serve: model registry is full (%d models); DELETE one first", r.max)
+	}
+	r.nextID++
+	e := &regEntry{
+		id:      fmt.Sprintf("m-%06d", r.nextID),
+		name:    name,
+		m:       m,
+		created: time.Now(),
+		bytes:   bytes,
+	}
+	r.models[e.id] = e
+	r.order = append(r.order, e.id)
+	return e, nil
+}
+
+func (r *registry) get(id string) (*regEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[id]
+	return e, ok
+}
+
+// remove evicts a model from the registry; the caller deletes any artifact
+// file outside the lock.
+func (r *registry) remove(id string) (*regEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[id]
+	if !ok {
+		return nil, false
+	}
+	delete(r.models, id)
+	for i, o := range r.order {
+		if o == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return e, true
+}
+
+// list snapshots every registered model, newest first.
+func (r *registry) list() []ModelStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ModelStatus, 0, len(r.order))
+	for i := len(r.order) - 1; i >= 0; i-- {
+		if e, ok := r.models[r.order[i]]; ok {
+			out = append(out, e.status())
+		}
+	}
+	return out
+}
+
+func (r *registry) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.models)
+}
+
+// ModelStatus is the wire form of one registered model.
+type ModelStatus struct {
+	ID      string   `json:"id"`
+	Name    string   `json:"name"`
+	Attrs   []string `json:"attrs"`
+	FitRows int      `json:"fit_rows"`
+	Seed    int64    `json:"seed"`
+	// Degenerate marks a single-class fit that replays labels instead of
+	// running a trained detector.
+	Degenerate    bool      `json:"degenerate,omitempty"`
+	CriteriaCount int       `json:"criteria_count"`
+	TrainingCells int       `json:"training_cells"`
+	FitMS         int64     `json:"fit_ms"`
+	ArtifactBytes int       `json:"artifact_bytes,omitempty"`
+	Created       time.Time `json:"created"`
+}
+
+func (e *regEntry) status() ModelStatus {
+	info := e.m.Info()
+	return ModelStatus{
+		ID:            e.id,
+		Name:          e.name,
+		Attrs:         e.m.Attrs(),
+		FitRows:       e.m.FitRows(),
+		Seed:          e.m.Config().Seed,
+		Degenerate:    e.m.Degenerate(),
+		CriteriaCount: info.CriteriaCount,
+		TrainingCells: info.TrainingCells,
+		FitMS:         info.FitRuntime.Milliseconds(),
+		ArtifactBytes: e.bytes,
+		Created:       e.created,
+	}
+}
+
+// ScoreResult is the wire form of one synchronous scoring call.
+type ScoreResult struct {
+	ModelID string   `json:"model_id"`
+	Attrs   []string `json:"attrs"`
+	Rows    int      `json:"rows"`
+	Flagged int      `json:"flagged"`
+	// Pred[i][j] is the verdict for cell (i, j); Scores[i][j] the error
+	// probability, round-tripping through JSON bit-exactly.
+	Pred    [][]bool    `json:"pred"`
+	Scores  [][]float64 `json:"scores,omitempty"`
+	ScoreMS int64       `json:"score_ms"`
+}
+
+// handleModelFit runs the Fit phase on an uploaded CSV and registers the
+// fitted model. The fit is synchronous — the response carries the ready
+// model's ID — and canceled if the client disconnects.
+func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
+	params, err := parseParams(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_param", err.Error())
+		return
+	}
+	if s.reg.full() {
+		writeErr(w, http.StatusConflict, "registry_full",
+			fmt.Sprintf("model registry holds the maximum of %d models; DELETE one first", s.cfg.MaxModels))
+		return
+	}
+	// Ingest before taking a fit slot: body reads run at the client's pace,
+	// and a slow upload must not hold fit concurrency hostage.
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	ds, err := ingestCSV(params.Name, body, ingestLimits{maxRows: s.cfg.MaxRows, maxCols: s.cfg.MaxCols})
+	if err != nil {
+		writeIngestErr(w, err, s.cfg.MaxUploadBytes)
+		return
+	}
+	cfg, err := s.mgr.jobConfig(params)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_param", err.Error())
+		return
+	}
+	select {
+	case s.reg.fitSem <- struct{}{}:
+		defer func() { <-s.reg.fitSem }()
+	default:
+		w.Header().Set("Retry-After", "5")
+		writeErr(w, http.StatusTooManyRequests, "busy_fitting",
+			"too many fits in flight, retry later")
+		return
+	}
+	start := time.Now()
+	m, err := s.fitModel(r, cfg, ds)
+	fitDur := time.Since(start) // the fit phase alone, not encode/persist
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing useful to write
+		}
+		if errors.Is(err, errInternalPanic) {
+			writeErr(w, http.StatusInternalServerError, "internal", "internal error during fit")
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "fit_failed", err.Error())
+		return
+	}
+	data, err := model.Encode(m)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encode_failed", err.Error())
+		return
+	}
+	e, err := s.reg.add(params.Name, m, len(data))
+	if err != nil {
+		writeErr(w, http.StatusConflict, "registry_full", err.Error())
+		return
+	}
+	if s.cfg.ModelDir != "" {
+		if err := s.persistArtifact(e.id, data); err != nil {
+			s.reg.remove(e.id)
+			writeErr(w, http.StatusInternalServerError, "persist_failed", err.Error())
+			return
+		}
+	}
+	s.met.modelsFitted.Add(1)
+	s.met.fitRuns.Add(1)
+	s.met.fitNanos.Add(int64(fitDur))
+	writeJSON(w, http.StatusCreated, e.status())
+}
+
+// errInternalPanic marks a recovered server-side panic: the client gets a
+// generic 500, the stack stays on the server's stderr (stack traces are
+// internals, not API responses).
+var errInternalPanic = errors.New("serve: internal panic")
+
+// fitModel runs one fit on the shared pool, converting stray panics into
+// errors.
+func (s *Server) fitModel(r *http.Request, cfg zeroed.Config, ds *table.Dataset) (m *zeroed.Model, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			fmt.Fprintf(os.Stderr, "zeroedd: fit panicked: %v\n%s", rec, debug.Stack())
+			err = errInternalPanic
+		}
+	}()
+	return zeroed.New(cfg).FitOn(r.Context(), s.mgr.pool, ds)
+}
+
+// persistArtifact writes the encoded artifact under the model directory,
+// creating it on first use.
+func (s *Server) persistArtifact(id string, data []byte) error {
+	if err := os.MkdirAll(s.cfg.ModelDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.cfg.ModelDir, id+artifactExt), data, 0o644)
+}
+
+func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.list()})
+}
+
+func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", "unknown model id")
+		return
+	}
+	writeJSON(w, http.StatusOK, e.status())
+}
+
+// handleModelScore scores a CSV body synchronously against a registered
+// model — the cheap phase only, no retraining. The uploaded header must
+// match the model's schema.
+func (s *Server) handleModelScore(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", "unknown model id")
+		return
+	}
+	// A degenerate model has no trained detector — its fallback labels are
+	// positional in the fitting data and meaningless for arbitrary uploads.
+	if e.m.Degenerate() {
+		writeErr(w, http.StatusConflict, "degenerate_model",
+			"model was fitted on single-class data and cannot score new rows; refit on richer data")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	ds, err := ingestCSV("score", body, ingestLimits{maxRows: s.cfg.MaxRows, maxCols: s.cfg.MaxCols})
+	if err != nil {
+		writeIngestErr(w, err, s.cfg.MaxUploadBytes)
+		return
+	}
+	res, err := s.scoreModel(r, e, ds)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		if errors.Is(err, errInternalPanic) {
+			writeErr(w, http.StatusInternalServerError, "internal", "internal error during scoring")
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "score_failed", err.Error())
+		return
+	}
+	s.met.scoreRuns.Add(1)
+	s.met.scoreNanos.Add(int64(res.Runtime))
+	out := ScoreResult{
+		ModelID: e.id,
+		Attrs:   e.m.Attrs(),
+		Rows:    len(res.Pred),
+		Pred:    res.Pred,
+		ScoreMS: res.Runtime.Milliseconds(),
+	}
+	if r.URL.Query().Get("scores") != "0" {
+		out.Scores = res.Scores
+	}
+	for _, row := range res.Pred {
+		for _, p := range row {
+			if p {
+				out.Flagged++
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// scoreModel runs one scoring pass on the shared pool, converting stray
+// panics into errors.
+func (s *Server) scoreModel(r *http.Request, e *regEntry, ds *table.Dataset) (res *zeroed.Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			fmt.Fprintf(os.Stderr, "zeroedd: scoring panicked: %v\n%s", rec, debug.Stack())
+			err = errInternalPanic
+		}
+	}()
+	return e.m.ScoreOn(r.Context(), s.mgr.pool, ds)
+}
+
+func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.reg.remove(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", "unknown model id")
+		return
+	}
+	if s.cfg.ModelDir != "" {
+		_ = os.Remove(filepath.Join(s.cfg.ModelDir, e.id+artifactExt))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+}

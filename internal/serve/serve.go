@@ -62,6 +62,13 @@ type Config struct {
 	// MaxRetainedJobs bounds the finished-job table (default 256); the
 	// oldest finished jobs are evicted first. Live jobs are never evicted.
 	MaxRetainedJobs int
+	// MaxModels bounds the fitted-model registry (default 32); fits beyond
+	// it are rejected with 409 until a model is DELETEd.
+	MaxModels int
+	// ModelDir, when set, persists fitted models as versioned artifacts
+	// under this directory and restores them on startup. Empty keeps the
+	// registry in-memory only.
+	ModelDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -83,29 +90,39 @@ func (c Config) withDefaults() Config {
 	if c.MaxRetainedJobs <= 0 {
 		c.MaxRetainedJobs = 256
 	}
+	if c.MaxModels <= 0 {
+		c.MaxModels = 32
+	}
 	return c
 }
 
-// Server is the detection service: an http.Handler plus the job manager
-// behind it.
+// Server is the detection service: an http.Handler plus the job manager and
+// fitted-model registry behind it.
 type Server struct {
 	cfg Config
 	mgr *manager
+	reg *registry
 	met *metrics
 	mux *http.ServeMux
 }
 
-// New creates a service with its runner goroutines started.
+// New creates a service with its runner goroutines started and any
+// persisted model artifacts restored from Config.ModelDir.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	met := &metrics{}
-	s := &Server{cfg: cfg, met: met, mgr: newManager(cfg, met)}
+	s := &Server{cfg: cfg, met: met, mgr: newManager(cfg, met), reg: newRegistry(cfg, met)}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/models", s.handleModelFit)
+	mux.HandleFunc("GET /v1/models", s.handleModelList)
+	mux.HandleFunc("GET /v1/models/{id}", s.handleModelInfo)
+	mux.HandleFunc("POST /v1/models/{id}/score", s.handleModelScore)
+	mux.HandleFunc("DELETE /v1/models/{id}", s.handleModelDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -146,6 +163,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
+// writeIngestErr maps a CSV-ingestion failure to its structured response:
+// 413 for oversized bodies, 400 for everything malformed.
+func writeIngestErr(w http.ResponseWriter, err error, maxBytes int64) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeErr(w, http.StatusRequestEntityTooLarge, "too_large",
+			fmt.Sprintf("upload exceeds the %d-byte limit", maxBytes))
+		return
+	}
+	writeErr(w, http.StatusBadRequest, "bad_csv", err.Error())
 }
 
 // jobConfig resolves a job's zeroed configuration. It mirrors cmd/zeroed's
@@ -276,13 +305,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	ds, err := ingestCSV(params.Name, body, ingestLimits{maxRows: s.cfg.MaxRows, maxCols: s.cfg.MaxCols})
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge, "too_large",
-				fmt.Sprintf("upload exceeds the %d-byte limit", s.cfg.MaxUploadBytes))
-			return
-		}
-		writeErr(w, http.StatusBadRequest, "bad_csv", err.Error())
+		writeIngestErr(w, err, s.cfg.MaxUploadBytes)
 		return
 	}
 	j, err := s.mgr.submit(ds, params)
@@ -392,5 +415,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, s.mgr.counts())
+	s.met.render(w, s.mgr.counts(), s.reg.count())
 }

@@ -94,6 +94,38 @@ func NewWithCapacity(name string, attrs []string, rows int) *Dataset {
 	return d
 }
 
+// NewFromDicts creates an empty dataset whose per-column intern pools are
+// pre-seeded with the given dictionaries: value ID id of column j is
+// dicts[j][id], exactly as in the dataset the dictionaries were captured
+// from. Rows appended afterwards intern seen values to their original IDs
+// and unseen values to fresh IDs past the seed — the binding step of scoring
+// new data against a fitted model's artifact. The dict slices are reused
+// with their capacity clamped, so appending new values never mutates the
+// caller's backing arrays.
+//
+// A dictionary with duplicate entries or more than MaxUint32 values cannot
+// have come from an intern pool and is rejected.
+func NewFromDicts(name string, attrs []string, dicts [][]string) (*Dataset, error) {
+	if len(dicts) != len(attrs) {
+		return nil, fmt.Errorf("table: %d dictionaries for %d attributes", len(dicts), len(attrs))
+	}
+	d := &Dataset{Name: name, Attrs: attrs, cols: make([]column, len(attrs))}
+	for j, dict := range dicts {
+		if len(dict) > 1<<32-1 {
+			return nil, fmt.Errorf("table: column %d dictionary has %d entries, exceeding the uint32 ID space", j, len(dict))
+		}
+		index := make(map[string]uint32, len(dict))
+		for id, v := range dict {
+			if _, dup := index[v]; dup {
+				return nil, fmt.Errorf("table: column %d dictionary has duplicate entry %q", j, v)
+			}
+			index[v] = uint32(id)
+		}
+		d.cols[j] = column{dict: dict[:len(dict):len(dict)], index: index}
+	}
+	return d, nil
+}
+
 // NumRows returns the number of tuples.
 func (d *Dataset) NumRows() int { return d.nrows }
 

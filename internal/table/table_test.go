@@ -396,3 +396,52 @@ func TestErrorRateProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestNewFromDicts covers the artifact-binding constructor: pre-seeded IDs
+// match the source dictionaries, appended rows intern seen values to their
+// original IDs and unseen values past the seed without mutating the
+// caller's backing arrays, and impossible dictionaries are rejected.
+func TestNewFromDicts(t *testing.T) {
+	src := New("src", []string{"a", "b"})
+	src.MustAppendRow([]string{"x", "1"})
+	src.MustAppendRow([]string{"y", "2"})
+	src.MustAppendRow([]string{"x", "3"})
+
+	dicts := [][]string{src.Dict(0), src.Dict(1)}
+	d, err := NewFromDicts("bound", src.Attrs, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 0 {
+		t.Fatalf("fresh bound dataset has %d rows", d.NumRows())
+	}
+	if err := d.AppendRow([]string{"y", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendRow([]string{"novel", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Seen values keep their source IDs.
+	if id, _ := src.LookupID(0, "y"); d.ValueID(0, 0) != id {
+		t.Errorf("seen value re-interned to ID %d, want %d", d.ValueID(0, 0), id)
+	}
+	// Unseen values get IDs past the seed, and the source dicts stay
+	// untouched.
+	if int(d.ValueID(1, 0)) != len(dicts[0]) {
+		t.Errorf("novel value got ID %d, want %d", d.ValueID(1, 0), len(dicts[0]))
+	}
+	if src.DictSize(0) != 2 {
+		t.Errorf("source dict grew to %d entries", src.DictSize(0))
+	}
+	if d.Value(1, 0) != "novel" {
+		t.Errorf("novel value reads back %q", d.Value(1, 0))
+	}
+
+	// Shape and uniqueness violations are errors.
+	if _, err := NewFromDicts("bad", []string{"a"}, nil); err == nil {
+		t.Error("dict/attr arity mismatch accepted")
+	}
+	if _, err := NewFromDicts("bad", []string{"a"}, [][]string{{"v", "v"}}); err == nil {
+		t.Error("duplicate dict entry accepted")
+	}
+}

@@ -86,9 +86,39 @@ func (dt *Detector) DetectOn(ctx context.Context, p *Pool, d *table.Dataset) (*R
 	return dt.detect(ctx, d, p.wp)
 }
 
-// detect runs one engine over an externally owned pool (shared across the
-// datasets of a DetectBatch, or across the jobs of a serving process).
+// detect runs one full detection over an externally owned pool (shared
+// across the datasets of a DetectBatch, or across the jobs of a serving
+// process). It is literally Fit composed with Score — the pipeline fits a
+// model, then the model scores the same dataset — which is what makes the
+// contract Detect(ds) ≡ Score(Fit(ds), ds) hold bit-for-bit.
 func (dt *Detector) detect(ctx context.Context, d *table.Dataset, pool *workPool) (*Result, error) {
+	start := time.Now()
+	m, err := dt.fit(ctx, d, pool)
+	if err != nil {
+		return nil, err
+	}
+	// The fit dataset needs no re-interning: the model's dictionaries ARE
+	// its pools, so every cell ID is already bound — score it directly
+	// instead of paying Score's O(cells) copy. Score(Fit(ds), ds) through
+	// the public API takes the copying path and lands on the same IDs,
+	// which is why the two are bit-identical.
+	res, err := m.scoreBound(ctx, pool, d)
+	if err != nil {
+		return nil, err
+	}
+	res.Usage = m.info.Usage
+	res.SampledCells = m.info.SampledCells
+	res.TrainingCells = m.info.TrainingCells
+	res.AugmentedErrs = m.info.AugmentedErrs
+	res.CriteriaCount = m.info.CriteriaCount
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// fit runs the expensive phase of the pipeline — criteria induction,
+// sampling, LLM labeling, training-data construction, and detector training
+// — and packages everything scoring needs into a reusable Model.
+func (dt *Detector) fit(ctx context.Context, d *table.Dataset, pool *workPool) (*Model, error) {
 	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
@@ -105,6 +135,7 @@ func (dt *Detector) detect(ctx context.Context, d *table.Dataset, pool *workPool
 		rng:    rand.New(rand.NewSource(dt.cfg.Seed)),
 		res:    &Result{},
 	}
+	var mlp *nn.MLP
 	for _, stage := range []func() error{
 		func() error { e.stageExtractor(); return nil },
 		func() error { e.stageCriteria(); return nil },
@@ -112,7 +143,9 @@ func (dt *Detector) detect(ctx context.Context, d *table.Dataset, pool *workPool
 		func() error { e.stageTrainingData(); return nil },
 		func() error {
 			X, y := e.stageTrainingMatrix()
-			return e.stageTrainAndScore(X, y)
+			var err error
+			mlp, err = e.stageTrain(X, y)
+			return err
 		},
 	} {
 		if err := ctx.Err(); err != nil {
@@ -123,13 +156,49 @@ func (dt *Detector) detect(ctx context.Context, d *table.Dataset, pool *workPool
 		}
 	}
 	// A stage interrupted mid-flight leaves partial state; surface the
-	// cancellation rather than a half-scored result.
+	// cancellation rather than a half-fitted model.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("zeroed: detection canceled: %w", err)
 	}
-	e.res.Usage = e.client.Usage()
-	e.res.Runtime = time.Since(start)
-	return e.res, nil
+	m := &Model{
+		cfg:     dt.cfg,
+		attrs:   append([]string(nil), d.Attrs...),
+		dicts:   make([][]string, d.NumCols()),
+		fitRows: d.NumRows(),
+		ext:     e.ext,
+		mlp:     mlp,
+		info: FitInfo{
+			SampledCells:  e.res.SampledCells,
+			TrainingCells: e.res.TrainingCells,
+			AugmentedErrs: e.res.AugmentedErrs,
+			CriteriaCount: e.res.CriteriaCount,
+			Usage:         e.client.Usage(),
+			FitRuntime:    time.Since(start),
+		},
+	}
+	// The dictionaries are captured post-fit (including values interned by
+	// synthetic-error featurization) with their capacity clamped, so scoring
+	// datasets seeded from them can grow without mutating the fit dataset's
+	// pools — and vice versa.
+	for j := range m.dicts {
+		dict := d.Dict(j)
+		m.dicts[j] = dict[:len(dict):len(dict)]
+	}
+	// Rebind the extractor to a rows-free dataset over the captured pools:
+	// scoring rebinds per call anyway, and holding the fit dataset's row
+	// matrices alive for the model's lifetime would pin the whole upload in
+	// a serving registry. (Restored models are bound the same way.)
+	proto, err := table.NewFromDicts(d.Name, m.attrs, m.dicts)
+	if err != nil {
+		return nil, err // unreachable: intern pools are duplicate-free
+	}
+	m.ext = e.ext.Rebind(proto)
+	if mlp == nil {
+		for _, c := range e.training {
+			m.fallback = append(m.fallback, FallbackLabel{Row: c.row, Col: c.col, IsErr: c.isErr})
+		}
+	}
+	return m, nil
 }
 
 // corrFor returns the correlated-attribute set of attribute j, honoring the
@@ -288,52 +357,19 @@ func (e *engine) stageTrainingMatrix() ([][]float64, []float64) {
 	return X, y
 }
 
-// stageTrainAndScore trains the MLP detector and scores every cell of the
-// dataset (Step 4). Scoring is sharded: rows are partitioned into
-// Config.Shards contiguous shards, each shard runs as one unit on the
-// shared pool with its own fused shardScorer (reusable feature tile,
-// batched flat inference, per-shard score-dedup cache), and the per-shard
-// verdicts merge into the global mask at their disjoint row ranges. The
-// model is fitted once and shared, and cached scores are bit-identical to
-// freshly computed ones, so the merged output is bit-identical for every
-// shard count and for dedup on vs off.
-func (e *engine) stageTrainAndScore(X [][]float64, y []float64) error {
-	d := e.d
-	n, m := d.NumRows(), d.NumCols()
-	pred := newMask(d)
-	scores := newMatrix(n, m)
-	if hasBothClasses(y) {
-		mlp := nn.New(e.ext.Dim(), e.cfg.MLP)
-		if _, err := mlp.TrainContext(e.ctx, X, y); err != nil {
-			return fmt.Errorf("zeroed: training detector: %w", err)
-		}
-		// depCols[j] is the value-ID tuple that keys column j's dedup
-		// cache; derived once, after criteria refinement has settled.
-		var depCols [][]int
-		if !e.cfg.DisableScoreDedup {
-			depCols = make([][]int, m)
-			for j := range depCols {
-				depCols[j] = e.ext.DepCols(j)
-			}
-		}
-		shards := shardRanges(n, e.cfg.shardCount(n))
-		e.pool.forN(len(shards), func(s int) {
-			if e.ctx.Err() != nil {
-				return
-			}
-			sc := newShardScorer(e.ext, mlp, d, depCols, e.cfg.Threshold, scores, pred)
-			sc.scoreRows(e.ctx, shards[s].lo, shards[s].hi)
-		})
-	} else {
-		// Degenerate labeling (all clean or all dirty): fall back to the
-		// labels themselves propagated through clusters.
-		for _, c := range e.training {
-			pred[c.row][c.col] = c.isErr
-		}
+// stageTrain trains the MLP detector on the verified training matrix
+// (Step 4's training half; scoring lives on the fitted Model). Degenerate
+// labeling (all clean or all dirty) yields no trainable signal and returns
+// a nil model — the Model falls back to the propagated labels themselves.
+func (e *engine) stageTrain(X [][]float64, y []float64) (*nn.MLP, error) {
+	if !hasBothClasses(y) {
+		return nil, nil
 	}
-	e.res.Pred = pred
-	e.res.Scores = scores
-	return nil
+	mlp := nn.New(e.ext.Dim(), e.cfg.MLP)
+	if _, err := mlp.TrainContext(e.ctx, X, y); err != nil {
+		return nil, fmt.Errorf("zeroed: training detector: %w", err)
+	}
+	return mlp, nil
 }
 
 // rowRange is one contiguous scoring shard.

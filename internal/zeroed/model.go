@@ -1,0 +1,381 @@
+package zeroed
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/feature"
+	"repro/internal/llm"
+	"repro/internal/nn"
+	"repro/internal/table"
+)
+
+// Model is a fitted ZeroED detector: everything the cheap Score phase needs,
+// detached from the expensive Fit phase that produced it — the trained MLP,
+// the feature extractor's per-value-ID memo state, the induced (refined)
+// criteria, the column dictionaries and frequency statistics of the fitting
+// data, and the configuration and seed of the run.
+//
+// Contract: Detect(ds) ≡ Score(Fit(ds), ds) bit-for-bit (verdicts and
+// float64 score bits, for any worker and shard count), and a model that
+// round-trips through the internal/model artifact codec scores
+// bit-identically to the in-memory original. New rows are scored by
+// interning their values into the model's dictionaries: values seen during
+// fitting resolve to their fit-time IDs and replay the memoized feature
+// path, unseen values take the extractor's defined cold path (zero
+// frequency, on-the-fly embedding, by-string criteria evaluation).
+//
+// A Model is safe for concurrent scoring: every Score call binds its own
+// scoring dataset and the shared memo tables are read-only.
+type Model struct {
+	cfg     Config
+	attrs   []string
+	dicts   [][]string // per-column intern pools at fit time, capacity-clamped
+	fitRows int
+	ext     *feature.Extractor
+	mlp     *nn.MLP // nil on a degenerate fit (single-class training data)
+	// fallback carries the propagated labels of a degenerate fit; Score
+	// applies them positionally, so they are only meaningful when scoring
+	// the fitting dataset itself.
+	fallback []FallbackLabel
+	info     FitInfo
+
+	// cacheOnce/cache is the model-lifetime warm score cache: value-ID
+	// tuples over feature.DepCols are stable across every dataset bound to
+	// the model's dictionaries, so scores computed in one Score call replay
+	// bit-identically in later ones. Built lazily on first scoring use;
+	// disabled by Config.DisableScoreDedup.
+	cacheOnce sync.Once
+	cache     *sharedScoreCache
+}
+
+// FitInfo is the diagnostic record of the fit that produced a model.
+type FitInfo struct {
+	SampledCells  int
+	TrainingCells int
+	AugmentedErrs int
+	CriteriaCount int
+	Usage         llm.Usage
+	FitRuntime    time.Duration
+}
+
+// FallbackLabel is one propagated training label of a degenerate fit
+// (single-class training data, no trainable detector).
+type FallbackLabel struct {
+	Row, Col int
+	IsErr    bool
+}
+
+// Fit runs the expensive phase of the pipeline — criteria induction,
+// clustering-based sampling, LLM labeling, training-data construction, and
+// detector training — and returns a reusable fitted model. Fit never scores
+// the dataset; compose with Score, or use Detect for the one-shot form.
+func (dt *Detector) Fit(d *table.Dataset) (*Model, error) {
+	return dt.FitContext(context.Background(), d)
+}
+
+// FitContext is Fit with cooperative cancellation, with the same
+// checkpoints as DetectContext.
+func (dt *Detector) FitContext(ctx context.Context, d *table.Dataset) (*Model, error) {
+	return dt.fit(ctx, d, newWorkPool(dt.cfg.Workers))
+}
+
+// FitOn runs Fit on an externally owned shared pool (NewPool), for serving
+// layers that multiplex many fits over one machine-wide worker budget.
+func (dt *Detector) FitOn(ctx context.Context, p *Pool, d *table.Dataset) (*Model, error) {
+	return dt.fit(ctx, d, p.wp)
+}
+
+// Attrs returns the schema the model was fitted on.
+func (m *Model) Attrs() []string { return m.attrs }
+
+// FitRows returns the row count of the fitting dataset.
+func (m *Model) FitRows() int { return m.fitRows }
+
+// Config returns the effective configuration of the fit.
+func (m *Model) Config() Config { return m.cfg }
+
+// Info returns the fit diagnostics.
+func (m *Model) Info() FitInfo { return m.info }
+
+// Degenerate reports whether the fit found only one label class and the
+// model therefore scores by replaying propagated labels instead of a
+// trained detector.
+func (m *Model) Degenerate() bool { return m.mlp == nil }
+
+// SetParallelism overrides the worker and shard counts used by subsequent
+// Score calls — scheduling knobs only; results are bit-identical for any
+// setting. Zero or negative workers means GOMAXPROCS, zero shards means
+// auto, mirroring Config.
+func (m *Model) SetParallelism(workers, shards int) {
+	c := m.cfg
+	c.Workers = workers
+	c.Shards = shards
+	m.cfg = c.withDefaults()
+}
+
+// Score runs the cheap phase on a dataset with the model's schema: every
+// cell is featurized against the model's memo state and scored by the
+// fitted detector, with no criteria induction, sampling, labeling, or
+// training. The returned Result carries Pred, Scores, and the scoring
+// Runtime; fit diagnostics live in Info.
+func (m *Model) Score(d *table.Dataset) (*Result, error) {
+	return m.ScoreContext(context.Background(), d)
+}
+
+// ScoreContext is Score with cooperative cancellation (checked per scoring
+// shard unit and every few hundred rows within a shard).
+func (m *Model) ScoreContext(ctx context.Context, d *table.Dataset) (*Result, error) {
+	return m.scoreOn(ctx, newWorkPool(m.cfg.Workers), d)
+}
+
+// ScoreOn is Score on an externally owned shared pool (NewPool).
+func (m *Model) ScoreOn(ctx context.Context, p *Pool, d *table.Dataset) (*Result, error) {
+	return m.scoreOn(ctx, p.wp, d)
+}
+
+// ScoreRows scores raw tuples (in the model's attribute order) without an
+// intermediate dataset: rows are interned directly into a dataset bound to
+// the model's dictionaries. A row whose arity does not match the schema is
+// rejected.
+func (m *Model) ScoreRows(rows [][]string) (*Result, error) {
+	return m.ScoreRowsContext(context.Background(), rows)
+}
+
+// ScoreRowsContext is ScoreRows with cooperative cancellation.
+func (m *Model) ScoreRowsContext(ctx context.Context, rows [][]string) (*Result, error) {
+	return m.scoreRowsOn(ctx, newWorkPool(m.cfg.Workers), rows)
+}
+
+// ScoreRowsOn is ScoreRows on an externally owned shared pool.
+func (m *Model) ScoreRowsOn(ctx context.Context, p *Pool, rows [][]string) (*Result, error) {
+	return m.scoreRowsOn(ctx, p.wp, rows)
+}
+
+// bind creates the empty scoring dataset seeded with the model's
+// dictionaries, so appended rows intern seen values to their fit-time IDs.
+func (m *Model) bind() (*table.Dataset, error) {
+	return table.NewFromDicts("score", m.attrs, m.dicts)
+}
+
+// checkSchema verifies that a dataset's attributes match the fitted schema
+// exactly (same names, same order).
+func (m *Model) checkSchema(attrs []string) error {
+	if len(attrs) != len(m.attrs) {
+		return fmt.Errorf("zeroed: dataset has %d attributes, model was fitted on %d", len(attrs), len(m.attrs))
+	}
+	for j, a := range attrs {
+		if a != m.attrs[j] {
+			return fmt.Errorf("zeroed: attribute %d is %q, model was fitted on %q", j, a, m.attrs[j])
+		}
+	}
+	return nil
+}
+
+// scoreOn re-interns the dataset's cells against the model's dictionaries
+// and scores the bound copy. For the fitting dataset this reproduces the
+// fit-time value IDs exactly (the pools were captured from it), which is
+// what makes Detect ≡ Fit + Score bit-identical.
+func (m *Model) scoreOn(ctx context.Context, pool *workPool, d *table.Dataset) (*Result, error) {
+	if err := m.checkSchema(d.Attrs); err != nil {
+		return nil, err
+	}
+	sd, err := m.bind()
+	if err != nil {
+		return nil, err
+	}
+	row := make([]string, d.NumCols())
+	for i := 0; i < d.NumRows(); i++ {
+		for j := range row {
+			row[j] = d.Value(i, j)
+		}
+		sd.MustAppendRow(row)
+	}
+	return m.scoreBound(ctx, pool, sd)
+}
+
+func (m *Model) scoreRowsOn(ctx context.Context, pool *workPool, rows [][]string) (*Result, error) {
+	sd, err := m.bind()
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		if err := sd.AppendRow(r); err != nil {
+			return nil, fmt.Errorf("zeroed: row %d: %w", i, err)
+		}
+	}
+	return m.scoreBound(ctx, pool, sd)
+}
+
+// scoreBound scores every cell of a dataset already bound to the model's
+// dictionaries. Scoring is sharded exactly as in the engine: contiguous row
+// shards run as independent units on the pool, each with its own fused
+// shardScorer over the shared rebound extractor and fitted MLP, writing
+// disjoint row ranges — bit-identical for every worker and shard count, and
+// for dedup on vs off.
+func (m *Model) scoreBound(ctx context.Context, pool *workPool, sd *table.Dataset) (*Result, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n, cols := sd.NumRows(), sd.NumCols()
+	if n == 0 || cols == 0 {
+		return nil, fmt.Errorf("zeroed: empty dataset")
+	}
+	pred := newMask(sd)
+	scores := newMatrix(n, cols)
+	if m.mlp != nil {
+		ext := m.ext.Rebind(sd)
+		var shared *sharedScoreCache
+		if !m.cfg.DisableScoreDedup {
+			m.cacheOnce.Do(func() {
+				stable := make([]uint32, len(m.dicts))
+				for j := range m.dicts {
+					stable[j] = uint32(len(m.dicts[j]))
+				}
+				m.cache = newSharedScoreCache(stable, len(m.attrs))
+			})
+			shared = m.cache
+		}
+		scoreCells(ctx, pool, m.cfg, ext, m.mlp, sd, pred, scores, shared)
+	} else {
+		// Degenerate fit: replay the propagated labels. They are positional
+		// in the fitting dataset; rows beyond it carry no evidence and stay
+		// unflagged.
+		for _, fl := range m.fallback {
+			if fl.Row >= 0 && fl.Row < n && fl.Col >= 0 && fl.Col < cols {
+				pred[fl.Row][fl.Col] = fl.IsErr
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("zeroed: scoring canceled: %w", err)
+	}
+	return &Result{Pred: pred, Scores: scores, Runtime: time.Since(start)}, nil
+}
+
+// scoreCells runs the sharded scoring pass over every cell of d into the
+// shared pred/scores matrices. Shared by the engine's Detect composition
+// and by standalone Model.Score calls; shared, when non-nil, is the
+// model-lifetime warm cache spanning shards and calls.
+func scoreCells(ctx context.Context, pool *workPool, cfg Config, ext *feature.Extractor,
+	mlp *nn.MLP, d *table.Dataset, pred [][]bool, scores [][]float64, shared *sharedScoreCache) {
+	n, cols := d.NumRows(), d.NumCols()
+	// depCols[j] is the value-ID tuple that keys column j's dedup cache;
+	// derived once per scoring pass, after criteria refinement has settled.
+	var depCols [][]int
+	if !cfg.DisableScoreDedup {
+		depCols = make([][]int, cols)
+		for j := range depCols {
+			depCols[j] = ext.DepCols(j)
+		}
+	}
+	shards := shardRanges(n, cfg.shardCount(n))
+	pool.forN(len(shards), func(s int) {
+		if ctx.Err() != nil {
+			return
+		}
+		sc := newShardScorer(ext, mlp, d, depCols, cfg.Threshold, scores, pred, shared)
+		sc.scoreRows(ctx, shards[s].lo, shards[s].hi)
+	})
+}
+
+// ModelState is the fully exported form of a Model, the unit the
+// internal/model artifact codec serializes. State and ModelFromState are
+// inverses up to memo-table coverage: a restored model's per-value tables
+// span the full artifact dictionaries where the original's spanned its
+// construction-time prefix, and both compute identical per-value
+// quantities, so scoring is bit-identical.
+type ModelState struct {
+	Cfg      Config
+	Attrs    []string
+	Dicts    [][]string
+	FitRows  int
+	Feature  *feature.Snapshot
+	Net      *nn.Snapshot // nil on a degenerate fit
+	Fallback []FallbackLabel
+	Info     FitInfo
+}
+
+// State captures the model's complete serializable state. Dictionaries and
+// criteria are shared (they are immutable); numeric tables are copied.
+func (m *Model) State() *ModelState {
+	st := &ModelState{
+		Cfg:      m.cfg,
+		Attrs:    append([]string(nil), m.attrs...),
+		Dicts:    m.dicts,
+		FitRows:  m.fitRows,
+		Feature:  m.ext.Snapshot(),
+		Fallback: append([]FallbackLabel(nil), m.fallback...),
+		Info:     m.info,
+	}
+	if m.mlp != nil {
+		st.Net = m.mlp.Snapshot()
+	}
+	return st
+}
+
+// maxRestoredWorkers caps the scheduling knobs a restored artifact may
+// carry; beyond it the values cannot be a real machine's configuration.
+const maxRestoredWorkers = 1 << 16
+
+// ModelFromState reconstructs a scoring-ready model, validating every
+// cross-component invariant — a corrupt or adversarial state surfaces as an
+// error here, never as a panic on the scoring hot path.
+func ModelFromState(st *ModelState) (*Model, error) {
+	if st == nil {
+		return nil, fmt.Errorf("zeroed: nil model state")
+	}
+	if len(st.Attrs) == 0 {
+		return nil, fmt.Errorf("zeroed: model state has no attributes")
+	}
+	if st.FitRows <= 0 {
+		return nil, fmt.Errorf("zeroed: model state has non-positive fit row count %d", st.FitRows)
+	}
+	cfg := st.Cfg
+	if math.IsNaN(cfg.Threshold) || math.IsInf(cfg.Threshold, 0) || cfg.Threshold < 0 || cfg.Threshold >= 1 {
+		return nil, fmt.Errorf("zeroed: model state threshold %v out of range [0, 1)", cfg.Threshold)
+	}
+	if cfg.Workers > maxRestoredWorkers || cfg.Shards > maxRestoredWorkers {
+		return nil, fmt.Errorf("zeroed: model state workers/shards %d/%d exceed %d", cfg.Workers, cfg.Shards, maxRestoredWorkers)
+	}
+	cfg = cfg.withDefaults()
+	proto, err := table.NewFromDicts("model", st.Attrs, st.Dicts)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := feature.FromSnapshot(st.Feature, proto)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		cfg:     cfg,
+		attrs:   st.Attrs,
+		dicts:   st.Dicts,
+		fitRows: st.FitRows,
+		ext:     ext,
+		info:    st.Info,
+	}
+	if st.Net != nil {
+		mlp, err := nn.FromSnapshot(st.Net)
+		if err != nil {
+			return nil, err
+		}
+		if mlp.InputDim() != ext.Dim() {
+			return nil, fmt.Errorf("zeroed: detector input dim %d does not match feature dim %d", mlp.InputDim(), ext.Dim())
+		}
+		m.mlp = mlp
+	} else {
+		for i, fl := range st.Fallback {
+			if fl.Row < 0 || fl.Row >= st.FitRows || fl.Col < 0 || fl.Col >= len(st.Attrs) {
+				return nil, fmt.Errorf("zeroed: fallback label %d at (%d,%d) outside the %dx%d fit shape",
+					i, fl.Row, fl.Col, st.FitRows, len(st.Attrs))
+			}
+		}
+		m.fallback = st.Fallback
+	}
+	return m, nil
+}

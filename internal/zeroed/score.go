@@ -2,11 +2,68 @@ package zeroed
 
 import (
 	"context"
+	"sync"
 
 	"repro/internal/feature"
 	"repro/internal/nn"
 	"repro/internal/table"
 )
+
+// maxSharedCacheEntries bounds one column's model-lifetime score cache so a
+// long-lived serving model cannot grow without bound on endlessly novel
+// value combinations; beyond the cap new entries are computed but not
+// retained.
+const maxSharedCacheEntries = 1 << 20
+
+// sharedScoreCache is a model-lifetime, concurrency-safe score memo shared
+// by every Score call against one fitted model — the "score forever" side
+// of the fit/score split. Keys are the same packed value-ID tuples the
+// per-shard dedup cache uses, and they are only admitted when every
+// participating ID is below the fit-time dictionary size: those IDs are
+// stable across all datasets bound to the model's dictionaries
+// (table.NewFromDicts), so a key means the same value combination — and
+// therefore the bit-identical feature vector and score — in every call.
+// Values interned per scoring call (novel data) get per-call IDs and are
+// deliberately never cached here.
+type sharedScoreCache struct {
+	// stableIDs[c] is column c's fit-time dictionary size; IDs below it are
+	// call-invariant.
+	stableIDs []uint32
+	cols      []sharedScoreCol
+}
+
+type sharedScoreCol struct {
+	mu sync.RWMutex
+	m  map[string]float64
+}
+
+func newSharedScoreCache(stableIDs []uint32, cols int) *sharedScoreCache {
+	c := &sharedScoreCache{stableIDs: stableIDs, cols: make([]sharedScoreCol, cols)}
+	for j := range c.cols {
+		c.cols[j].m = make(map[string]float64)
+	}
+	return c
+}
+
+// load returns the cached score for a stable key, if present.
+func (c *sharedScoreCache) load(j int, key []byte) (float64, bool) {
+	col := &c.cols[j]
+	col.mu.RLock()
+	v, ok := col.m[string(key)] // no-alloc lookup; the conversion is free
+	col.mu.RUnlock()
+	return v, ok
+}
+
+// store retains a freshly computed score under a stable key, up to the
+// per-column cap.
+func (c *sharedScoreCache) store(j int, key []byte, v float64) {
+	col := &c.cols[j]
+	col.mu.Lock()
+	if len(col.m) < maxSharedCacheEntries {
+		col.m[string(key)] = v
+	}
+	col.mu.Unlock()
+}
 
 // shardScorer is one scoring shard's fused, allocation-free workspace for
 // Step 4: per row it fills one reusable flat feature tile
@@ -37,30 +94,37 @@ type shardScorer struct {
 	// depCols[j] keys column j's cache; nil disables dedup entirely.
 	depCols [][]int
 	caches  []map[string]float64
+	// shared is the model-lifetime cache spanning shards and Score calls
+	// (nil outside model scoring or when dedup is disabled). Checked after
+	// the lock-free local cache; only keys whose IDs are all fit-time
+	// stable participate.
+	shared *sharedScoreCache
 
-	tile   []float64 // m x dim row feature tile, reused across rows
-	ptile  []float64 // compacted tile of this row's cache-miss columns
-	pout   []float64 // PredictInto output for ptile
-	missJ  []int     // columns missing from the cache this row
-	keyBuf []byte    // packed value-ID keys for every column of one row
-	keyOff []int     // keyBuf offset of each miss column's key
+	tile       []float64 // m x dim row feature tile, reused across rows
+	ptile      []float64 // compacted tile of this row's cache-miss columns
+	pout       []float64 // PredictInto output for ptile
+	missJ      []int     // columns missing from the cache this row
+	missStable []bool    // whether each miss column's key is shared-cacheable
+	keyBuf     []byte    // packed value-ID keys for every column of one row
+	keyOff     []int     // keyBuf offset of each miss column's key
 }
 
 // newShardScorer builds a scorer over the shared extractor, fitted model,
 // and output matrices. depCols enables the dedup cache when non-nil.
 func newShardScorer(ext *feature.Extractor, mlp *nn.MLP, d *table.Dataset,
-	depCols [][]int, threshold float64, scores [][]float64, pred [][]bool) *shardScorer {
+	depCols [][]int, threshold float64, scores [][]float64, pred [][]bool,
+	shared *sharedScoreCache) *shardScorer {
 	m := d.NumCols()
 	dim := ext.Dim()
 	s := &shardScorer{
 		ext: ext, mlp: mlp, d: d, m: m, dim: dim,
 		threshold: threshold, scores: scores, pred: pred,
-		depCols: depCols,
-		tile:    make([]float64, m*dim),
-		ptile:   make([]float64, m*dim),
-		pout:    make([]float64, m),
-		missJ:   make([]int, 0, m),
-		keyOff:  make([]int, m),
+		depCols: depCols, shared: shared,
+		tile:   make([]float64, m*dim),
+		ptile:  make([]float64, m*dim),
+		pout:   make([]float64, m),
+		missJ:  make([]int, 0, m),
+		keyOff: make([]int, m),
 	}
 	if depCols != nil {
 		s.caches = make([]map[string]float64, m)
@@ -70,6 +134,7 @@ func newShardScorer(ext *feature.Extractor, mlp *nn.MLP, d *table.Dataset,
 			keyCap += 4 * len(depCols[j])
 		}
 		s.keyBuf = make([]byte, 0, keyCap)
+		s.missStable = make([]bool, m)
 	}
 	return s
 }
@@ -100,19 +165,32 @@ func (s *shardScorer) scoreRow(i int) {
 		s.keyBuf = s.keyBuf[:0]
 		for j := 0; j < s.m; j++ {
 			start := len(s.keyBuf)
+			stable := s.shared != nil
 			for _, c := range s.depCols[j] {
 				id := s.d.ValueID(i, c)
+				if stable && id >= s.shared.stableIDs[c] {
+					stable = false // per-call ID: never shared-cacheable
+				}
 				s.keyBuf = append(s.keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 			}
+			key := s.keyBuf[start:]
 			// The conversion in the map index does not allocate (compiler
 			// optimizes map[string] lookups keyed by string([]byte)).
-			if v, ok := s.caches[j][string(s.keyBuf[start:])]; ok {
+			if v, ok := s.caches[j][string(key)]; ok {
 				scoresRow[j] = v
 				s.keyBuf = s.keyBuf[:start]
-			} else {
-				s.keyOff[len(s.missJ)] = start
-				s.missJ = append(s.missJ, j)
+				continue
 			}
+			if stable {
+				if v, ok := s.shared.load(j, key); ok {
+					scoresRow[j] = v
+					s.keyBuf = s.keyBuf[:start]
+					continue
+				}
+			}
+			s.keyOff[len(s.missJ)] = start
+			s.missStable[len(s.missJ)] = stable
+			s.missJ = append(s.missJ, j)
 		}
 		if len(s.missJ) > 0 {
 			// Featurize the whole row once (bases computed once, shared by
@@ -130,7 +208,11 @@ func (s *shardScorer) scoreRow(i int) {
 				if mi+1 < len(s.missJ) {
 					end = s.keyOff[mi+1]
 				}
-				s.caches[j][string(s.keyBuf[s.keyOff[mi]:end])] = v
+				key := s.keyBuf[s.keyOff[mi]:end]
+				s.caches[j][string(key)] = v
+				if s.missStable[mi] {
+					s.shared.store(j, key, v)
+				}
 			}
 		}
 	}

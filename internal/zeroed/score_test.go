@@ -72,7 +72,7 @@ func scorerFixture(t testing.TB, dedup bool) (*shardScorer, int) {
 			depCols[j] = ext.DepCols(j)
 		}
 	}
-	return newShardScorer(ext, mlp, d, depCols, 0.4, newMatrix(n, m), newMask(d)), n
+	return newShardScorer(ext, mlp, d, depCols, 0.4, newMatrix(n, m), newMask(d), nil), n
 }
 
 // TestFusedScoringZeroAllocSteadyState is the hot-path allocation guard:

@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
 # End-to-end smoke for the detection service: build zeroedd, start it,
 # submit a small CSV job, poll it to completion, and check the result and
-# metrics endpoints. Exercises the same path CI pins with httptest, but
-# against the real binary over a real socket.
+# metrics endpoints; then fit a model over the socket, score fresh rows
+# against it, and assert the scored verdicts match a direct
+# `cmd/zeroed -model-in` run on the persisted artifact. Exercises the same
+# paths CI pins with httptest, but against the real binaries over a real
+# socket.
 set -euo pipefail
 
 ADDR="127.0.0.1:18080"
 BASE="http://$ADDR"
-BIN="$(mktemp -d)/zeroedd"
+WORK="$(mktemp -d)"
+BIN="$WORK/zeroedd"
+CLI="$WORK/zeroed"
+MODELDIR="$WORK/models"
 
 go build -o "$BIN" ./cmd/zeroedd
-"$BIN" -addr "$ADDR" -workers 2 &
+go build -o "$CLI" ./cmd/zeroed
+"$BIN" -addr "$ADDR" -workers 2 -model-dir "$MODELDIR" &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
 
@@ -47,5 +54,37 @@ curl -fsS "$BASE/v1/jobs/$ID/result" | grep -q '"pred":' || { echo "e2e: result 
 # Metrics must account for the finished job.
 curl -fsS "$BASE/metrics" | grep -q 'zeroedd_jobs_finished_total{outcome="done"} 1' \
   || { echo "e2e: metrics missing finished job"; exit 1; }
+
+# --- Models: fit once over the socket, score forever. ---
+
+# Fit a model from the same CSV; the response carries the ready model's id.
+MID="$(curl -fsS -X POST --data-binary @"$CSV" "$BASE/v1/models?seed=1&name=smoke" \
+  | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$MID" ] || { echo "e2e: no model id in fit response"; exit 1; }
+echo "e2e: fitted $MID"
+
+# Score fresh rows (one seen, one with a novel value) synchronously.
+FRESH="$CSV.fresh"
+printf 'city,state,zip\nchicago,IL,60601\nnew-city-unseen,ZZ,00000\n' > "$FRESH"
+SCORED="$(curl -fsS -X POST --data-binary @"$FRESH" "$BASE/v1/models/$MID/score?scores=0")"
+echo "$SCORED" | grep -q '"pred":' || { echo "e2e: score response missing pred"; exit 1; }
+
+# The scored verdicts must match a direct cmd/zeroed -model-in run on the
+# artifact the server persisted. Normalize both to a 0/1 cell string.
+SRV_MASK="$(echo "$SCORED" | sed -n 's/.*"pred":\(\[\[[^]]*\]\(,\[[^]]*\]\)*\]\).*/\1/p' \
+  | tr -d '[] ' | tr ',' '\n' | sed -e 's/^true$/1/' -e 's/^false$/0/' | tr -d '\n')"
+"$CLI" -dirty "$FRESH" -model-in "$MODELDIR/$MID.zedm" -out "$WORK/cli_mask.csv" >/dev/null
+CLI_MASK="$(tail -n +2 "$WORK/cli_mask.csv" | tr -d ',\n')"
+[ -n "$SRV_MASK" ] || { echo "e2e: could not extract server mask"; exit 1; }
+if [ "$SRV_MASK" != "$CLI_MASK" ]; then
+  echo "e2e: server verdicts ($SRV_MASK) != cmd/zeroed -model-in verdicts ($CLI_MASK)"
+  exit 1
+fi
+echo "e2e: model verdicts match cmd/zeroed -model-in ($SRV_MASK)"
+
+# Model metrics must account for the fit and the score call.
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -q 'zeroedd_models_current 1' || { echo "e2e: metrics missing model gauge"; exit 1; }
+echo "$METRICS" | grep -q 'zeroedd_score_seconds_count 1' || { echo "e2e: metrics missing score latency"; exit 1; }
 
 echo "e2e: OK"
