@@ -7,12 +7,16 @@
 //
 // Usage:
 //
-//	benchjson [-iters 3] [-out BENCH_PR5.json] [-baseline old.json] [-list]
+//	benchjson [-iters 3] [-out BENCH_PR6.json] [-baseline old.json] [-list]
+//	          [-run regexp] [-cpuprofile default.pgo]
 //
 // -iters is the per-benchmark iteration count (1 = smoke mode, wired into
 // CI). -baseline embeds another benchjson file's results under "baseline",
 // so one file carries the before/after comparison. -list prints the
-// benchmark names and exits.
+// benchmark names and exits. -run restricts to benchmarks matching the
+// regexp, and -cpuprofile writes a pprof CPU profile covering the timed
+// loops — together they regenerate the checked-in PGO profile
+// (scripts/fitprofile.sh).
 package main
 
 import (
@@ -20,7 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/datasets"
@@ -45,10 +51,21 @@ type File struct {
 	// arms ran — the factor a registered model saves per scoring request
 	// versus refitting the pipeline.
 	FitScoreRatio float64 `json:"fit_score_ratio,omitempty"`
+	// FitStages is the per-stage breakdown of the fit-only arm (ns/op and
+	// B/op per pipeline stage, averaged over the arm's iterations), from
+	// FitInfo.Stages — so each PR attacks the measured dominant stage.
+	FitStages []StageMeasurement `json:"fit_stages,omitempty"`
 	// Baseline carries the pre-change numbers the current run is compared
 	// against (another benchjson run, or numbers parsed from
 	// `go test -bench -benchmem` output).
 	Baseline []Measurement `json:"baseline,omitempty"`
+}
+
+// StageMeasurement is one fit stage's share of the fit-only arm.
+type StageMeasurement struct {
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
 }
 
 // bench is one runnable benchmark: setup happens in the closure factory so
@@ -56,6 +73,30 @@ type File struct {
 type bench struct {
 	name string
 	run  func() func() error
+}
+
+// fitStages accumulates FitInfo.Stages across the fit-only arm's
+// iterations; main averages and emits it as File.FitStages.
+var fitStages struct {
+	order []string
+	ns    map[string]float64
+	bytes map[string]float64
+	iters int
+}
+
+func recordFitStages(stages []zeroed.StageTiming) {
+	if fitStages.ns == nil {
+		fitStages.ns = map[string]float64{}
+		fitStages.bytes = map[string]float64{}
+	}
+	for _, st := range stages {
+		if _, seen := fitStages.ns[st.Name]; !seen {
+			fitStages.order = append(fitStages.order, st.Name)
+		}
+		fitStages.ns[st.Name] += st.Seconds * 1e9
+		fitStages.bytes[st.Name] += float64(st.AllocBytes)
+	}
+	fitStages.iters++
 }
 
 // benches mirrors the repo's scaled pipeline benchmarks (bench_test.go):
@@ -88,8 +129,12 @@ func benches() []bench {
 			b := tax()
 			cfg := zeroed.Config{Seed: 1}
 			return func() error {
-				_, err := zeroed.New(cfg).Fit(b.Dirty)
-				return err
+				m, err := zeroed.New(cfg).Fit(b.Dirty)
+				if err != nil {
+					return err
+				}
+				recordFitStages(m.Info().Stages)
+				return nil
 			}
 		}},
 		{benchScoreOnly, func() func() error {
@@ -140,10 +185,12 @@ func measure(name string, iters int, factory func() func() error) (Measurement, 
 
 func main() {
 	iters := flag.Int("iters", 3, "iterations per benchmark (1 = smoke mode)")
-	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR6.json", "output JSON path")
 	baseline := flag.String("baseline", "", "optional benchjson file whose benchmarks embed as the baseline")
 	note := flag.String("note", "", "optional free-form note stored in the file")
 	list := flag.Bool("list", false, "list benchmark names and exit")
+	run := flag.String("run", "", "only run benchmarks matching this regexp")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the timed loops to this path")
 	flag.Parse()
 
 	bs := benches()
@@ -152,6 +199,22 @@ func main() {
 			fmt.Println(b.name)
 		}
 		return
+	}
+	if *run != "" {
+		re, err := regexp.Compile(*run)
+		if err != nil {
+			fatal(fmt.Errorf("bad -run regexp: %w", err))
+		}
+		kept := bs[:0]
+		for _, b := range bs {
+			if re.MatchString(b.name) {
+				kept = append(kept, b)
+			}
+		}
+		bs = kept
+		if len(bs) == 0 {
+			fatal(fmt.Errorf("-run %q matches no benchmarks", *run))
+		}
 	}
 
 	f := File{Generated: time.Now().UTC().Format(time.RFC3339), Note: *note}
@@ -165,6 +228,20 @@ func main() {
 			fatal(fmt.Errorf("parsing %s: %w", *baseline, err))
 		}
 		f.Baseline = prev.Benchmarks
+	}
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
 	}
 
 	for _, b := range bs {
@@ -190,6 +267,18 @@ func main() {
 	if fitNs > 0 && scoreNs > 0 {
 		f.FitScoreRatio = fitNs / scoreNs
 		fmt.Fprintf(os.Stderr, "fit/score ratio: %.1fx (score-only reuses the fitted model)\n", f.FitScoreRatio)
+	}
+	if fitStages.iters > 0 {
+		n := float64(fitStages.iters)
+		for _, name := range fitStages.order {
+			f.FitStages = append(f.FitStages, StageMeasurement{
+				Name:       name,
+				NsPerOp:    fitStages.ns[name] / n,
+				BytesPerOp: fitStages.bytes[name] / n,
+			})
+			fmt.Fprintf(os.Stderr, "  fit stage %-12s\t%.0f ns/op\t%.0f B/op\n",
+				name, fitStages.ns[name]/n, fitStages.bytes[name]/n)
+		}
 	}
 
 	enc, err := json.MarshalIndent(f, "", "  ")

@@ -7,16 +7,18 @@
 // data[i*dim : (i+1)*dim]) — the layout the feature extractor's tile APIs
 // produce — so the inner loops are cache-friendly and allocation-light.
 // KMeansFlat accelerates Lloyd's algorithm with Hamerly-style distance
-// bounds plus cached point/centroid squared norms, and is guaranteed to
-// produce the same assignments as the naive full-scan algorithm: every
-// pruning certificate carries a conservative floating-point margin, and
-// whenever a certificate cannot be established the point falls back to the
-// exact naive scan (same loop order, same tie-breaking).
+// bounds, duplicate-row deduplication, and batched column-major distance
+// scans, and is guaranteed to produce the same assignments as the naive
+// full-scan algorithm: every pruning certificate carries a conservative
+// floating-point margin, and whenever a certificate cannot be established
+// the point falls back to an exact scan whose per-centroid distances are
+// bit-identical to sqDist (same loop order, same tie-breaking).
 //
 // The historical [][]float64 entry points remain as thin wrappers.
 package cluster
 
 import (
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"sort"
@@ -41,14 +43,6 @@ type Result struct {
 // differences, sqrt, additions) carry only relative rounding error of a
 // few ulps (~1e-16); 1e-9 dwarfs it while pruning everything that matters.
 const boundSlack = 1e-9
-
-// normCancelErr bounds the relative-to-magnitude error of a norm
-// difference: ‖x‖-‖c‖ cancels two independently rounded norms, so its
-// absolute error is of order (‖x‖+‖c‖)·ε_machine·dim. 1e-12 exceeds that
-// by orders of magnitude for any realistic dimensionality; the norm-gap
-// prefilter deflates the gap by (‖x‖+‖c‖)·normCancelErr before trusting
-// it as a pruning certificate.
-const normCancelErr = 1e-12
 
 func sqDist(a, b []float64) float64 {
 	var s float64
@@ -137,6 +131,84 @@ func seedPlusPlus(data []float64, n, dim, k int, rng *rand.Rand) [][]float64 {
 	return centroids
 }
 
+// dedupPoints groups bit-identical rows of the flat matrix: uid[i] is the
+// dense unique id of point i, reps[t] the index of the first point carrying
+// unique id t. Identity is exact float64 bit equality (NaN payloads and
+// zero signs included), so two points sharing a uid are indistinguishable
+// to every distance computation — the foundation of the per-unique Lloyd
+// and seeding paths below. Value-interned pipelines (this repo's feature
+// tiles) produce heavily duplicated rows, so u is often far below n.
+func dedupPoints(data []float64, n, dim int) (uid []int32, reps []int32) {
+	uid = make([]int32, n)
+	seen := make(map[string]int32, n)
+	buf := make([]byte, dim*8)
+	for i := 0; i < n; i++ {
+		row := data[i*dim : (i+1)*dim]
+		for j, v := range row {
+			binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(v))
+		}
+		if t, ok := seen[string(buf)]; ok {
+			uid[i] = t
+			continue
+		}
+		t := int32(len(reps))
+		seen[string(buf)] = t
+		reps = append(reps, int32(i))
+		uid[i] = t
+	}
+	return uid, reps
+}
+
+// seedPlusPlusDedup is seedPlusPlus with the per-point distance work
+// deduplicated by unique id and batched column-major: squared distances
+// are computed once per unique row (via distsToAll over the transposed
+// unique-points tile, each bit-identical to sqDist) and read through uid
+// for the weighted draws. The d2 value sequence, the accumulation order of
+// the proportional draws, and the rng stream are exactly those of
+// seedPlusPlus — duplicates always carried identical d2 entries — so the
+// chosen centroids are bit-identical.
+func seedPlusPlusDedup(data []float64, n, dim, k int, rng *rand.Rand, uid, reps []int32) [][]float64 {
+	u := len(reps)
+	ptsT := make([]float64, dim*u)
+	transposeRows(ptsT, data, reps, u, dim)
+	centroids := newCentroidBlock(k, dim)
+	first := rng.Intn(n)
+	copy(centroids[0], data[first*dim:(first+1)*dim])
+	d2u := make([]float64, u)
+	distsToAll(centroids[0], ptsT, u, d2u)
+	dnew := make([]float64, u)
+	for chosen := 1; chosen < k; chosen++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += d2u[uid[i]]
+		}
+		var idx int
+		if sum == 0 {
+			idx = rng.Intn(n) // all points coincide with some centroid
+		} else {
+			r := rng.Float64() * sum
+			acc := 0.0
+			idx = n - 1
+			for i := 0; i < n; i++ {
+				acc += d2u[uid[i]]
+				if acc >= r {
+					idx = i
+					break
+				}
+			}
+		}
+		c := centroids[chosen]
+		copy(c, data[idx*dim:(idx+1)*dim])
+		distsToAll(c, ptsT, u, dnew)
+		for t, d := range dnew {
+			if d < d2u[t] {
+				d2u[t] = d
+			}
+		}
+	}
+	return centroids
+}
+
 // updateCentroids recomputes each centroid as the mean of its members,
 // re-seeding empty clusters at the point farthest from its current
 // centroid. Shared by the pruned and naive Lloyd loops so both see
@@ -180,35 +252,72 @@ func updateCentroids(data []float64, n, dim int, assign []int, centroids [][]flo
 	}
 }
 
-// scanPoint is the exact nearest/second-nearest centroid scan for one
-// point — the naive inner loop, with one cheap prefilter: the reverse
-// triangle inequality on cached norms, d²(x,c) ≥ (‖x‖-‖c‖)², skips
-// centroids that provably cannot beat the current best. The margin on the
-// skip test must account for the fact that ‖x‖-‖c‖ cancels two rounded
-// norms, leaving an ABSOLUTE error of order (‖x‖+‖c‖)·ε — a relative
-// margin alone is unsound when coordinates sit far from the origin (e.g.
-// data offset ~1e9 with sub-unit separations). The gap is therefore
-// deflated by (‖x‖+‖c‖)·1e-12 before squaring, which dwarfs the true
-// rounding error at any dimensionality this repo sees while still pruning
-// whenever norms carry real signal. Uncertain centroids are scanned
-// exactly, so tie-breaking matches the unfiltered loop. Returns the argmin
-// (first index on ties, like the naive loop), its squared distance, and
-// the runner-up squared distance.
-func scanPoint(p []float64, centroids [][]float64, pnorm float64, cnorms []float64) (best int, bestD, secondD float64) {
-	best, bestD, secondD = 0, math.Inf(1), math.Inf(1)
-	for c, cen := range centroids {
-		gap := math.Abs(pnorm - cnorms[c])
-		gap -= (pnorm + cnorms[c]) * normCancelErr
-		if gap > 0 && gap*gap > bestD*(1+boundSlack) {
-			// Cannot beat the incumbent, and cannot tie it either (the
-			// naive loop keeps the incumbent on ties); it may still be the
-			// runner-up, which only needs a conservative lower bound.
-			if g := gap * gap; g < secondD {
-				secondD = g
-			}
-			continue
+// distsToAll computes the exact squared distance from vec to each of the m
+// vectors held column-major in tileT (coordinate j of vector t at
+// tileT[j*m+t]), writing them into dist[:m]. Accumulator t receives
+// (vec[0]-x_t[0])² + (vec[1]-x_t[1])² + ... strictly in ascending
+// coordinate order — sqDist's exact association, so every distance is
+// bit-identical to sqDist(vec, x_t) — while the column walk advances m
+// independent dependency chains and four coordinates per pass amortize the
+// accumulator traffic, the same instruction-count trick as nn's
+// column-major kernels. (A squared difference is sign-insensitive, so
+// either subtraction orientation yields identical bits.)
+func distsToAll(vec, tileT []float64, m int, dist []float64) {
+	d := dist[:m]
+	for t := range d {
+		d[t] = 0
+	}
+	dim := len(vec)
+	j := 0
+	for ; j+4 <= dim; j += 4 {
+		p0, p1, p2, p3 := vec[j], vec[j+1], vec[j+2], vec[j+3]
+		c0 := tileT[(j+0)*m:][:m]
+		c1 := tileT[(j+1)*m:][:m]
+		c2 := tileT[(j+2)*m:][:m]
+		c3 := tileT[(j+3)*m:][:m]
+		for t := range d {
+			e0 := p0 - c0[t]
+			s := d[t] + e0*e0
+			e1 := p1 - c1[t]
+			s += e1 * e1
+			e2 := p2 - c2[t]
+			s += e2 * e2
+			e3 := p3 - c3[t]
+			s += e3 * e3
+			d[t] = s
 		}
-		d := sqDist(p, cen)
+	}
+	for ; j < dim; j++ {
+		pj := vec[j]
+		col := tileT[j*m:][:m]
+		for t := range d {
+			e := pj - col[t]
+			d[t] += e * e
+		}
+	}
+}
+
+// transposeRows fills tileT (dim x m, column-major tile) from the m rows of
+// data selected by rows (row t at data[rows[t]*dim:]). With rows nil, rows
+// 0..m-1 are taken in order.
+func transposeRows(tileT, data []float64, rows []int32, m, dim int) {
+	for t := 0; t < m; t++ {
+		ri := t
+		if rows != nil {
+			ri = int(rows[t])
+		}
+		row := data[ri*dim : (ri+1)*dim]
+		for j, v := range row {
+			tileT[j*m+t] = v
+		}
+	}
+}
+
+// selectBest returns the argmin over dist[:m] (first index on ties, like
+// the naive scan loop), its value, and the runner-up value.
+func selectBest(dist []float64, m int) (best int, bestD, secondD float64) {
+	best, bestD, secondD = 0, math.Inf(1), math.Inf(1)
+	for c, d := range dist[:m] {
 		if d < bestD {
 			secondD = bestD
 			best, bestD = c, d
@@ -221,77 +330,100 @@ func scanPoint(p []float64, centroids [][]float64, pnorm float64, cnorms []float
 
 // KMeansFlat clusters n points of width dim, stored row-major in data,
 // into k groups using Lloyd's algorithm with k-means++ initialization,
-// accelerated by Hamerly-style upper/lower distance bounds and cached
-// point/centroid squared norms. The rng makes runs reproducible; results
-// (assignments and centroids) are identical to the naive full-scan
-// algorithm for every input. k is clamped to n; maxIter bounds the Lloyd
-// iterations.
+// accelerated by Hamerly-style upper/lower distance bounds, cached
+// point/centroid squared norms, and duplicate-point deduplication: all
+// per-point distance work (seeding distances, bound maintenance, centroid
+// scans) runs once per bit-identical unique row and is splatted back to
+// point space. Bit-equal points see identical distances, certificates, and
+// scan results at every step, and the order-sensitive reductions (the
+// k-means++ proportional draws and the centroid member sums) still run over
+// all n points in original index order, so results (assignments and
+// centroids) are identical to the naive full-scan algorithm for every
+// input. k is clamped to n; maxIter bounds the Lloyd iterations.
 func KMeansFlat(data []float64, n, dim, k int, rng *rand.Rand, maxIter int) *Result {
 	if n == 0 {
 		return &Result{}
 	}
 	k = clampK(k, n)
-	centroids := seedPlusPlus(data, n, dim, k, rng)
+	uid, reps := dedupPoints(data, n, dim)
+	u := len(reps)
+	centroids := seedPlusPlusDedup(data, n, dim, k, rng, uid, reps)
 
-	// Cached norms: points once, centroids per iteration.
-	pnorms := make([]float64, n)
-	for i := range pnorms {
-		pnorms[i] = norm(data[i*dim : (i+1)*dim])
+	// Column-major centroid tile, rebuilt per iteration, plus the distance
+	// scratch the batched exact scan writes into.
+	cenT := make([]float64, dim*k)
+	dist := make([]float64, k)
+
+	// Per-unique assignment and Hamerly bounds, in distance (not squared)
+	// space: ubU[t] is an upper bound on the distance from unique t to its
+	// assigned centroid, lbU[t] a lower bound on the distance to every
+	// other centroid. Duplicates of one unique always carried identical
+	// assignment and bound trajectories, so one slot per unique loses
+	// nothing.
+	assignU := make([]int, u)
+	for t := range assignU {
+		assignU[t] = -1
 	}
-	cnorms := make([]float64, k)
+	ubU := make([]float64, u)
+	lbU := make([]float64, u)
 
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
 	}
-	// Hamerly bounds, in distance (not squared) space: ub[i] is an upper
-	// bound on the distance from point i to its assigned centroid, lb[i] a
-	// lower bound on the distance to every other centroid.
-	ub := make([]float64, n)
-	lb := make([]float64, n)
 	counts := make([]int, k)
 	oldCentroids := newCentroidBlock(k, dim)
 	drift := make([]float64, k)
 
 	for iter := 0; iter < maxIter; iter++ {
 		for c, cen := range centroids {
-			cnorms[c] = norm(cen)
+			for j, v := range cen {
+				cenT[j*k+c] = v
+			}
 		}
 		changed := false
-		for i := 0; i < n; i++ {
-			p := data[i*dim : (i+1)*dim]
-			if a := assign[i]; a >= 0 {
+		for t := 0; t < u; t++ {
+			ri := int(reps[t])
+			p := data[ri*dim : (ri+1)*dim]
+			if a := assignU[t]; a >= 0 {
 				// Certificate 1: stale bounds already separate the
 				// assigned centroid from all others.
-				if ub[i] < lb[i] {
+				if ubU[t] < lbU[t] {
 					continue
 				}
 				// Certificate 2: tighten the upper bound to the exact
 				// current distance and re-test.
 				exact := math.Sqrt(sqDist(p, centroids[a]))
-				ub[i] = exact * (1 + boundSlack)
-				if ub[i] < lb[i] {
+				ubU[t] = exact * (1 + boundSlack)
+				if ubU[t] < lbU[t] {
 					continue
 				}
 			}
-			// Fall back to the exact naive scan (identical ordering and
-			// tie-breaking), then refresh both bounds from its distances.
-			best, bestD, secondD := scanPoint(p, centroids, pnorms[i], cnorms)
-			ub[i] = math.Sqrt(bestD) * (1 + boundSlack)
-			lb[i] = math.Sqrt(secondD) * (1 - boundSlack)
-			if assign[i] != best {
-				assign[i] = best
+			// Fall back to the batched exact scan (every distance
+			// bit-identical to the naive loop's sqDist, same first-on-tie
+			// argmin), then refresh both bounds from its distances. The
+			// runner-up distance here is exact, a valid (and tighter) lower
+			// bound wherever the historical norm-gap estimate was used.
+			distsToAll(p, cenT, k, dist)
+			best, bestD, secondD := selectBest(dist, k)
+			ubU[t] = math.Sqrt(bestD) * (1 + boundSlack)
+			lbU[t] = math.Sqrt(secondD) * (1 - boundSlack)
+			if assignU[t] != best {
+				assignU[t] = best
 				changed = true
 			}
 		}
 		if !changed {
 			break
 		}
+		for i := 0; i < n; i++ {
+			assign[i] = assignU[uid[i]]
+		}
 		for c, cen := range centroids {
 			copy(oldCentroids[c], cen)
 		}
 		updateCentroids(data, n, dim, assign, centroids, counts)
-		// Bound maintenance: each point's upper bound grows by its own
+		// Bound maintenance: each unique's upper bound grows by its own
 		// centroid's drift, every lower bound shrinks by the largest drift.
 		maxDrift := 0.0
 		for c := range centroids {
@@ -300,9 +432,9 @@ func KMeansFlat(data []float64, n, dim, k int, rng *rand.Rand, maxIter int) *Res
 				maxDrift = drift[c]
 			}
 		}
-		for i := 0; i < n; i++ {
-			ub[i] += drift[assign[i]]
-			lb[i] -= maxDrift
+		for t := 0; t < u; t++ {
+			ubU[t] += drift[assignU[t]]
+			lbU[t] -= maxDrift
 		}
 	}
 	return finishFlat(assign, centroids)
@@ -344,17 +476,6 @@ func kmeansNaiveFlat(data []float64, n, dim, k int, rng *rand.Rand, maxIter int)
 		updateCentroids(data, n, dim, assign, centroids, counts)
 	}
 	return finishFlat(assign, centroids)
-}
-
-// norm returns the Euclidean norm of v; v[i]*v[i] sums exactly like
-// sqDist(v, 0), so norm-based bounds and sqDist agree bit-for-bit on the
-// degenerate origin comparison.
-func norm(v []float64) float64 {
-	var s float64
-	for _, x := range v {
-		s += x * x
-	}
-	return math.Sqrt(s)
 }
 
 func finishFlat(assign []int, centroids [][]float64) *Result {

@@ -1,0 +1,105 @@
+package criteria
+
+import "repro/internal/table"
+
+// SetMemo memoizes one Set's per-criterion verdicts against one dataset
+// binding, keyed by value ID — the fit-phase counterpart of the scoring
+// dedup cache. Admissibility: for every kind except FD, EvalAt(d, row, col)
+// reads only d.Value(row, col), and the value-ID→string mapping of a
+// binding is injective, so the verdict is a pure function of the cell's
+// value ID; an FD criterion additionally reads the determinant column's
+// value, so its verdict is a pure function of the (own ID, determinant ID)
+// pair. Criteria with a determinant attribute missing from the schema
+// evaluate against an empty determinant for every row and key on the own ID
+// alone. Each cached entry is the exact boolean EvalAt would recompute, so
+// every aggregate built from memoized verdicts (accuracy counts, pass
+// rates) is bit-identical to the unmemoized computation.
+//
+// A SetMemo is single-goroutine state: the pipeline builds one per
+// (attribute, stage-worker) and never shares it. The dataset binding and
+// the criteria must not mutate while the memo is in use.
+type SetMemo struct {
+	d     *table.Dataset
+	col   int
+	set   *Set
+	memos []critMemo
+}
+
+type critMemo struct {
+	c     *Criterion
+	det   int // determinant column index for FD criteria, -1 otherwise
+	cache map[uint64]bool
+}
+
+// NewSetMemo builds a verdict memo for set s over attribute col of d.
+func NewSetMemo(d *table.Dataset, col int, s *Set) *SetMemo {
+	m := &SetMemo{d: d, col: col, set: s, memos: make([]critMemo, len(s.Criteria))}
+	for i, c := range s.Criteria {
+		det := -1
+		if c.Kind == KindFD {
+			det = d.ColIndex(c.DetAttr)
+		}
+		m.memos[i] = critMemo{c: c, det: det, cache: make(map[uint64]bool)}
+	}
+	return m
+}
+
+// Set returns the criteria set the memo evaluates.
+func (m *SetMemo) Set() *Set { return m.set }
+
+// evalAt returns criterion k's memoized verdict for tuple row.
+func (m *SetMemo) evalAt(k, row int) bool {
+	cm := &m.memos[k]
+	key := uint64(m.d.ValueID(row, m.col))
+	if cm.det >= 0 {
+		key |= uint64(m.d.ValueID(row, cm.det)) << 32
+	}
+	if v, ok := cm.cache[key]; ok {
+		return v
+	}
+	v := cm.c.EvalAt(m.d, row, m.col)
+	cm.cache[key] = v
+	return v
+}
+
+// PassRateAt is the memoized form of Set.PassRateAt over the memo's
+// attribute: the fraction of criteria tuple row passes.
+func (m *SetMemo) PassRateAt(row int) float64 {
+	if len(m.set.Criteria) == 0 {
+		return 1
+	}
+	pass := 0
+	for k := range m.memos {
+		if m.evalAt(k, row) {
+			pass++
+		}
+	}
+	return float64(pass) / float64(len(m.set.Criteria))
+}
+
+// Verify is the memoized form of VerifySetAt: it removes criteria whose
+// accuracy on believed-clean rows falls below threshold and returns a memo
+// over the surviving set. Surviving criteria keep their verdict caches, so
+// the verification pass warms the caches the subsequent pass-rate pass
+// reads. Empty cleanRows yields accuracy 1 for every criterion, matching
+// AccuracyOnCleanAt.
+func (m *SetMemo) Verify(cleanRows []int, threshold float64) *SetMemo {
+	out := &SetMemo{d: m.d, col: m.col, set: &Set{Attr: m.set.Attr}}
+	for k, cm := range m.memos {
+		acc := 1.0
+		if len(cleanRows) > 0 {
+			pass := 0
+			for _, r := range cleanRows {
+				if m.evalAt(k, r) {
+					pass++
+				}
+			}
+			acc = float64(pass) / float64(len(cleanRows))
+		}
+		if acc >= threshold {
+			out.set.Criteria = append(out.set.Criteria, cm.c)
+			out.memos = append(out.memos, cm)
+		}
+	}
+	return out
+}

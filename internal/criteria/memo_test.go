@@ -1,0 +1,118 @@
+package criteria
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/table"
+)
+
+// memoDataset builds a two-column dataset with heavy value duplication,
+// some dirty cells, and an FD between the columns — enough to exercise
+// every memo key shape (own-ID-only and (own, determinant) pairs).
+func memoDataset() *table.Dataset {
+	d := table.New("t", []string{"Education", "Salary"})
+	for i := 0; i < 25; i++ {
+		d.MustAppendRow([]string{"Bachelor", "50000"})
+		d.MustAppendRow([]string{"Master", "70000"})
+		d.MustAppendRow([]string{"Phd", "90000"})
+	}
+	d.MustAppendRow([]string{"Bachelor", "70000"}) // FD violation
+	d.MustAppendRow([]string{"Bachelr", "50000"})  // typo
+	d.MustAppendRow([]string{"", "90000"})         // missing
+	return d
+}
+
+// memoSet induces a criteria set that includes an FD criterion, so the memo
+// exercises the pair-keyed cache.
+func memoSet(t *testing.T, d *table.Dataset) *Set {
+	t.Helper()
+	s := Induce(d, 0, allRows(d), []int{1}, DefaultInduceOptions())
+	hasFD := false
+	for _, c := range s.Criteria {
+		if c.Kind == KindFD {
+			hasFD = true
+		}
+	}
+	if !hasFD {
+		t.Fatal("fixture did not induce an FD criterion")
+	}
+	return s
+}
+
+// TestSetMemoPassRateMatchesDirect pins the memo's exactness: for every
+// row, the memoized pass rate is bit-identical to Set.PassRateAt — on
+// first (cold) and repeated (cached) evaluation alike.
+func TestSetMemoPassRateMatchesDirect(t *testing.T) {
+	d := memoDataset()
+	s := memoSet(t, d)
+	m := NewSetMemo(d, 0, s)
+	for pass := 0; pass < 2; pass++ {
+		for r := 0; r < d.NumRows(); r++ {
+			got := m.PassRateAt(r)
+			want := s.PassRateAt(d, r, 0)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("pass %d row %d: memo %v != direct %v", pass, r, got, want)
+			}
+		}
+	}
+}
+
+// TestSetMemoVerifyMatchesDirect pins Verify against VerifySetAt: same
+// surviving criteria, in the same order, and the surviving memo keeps
+// answering identically to the filtered set.
+func TestSetMemoVerifyMatchesDirect(t *testing.T) {
+	d := memoDataset()
+	s := memoSet(t, d)
+	clean := allRows(d)[:60]
+
+	direct := VerifySetAt(s, d, 0, clean, 0.5)
+	m := NewSetMemo(d, 0, s).Verify(clean, 0.5)
+	if len(m.Set().Criteria) != len(direct.Criteria) {
+		t.Fatalf("memo kept %d criteria, direct kept %d", len(m.Set().Criteria), len(direct.Criteria))
+	}
+	for i, c := range m.Set().Criteria {
+		if c != s.Criteria[indexOf(s, direct.Criteria[i])] {
+			t.Fatalf("criterion %d differs: memo %v vs direct %v", i, c, direct.Criteria[i])
+		}
+	}
+	for r := 0; r < d.NumRows(); r++ {
+		got, want := m.PassRateAt(r), direct.PassRateAt(d, r, 0)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("post-verify row %d: memo %v != direct %v", r, got, want)
+		}
+	}
+
+	// Empty clean set: every criterion survives (accuracy defaults to 1).
+	m2 := NewSetMemo(d, 0, s).Verify(nil, 0.5)
+	if len(m2.Set().Criteria) != len(s.Criteria) {
+		t.Fatalf("empty-clean Verify kept %d of %d criteria", len(m2.Set().Criteria), len(s.Criteria))
+	}
+}
+
+// TestSetMemoActuallyDedups asserts the memo holds far fewer entries than
+// row-by-row evaluation would: the fixture has ~5 distinct values over 78
+// rows, so each criterion's cache must stay small.
+func TestSetMemoActuallyDedups(t *testing.T) {
+	d := memoDataset()
+	s := memoSet(t, d)
+	m := NewSetMemo(d, 0, s)
+	for r := 0; r < d.NumRows(); r++ {
+		m.PassRateAt(r)
+	}
+	for k, cm := range m.memos {
+		if len(cm.cache) >= d.NumRows() {
+			t.Errorf("criterion %d (%s) cached %d entries for %d rows — no dedup",
+				k, cm.c.Name, len(cm.cache), d.NumRows())
+		}
+	}
+}
+
+func indexOf(s *Set, c *Criterion) int {
+	for i, x := range s.Criteria {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}

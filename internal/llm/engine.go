@@ -210,6 +210,20 @@ func (c *Client) GenerateGuideline(d *table.Dataset, j int, corr []int, prof *st
 // itself as context, which reproduces the paper's observed degradation on
 // datasets with context-dependent errors.
 func (c *Client) LabelBatch(d *table.Dataset, j int, rows []int, g *Guideline) []bool {
+	return c.labelBatch(d, j, rows, g, nil)
+}
+
+// LabelBatchDedup is LabelBatch with the guideline judgement memoized per
+// value-ID tuple (see JudgeMemo). Token charging and the per-cell seeded
+// noise stream are identical to LabelBatch; only the pure judgement is
+// replayed from the cache, so the verdicts are bit-identical. A nil memo
+// (including the nil-guideline case, where batch-only labeling is
+// inadmissible for caching) degrades to plain LabelBatch.
+func (c *Client) LabelBatchDedup(d *table.Dataset, j int, rows []int, g *Guideline, memo *JudgeMemo) []bool {
+	return c.labelBatch(d, j, rows, g, memo)
+}
+
+func (c *Client) labelBatch(d *table.Dataset, j int, rows []int, g *Guideline, memo *JudgeMemo) []bool {
 	var gtext string
 	if g != nil {
 		gtext = g.Text
@@ -240,7 +254,11 @@ func (c *Client) LabelBatch(d *table.Dataset, j int, rows []int, g *Guideline) [
 		v := d.Value(r, j)
 		var isErr bool
 		if g != nil {
-			isErr = c.judgeWithGuideline(g, d, r, v)
+			if memo != nil {
+				isErr = memo.judge(c, g, r)
+			} else {
+				isErr = c.judgeWithGuideline(g, d, r, v)
+			}
 		} else {
 			isErr = judgeBatchOnly(v, batchCounts, batchNums, len(rows))
 		}

@@ -1,0 +1,60 @@
+package llm
+
+import "repro/internal/table"
+
+// JudgeMemo memoizes guideline-driven label judgements per value-ID tuple —
+// the fit-phase dedup cache for LLM labeling. Admissibility:
+// judgeWithGuideline(g, d, row, v) reads only the cell's own value and, for
+// each of the guideline's FD rules, the determinant column's value of the
+// same row; within one dataset binding the value-ID→string mapping is
+// injective, so the judgement is a pure function of the (own ID,
+// determinant IDs...) tuple. The per-cell labeling noise stream is keyed by
+// row and is therefore NOT cacheable — callers replay it per cell exactly
+// as the unmemoized path does. The no-guideline labeler (judgeBatchOnly)
+// depends on batch composition and is never memoized.
+//
+// A JudgeMemo is single-goroutine state, built per (attribute, worker); the
+// dataset binding and guideline must not mutate while it is in use.
+type JudgeMemo struct {
+	d       *table.Dataset
+	col     int
+	detCols []int
+	cache   map[string]bool
+	keyBuf  []byte
+}
+
+// NewJudgeMemo builds a judgement memo for guideline g over attribute col
+// of d. A nil guideline yields a nil memo (batch-only labeling is
+// inadmissible), which labelBatch treats as dedup-off.
+func NewJudgeMemo(d *table.Dataset, col int, g *Guideline) *JudgeMemo {
+	if g == nil {
+		return nil
+	}
+	m := &JudgeMemo{
+		d:      d,
+		col:    col,
+		cache:  make(map[string]bool),
+		keyBuf: make([]byte, 0, 4*(1+len(g.FDs))),
+	}
+	for _, fd := range g.FDs {
+		m.detCols = append(m.detCols, d.ColIndex(fd.DetAttr))
+	}
+	return m
+}
+
+// judge returns the memoized guideline judgement for tuple row.
+func (m *JudgeMemo) judge(c *Client, g *Guideline, row int) bool {
+	m.keyBuf = m.keyBuf[:0]
+	id := m.d.ValueID(row, m.col)
+	m.keyBuf = append(m.keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	for _, dc := range m.detCols {
+		id = m.d.ValueID(row, dc)
+		m.keyBuf = append(m.keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	if v, ok := m.cache[string(m.keyBuf)]; ok {
+		return v
+	}
+	v := c.judgeWithGuideline(g, m.d, row, m.d.Value(row, m.col))
+	m.cache[string(m.keyBuf)] = v
+	return v
+}

@@ -131,7 +131,7 @@ func dotFrom(s float64, w, x []float64) float64 {
 
 // forward computes activations; h1 and h2 receive post-ReLU activations.
 func (m *MLP) forward(x []float64, h1, h2 []float64) float64 {
-	in, h1n := m.in, m.cfg.Hidden1
+	in := len(x)
 	for i := range h1 {
 		s := dotFrom(m.b1[i], m.w1[i*in:(i+1)*in], x)
 		if s < 0 {
@@ -139,6 +139,7 @@ func (m *MLP) forward(x []float64, h1, h2 []float64) float64 {
 		}
 		h1[i] = s
 	}
+	h1n := len(h1)
 	for i := range h2 {
 		s := dotFrom(m.b2[i], m.w2[i*h1n:(i+1)*h1n], h1)
 		if s < 0 {
@@ -197,26 +198,75 @@ func (m *MLP) TrainContext(ctx context.Context, X [][]float64, y []float64) (flo
 		if len(x) != m.in {
 			return 0, fmt.Errorf("nn: sample %d has dim %d, want %d", i, len(x), m.in)
 		}
-		for k, v := range x {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return 0, fmt.Errorf("nn: sample %d has non-finite feature %v at index %d", i, v, k)
-			}
-		}
-		if v := y[i]; math.IsNaN(v) || math.IsInf(v, 0) {
-			return 0, fmt.Errorf("nn: label %d is non-finite (%v)", i, v)
+		if err := validateSample(x, y[i], i); err != nil {
+			return 0, err
 		}
 	}
+	return m.train(ctx, func(i int) []float64 { return X[i] }, len(X), y, false)
+}
+
+// TrainFlat fits the MLP on a flat row-major feature tile: X holds nRows
+// vectors of the model's input dimension back to back — the layout
+// feature.FeaturesInto and the engine's training-matrix stage produce — so
+// training consumes the tile directly with no per-row slice headers. The
+// produced weights are bit-identical to TrainContext on the equivalent
+// nested matrix (same seed, same shuffle stream, same per-element arithmetic
+// order); sample validation is fused into the first epoch's pass instead of
+// running as a separate O(n·dim) sweep. A non-finite sample still aborts
+// training with an error (the partially updated weights are discarded by
+// every caller along with the error).
+func (m *MLP) TrainFlat(X []float64, nRows int, y []float64) (float64, error) {
+	return m.TrainFlatContext(context.Background(), X, nRows, y)
+}
+
+// TrainFlatContext is TrainFlat with cooperative per-epoch cancellation.
+func (m *MLP) TrainFlatContext(ctx context.Context, X []float64, nRows int, y []float64) (float64, error) {
+	if nRows <= 0 {
+		return 0, fmt.Errorf("nn: empty training set")
+	}
+	if len(X) != nRows*m.in {
+		return 0, fmt.Errorf("nn: flat tile has %d values, want %d rows x %d dims = %d",
+			len(X), nRows, m.in, nRows*m.in)
+	}
+	if nRows != len(y) {
+		return 0, fmt.Errorf("nn: %d samples but %d labels", nRows, len(y))
+	}
+	in := m.in
+	return m.train(ctx, func(i int) []float64 { return X[i*in : (i+1)*in] }, nRows, y, true)
+}
+
+// validateSample rejects non-finite features or labels before they can
+// poison the weights.
+func validateSample(x []float64, label float64, i int) error {
+	for k, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("nn: sample %d has non-finite feature %v at index %d", i, v, k)
+		}
+	}
+	if math.IsNaN(label) || math.IsInf(label, 0) {
+		return fmt.Errorf("nn: label %d is non-finite (%v)", i, label)
+	}
+	return nil
+}
+
+// train is the shared Adam/BCE training loop behind TrainContext and
+// TrainFlat: at(i) yields sample i's feature vector (a nested row or a flat
+// tile window — both views see identical float64 sequences, which is why the
+// two entry points produce bit-identical weights). When fusedValidate is
+// set, sample validation happens on first use inside epoch 0 rather than as
+// an up-front sweep.
+func (m *MLP) train(ctx context.Context, at func(int) []float64, n int, y []float64, fusedValidate bool) (float64, error) {
 	h1n, h2n := m.cfg.Hidden1, m.cfg.Hidden2
+	in := m.in
 	rng := rand.New(rand.NewSource(m.cfg.Seed + 7))
 
-	optW1 := newAdam(h1n * m.in)
+	optW1 := newAdam(h1n * in)
 	optW2 := newAdam(h2n * h1n)
 	optW3 := newAdam(h2n)
 	optB1 := newAdam(h1n)
 	optB2 := newAdam(h2n)
 	optB3 := newAdam(1)
 
-	gradW1 := make([]float64, h1n*m.in)
 	gradW2 := make([]float64, h2n*h1n)
 	gradW3 := make([]float64, h2n)
 	gradB1 := make([]float64, h1n)
@@ -228,7 +278,32 @@ func (m *MLP) TrainContext(ctx context.Context, X [][]float64, y []float64) (flo
 	d2 := make([]float64, h2n)
 	d1 := make([]float64, h1n)
 
-	idx := make([]int, len(X))
+	// Column-major working set. The hot per-sample loops walk one input
+	// column at a time and update every output unit's accumulator from it:
+	// each accumulator r still receives exactly b[r] + w[r][0]*x[0] +
+	// w[r][1]*x[1] + ... in ascending column order — the same left-to-right
+	// association as dotFrom — so the trained weights are bit-identical to
+	// the historical row-major loops. The payoff is instruction-level
+	// parallelism: a single row's dot product is one latency-bound chain of
+	// dependent adds, while the column walk advances h1n independent chains
+	// per cache-friendly sequential load. Layer 1 lives entirely in the
+	// transposed layout for the duration of training — weights, gradient,
+	// and Adam moments alike. L2 decay and Adam are strictly elementwise
+	// (each parameter's update depends only on its own gradient and moment
+	// history, plus step-count scalars), so a consistent permutation of
+	// parameter order leaves every trained value bit-identical; the tile is
+	// folded back to row-major m.w1 once, after the final batch. Layer 2's
+	// transposed tile is refreshed after each Adam step (it is read
+	// row-major in the backward pass, so it keeps its canonical layout).
+	w1t := make([]float64, in*h1n)
+	w2t := make([]float64, h1n*h2n)
+	g1t := make([]float64, in*h1n)
+	transpose(w1t, m.w1, h1n, in)
+	transpose(w2t, m.w2, h2n, h1n)
+	d1nzIdx := make([]int32, h1n)
+	d1nzVal := make([]float64, h1n)
+
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
@@ -243,7 +318,7 @@ func (m *MLP) TrainContext(ctx context.Context, X [][]float64, y []float64) (flo
 		for start := 0; start < len(idx); start += m.cfg.BatchSize {
 			end := min(start+m.cfg.BatchSize, len(idx))
 			bs := float64(end - start)
-			zero(gradW1)
+			zero(g1t)
 			zero(gradW2)
 			zero(gradW3)
 			zero(gradB1)
@@ -251,8 +326,33 @@ func (m *MLP) TrainContext(ctx context.Context, X [][]float64, y []float64) (flo
 			gradB3[0] = 0
 
 			for _, i := range idx[start:end] {
-				x := X[i]
-				p := m.forward(x, h1, h2)
+				x := at(i)
+				if fusedValidate && epoch == 0 {
+					if err := validateSample(x, y[i], i); err != nil {
+						return 0, err
+					}
+				}
+				// Forward, column-major: four input columns per pass, each
+				// accumulator taking its four products in ascending column
+				// order — the identical add sequence to dotFrom, at roughly
+				// half the instructions per multiply-add (the accumulator
+				// load/store and loop overhead amortize over four columns).
+				copy(h1, m.b1)
+				colMajorAccum(h1, w1t, x, in)
+				for r, s := range h1 {
+					if s < 0 {
+						h1[r] = 0
+					}
+				}
+				copy(h2, m.b2)
+				colMajorAccum(h2, w2t, h1, h1n)
+				for r, s := range h2 {
+					if s < 0 {
+						h2[r] = 0
+					}
+				}
+				p := sigmoid(dotFrom(m.b3, m.w3, h2))
+
 				t := y[i]
 				epochLoss += bceLoss(t, p)
 				// dL/dlogit for sigmoid + BCE.
@@ -286,28 +386,36 @@ func (m *MLP) TrainContext(ctx context.Context, X [][]float64, y []float64) (flo
 					}
 					gradB2[r] += d2r
 				}
-				for r := range d1 {
+				// Compact the surviving layer-1 deltas (ReLU kills about
+				// half), then scatter the outer product into the transposed
+				// gradient tile column by column. Each g1t element receives
+				// the same single d1[r]*x[c] add per sample as the row-major
+				// loop did — only the (r, c) visit order changes, and every
+				// element is visited at most once per sample, so batch
+				// accumulation order per element is preserved exactly.
+				k := 0
+				for r, v := range d1 {
 					if h1[r] <= 0 {
-						d1[r] = 0
-					}
-				}
-				for r := 0; r < h1n; r++ {
-					d1r := d1[r]
-					if d1r == 0 {
 						continue
 					}
-					g := gradW1[r*m.in : r*m.in+m.in]
-					xr := x[:m.in]
-					for c := range g {
-						g[c] += d1r * xr[c]
+					if v == 0 {
+						continue
 					}
-					gradB1[r] += d1r
+					d1nzIdx[k] = int32(r)
+					d1nzVal[k] = v
+					gradB1[r] += v
+					k++
 				}
+				nzIdx := d1nzIdx[:k]
+				nzVal := d1nzVal[:k]
+				scatterOuter(g1t, nzIdx, nzVal, x, in, h1n)
 			}
 
-			// L2 decay + Adam updates directly on the flat weights.
-			addL2(gradW1, m.w1, m.cfg.L2)
-			optW1.step(m.w1, gradW1, m.cfg.LR)
+			// L2 decay + Adam updates. Layer 1 updates in place on the
+			// transposed tile (elementwise math is layout-blind); the
+			// other tensors update on their canonical flat layouts.
+			addL2(g1t, w1t, m.cfg.L2)
+			optW1.step(w1t, g1t, m.cfg.LR)
 			addL2(gradW2, m.w2, m.cfg.L2)
 			optW2.step(m.w2, gradW2, m.cfg.LR)
 			addL2(gradW3, m.w3, m.cfg.L2)
@@ -317,14 +425,98 @@ func (m *MLP) TrainContext(ctx context.Context, X [][]float64, y []float64) (flo
 			b3 := [1]float64{m.b3}
 			optB3.step(b3[:], gradB3, m.cfg.LR)
 			m.b3 = b3[0]
+			transpose(w2t, m.w2, h2n, h1n)
 		}
 		lastLoss = epochLoss / float64(len(idx))
 		if math.IsNaN(lastLoss) || math.IsInf(lastLoss, 0) {
 			return 0, fmt.Errorf("nn: non-finite training loss %v at epoch %d", lastLoss, epoch)
 		}
 	}
+	// Fold the transposed layer-1 tile back to the canonical row-major
+	// layout the inference path reads.
+	transpose(m.w1, w1t, in, h1n)
 	m.trained = true
 	return lastLoss, nil
+}
+
+// colMajorAccum adds W·x into acc against the transposed weight tile wt
+// (in columns of len(acc), column c at wt[c*len(acc):]). Accumulator r
+// receives w[r][0]*x[0] + w[r][1]*x[1] + ... strictly in ascending column
+// order — dotFrom's exact left-to-right association, so results are
+// bit-identical to the row-major loops — but the columns advance len(acc)
+// independent dependency chains, and processing four columns per pass
+// amortizes the accumulator load/store and loop overhead across four
+// multiply-adds.
+func colMajorAccum(acc, wt, x []float64, in int) {
+	n := len(acc)
+	c := 0
+	for ; c+4 <= in; c += 4 {
+		x0, x1, x2, x3 := x[c], x[c+1], x[c+2], x[c+3]
+		c0 := wt[(c+0)*n:][:n]
+		c1 := wt[(c+1)*n:][:n]
+		c2 := wt[(c+2)*n:][:n]
+		c3 := wt[(c+3)*n:][:n]
+		a := acc[:n]
+		for r := range a {
+			s := a[r] + c0[r]*x0
+			s += c1[r] * x1
+			s += c2[r] * x2
+			s += c3[r] * x3
+			a[r] = s
+		}
+	}
+	for ; c < in; c++ {
+		xc := x[c]
+		col := wt[c*n:][:n]
+		a := acc[:n]
+		for r := range a {
+			a[r] += col[r] * xc
+		}
+	}
+}
+
+// scatterOuter accumulates the outer product of the compacted deltas
+// (nzVal at rows nzIdx) and the input x into the transposed gradient tile
+// gt (in columns of width rows). Every gt element receives at most one
+// d*x add per sample — the same single add the row-major loop performed —
+// so batch accumulation order per element is unchanged; four input columns
+// per pass amortize the index and delta loads.
+func scatterOuter(gt []float64, nzIdx []int32, nzVal []float64, x []float64, in, rows int) {
+	c := 0
+	for ; c+4 <= in; c += 4 {
+		x0, x1, x2, x3 := x[c], x[c+1], x[c+2], x[c+3]
+		g0 := gt[(c+0)*rows:][:rows]
+		g1 := gt[(c+1)*rows:][:rows]
+		g2 := gt[(c+2)*rows:][:rows]
+		g3 := gt[(c+3)*rows:][:rows]
+		for j, r := range nzIdx {
+			v := nzVal[j]
+			g0[r] += v * x0
+			g1[r] += v * x1
+			g2[r] += v * x2
+			g3[r] += v * x3
+		}
+	}
+	for ; c < in; c++ {
+		xc := x[c]
+		col := gt[c*rows:][:rows]
+		for j, r := range nzIdx {
+			col[r] += nzVal[j] * xc
+		}
+	}
+}
+
+// transpose fills dst (a flat cols x rows matrix) with the transpose of
+// src (a flat rows x cols matrix). Values are copied verbatim, so the
+// column-major training tiles hold exactly the same float64 bits as the
+// canonical row-major weights.
+func transpose(dst, src []float64, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		row := src[r*cols : (r+1)*cols]
+		for c, v := range row {
+			dst[c*rows+r] = v
+		}
+	}
 }
 
 func bceLoss(t, p float64) float64 {

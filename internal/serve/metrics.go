@@ -3,8 +3,11 @@ package serve
 import (
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/zeroed"
 )
 
 // metrics aggregates service counters. Everything is lock-free atomics;
@@ -28,6 +31,29 @@ type metrics struct {
 	fitNanos          atomic.Int64
 	scoreRuns         atomic.Int64
 	scoreNanos        atomic.Int64
+
+	// Per-stage fit wall-clock, accumulated from FitInfo.Stages across
+	// fits. Stage names arrive with the fit, so this is the one map-backed
+	// family; fits are rare enough that a mutex is fine.
+	stageMu      sync.Mutex
+	stageSeconds map[string]float64
+	stageOrder   []string
+}
+
+// addFitStages folds one fit's per-stage breakdown into the cumulative
+// stage counters.
+func (m *metrics) addFitStages(stages []zeroed.StageTiming) {
+	m.stageMu.Lock()
+	defer m.stageMu.Unlock()
+	if m.stageSeconds == nil {
+		m.stageSeconds = map[string]float64{}
+	}
+	for _, st := range stages {
+		if _, seen := m.stageSeconds[st.Name]; !seen {
+			m.stageOrder = append(m.stageOrder, st.Name)
+		}
+		m.stageSeconds[st.Name] += st.Seconds
+	}
 }
 
 // render writes the Prometheus text exposition of the counters plus the
@@ -74,6 +100,16 @@ func (m *metrics) render(w io.Writer, byState map[JobState]int, modelCount int) 
 	fmt.Fprintln(w, "# TYPE zeroedd_fit_seconds summary")
 	fmt.Fprintf(w, "zeroedd_fit_seconds_sum %g\n", time.Duration(m.fitNanos.Load()).Seconds())
 	fmt.Fprintf(w, "zeroedd_fit_seconds_count %d\n", m.fitRuns.Load())
+
+	m.stageMu.Lock()
+	if len(m.stageOrder) > 0 {
+		fmt.Fprintln(w, "# HELP zeroedd_fit_stage_seconds Fit wall-clock by pipeline stage, cumulative across fits.")
+		fmt.Fprintln(w, "# TYPE zeroedd_fit_stage_seconds counter")
+		for _, name := range m.stageOrder {
+			fmt.Fprintf(w, "zeroedd_fit_stage_seconds{stage=%q} %g\n", name, m.stageSeconds[name])
+		}
+	}
+	m.stageMu.Unlock()
 
 	fmt.Fprintln(w, "# HELP zeroedd_score_seconds Score-phase wall-clock across model scoring calls.")
 	fmt.Fprintln(w, "# TYPE zeroedd_score_seconds summary")

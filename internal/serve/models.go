@@ -311,6 +311,7 @@ func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
 	s.met.modelsFitted.Add(1)
 	s.met.fitRuns.Add(1)
 	s.met.fitNanos.Add(int64(fitDur))
+	s.met.addFitStages(m.Info().Stages)
 	writeJSON(w, http.StatusCreated, e.status())
 }
 

@@ -128,6 +128,12 @@ func TestModelFitScoreMatchesDetector(t *testing.T) {
 		"zeroedd_models_current 1",
 		"zeroedd_models_fitted_total 1",
 		"zeroedd_score_seconds_count 2",
+		`zeroedd_fit_stage_seconds{stage="extractor"}`,
+		`zeroedd_fit_stage_seconds{stage="criteria"}`,
+		`zeroedd_fit_stage_seconds{stage="sample_label"}`,
+		`zeroedd_fit_stage_seconds{stage="traindata"}`,
+		`zeroedd_fit_stage_seconds{stage="matrix"}`,
+		`zeroedd_fit_stage_seconds{stage="train"}`,
 	} {
 		if !strings.Contains(mbuf.String(), want) {
 			t.Errorf("metrics missing %q", want)

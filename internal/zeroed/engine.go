@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 
@@ -136,24 +137,41 @@ func (dt *Detector) fit(ctx context.Context, d *table.Dataset, pool *workPool) (
 		res:    &Result{},
 	}
 	var mlp *nn.MLP
-	for _, stage := range []func() error{
-		func() error { e.stageExtractor(); return nil },
-		func() error { e.stageCriteria(); return nil },
-		func() error { e.stageSampleAndLabel(); return nil },
-		func() error { e.stageTrainingData(); return nil },
-		func() error {
-			X, y := e.stageTrainingMatrix()
+	var flatX []float64
+	var nTrain int
+	var yTrain []float64
+	stages := []struct {
+		name string
+		fn   func() error
+	}{
+		{"extractor", func() error { e.stageExtractor(); return nil }},
+		{"criteria", func() error { e.stageCriteria(); return nil }},
+		{"sample_label", func() error { e.stageSampleAndLabel(); return nil }},
+		{"traindata", func() error { e.stageTrainingData(); return nil }},
+		{"matrix", func() error { flatX, nTrain, yTrain = e.stageTrainingMatrix(); return nil }},
+		{"train", func() error {
 			var err error
-			mlp, err = e.stageTrain(X, y)
+			mlp, err = e.stageTrain(flatX, nTrain, yTrain)
 			return err
-		},
-	} {
+		}},
+	}
+	timings := make([]StageTiming, 0, len(stages))
+	var ms0, ms1 runtime.MemStats
+	for _, stage := range stages {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("zeroed: detection canceled: %w", err)
 		}
-		if err := stage(); err != nil {
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		if err := stage.fn(); err != nil {
 			return nil, err
 		}
+		runtime.ReadMemStats(&ms1)
+		timings = append(timings, StageTiming{
+			Name:       stage.name,
+			Seconds:    time.Since(t0).Seconds(),
+			AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+		})
 	}
 	// A stage interrupted mid-flight leaves partial state; surface the
 	// cancellation rather than a half-fitted model.
@@ -174,6 +192,7 @@ func (dt *Detector) fit(ctx context.Context, d *table.Dataset, pool *workPool) (
 			CriteriaCount: e.res.CriteriaCount,
 			Usage:         e.client.Usage(),
 			FitRuntime:    time.Since(start),
+			Stages:        timings,
 		},
 	}
 	// The dictionaries are captured post-fit (including values interned by
@@ -244,9 +263,20 @@ func (e *engine) stageCriteria() {
 	if e.ctx.Err() != nil {
 		return
 	}
-	for j := 0; j < m; j++ {
-		e.res.CriteriaCount += len(e.critSets[j].Criteria)
+	e.res.CriteriaCount = countCriteria(e.critSets)
+}
+
+// countCriteria sums the criteria across per-attribute sets. A nil set (an
+// LLM substrate that produced no criteria for the attribute) contributes
+// zero criteria rather than panicking the summary.
+func countCriteria(sets []*criteria.Set) int {
+	total := 0
+	for _, s := range sets {
+		if s != nil {
+			total += len(s.Criteria)
+		}
 	}
+	return total
 }
 
 // stageSampleAndLabel clusters each attribute's feature vectors, samples
@@ -309,13 +339,21 @@ func (e *engine) stageSampleAndLabel() {
 			prof := e.client.DistributionAnalysis(e.d, j, randomRows(arng, n, 20))
 			guideline = e.client.GenerateGuideline(e.d, j, e.corrFor(j), prof, samplesHead(sampleRows, 20))
 		}
+		// Guideline judgements are a pure function of the cell's value-ID
+		// tuple, so by default they dedup through a per-attribute memo
+		// shared across the attribute's batches; verdicts, noise, and token
+		// charging are bit-identical either way.
+		var memo *llm.JudgeMemo
+		if !e.cfg.DisableFitDedup {
+			memo = llm.NewJudgeMemo(e.d, j, guideline)
+		}
 		for s := 0; s < len(sampleRows); s += e.cfg.BatchSize {
 			if e.ctx.Err() != nil {
 				return
 			}
 			end := min(s+e.cfg.BatchSize, len(sampleRows))
 			batch := sampleRows[s:end]
-			verdicts := e.client.LabelBatch(e.d, j, batch, guideline)
+			verdicts := e.client.LabelBatchDedup(e.d, j, batch, guideline, memo)
 			for bi, row := range batch {
 				e.labeled[j] = append(e.labeled[j], cellLabel{row: row, col: j, isErr: verdicts[bi]})
 			}
@@ -326,47 +364,43 @@ func (e *engine) stageSampleAndLabel() {
 	}
 }
 
-// stageTrainingMatrix materializes the feature matrix for the verified
-// training cells plus the synthetic augmented errors. Real cells are
-// featurized in parallel (pure reads of the memo tables); synthetic cells
-// substitute values into the shared dataset in place, so they run serially
-// after the parallel pass.
-func (e *engine) stageTrainingMatrix() ([][]float64, []float64) {
+// stageTrainingMatrix materializes the flat feature tile for the verified
+// training cells plus the synthetic augmented errors — sample i occupies
+// flat[i*dim : (i+1)*dim], the layout nn.TrainFlat consumes directly. Real
+// cells are featurized in parallel (pure reads of the memo tables);
+// synthetic cells substitute values into the shared dataset in place, so
+// they run serially after the parallel pass.
+func (e *engine) stageTrainingMatrix() ([]float64, int, []float64) {
 	dim := e.ext.Dim()
 	total := len(e.training) + len(e.synth)
 	flat := make([]float64, total*dim) // one block for all training vectors
-	X := make([][]float64, total)
 	y := make([]float64, total)
 	nt := len(e.training)
 	e.pool.forN(nt, func(i int) {
 		c := e.training[i]
-		f := flat[i*dim : (i+1)*dim]
-		e.ext.FeatureInto(c.row, c.col, f)
-		X[i] = f
+		e.ext.FeatureInto(c.row, c.col, flat[i*dim:(i+1)*dim])
 		if c.isErr {
 			y[i] = 1
 		}
 	})
 	for s, sc := range e.synth {
 		i := nt + s
-		f := flat[i*dim : (i+1)*dim]
-		featureWithSubstitution(e.ext, e.d, sc, f)
-		X[i] = f
+		featureWithSubstitution(e.ext, e.d, sc, flat[i*dim:(i+1)*dim])
 		y[i] = 1
 	}
-	return X, y
+	return flat, total, y
 }
 
-// stageTrain trains the MLP detector on the verified training matrix
+// stageTrain trains the MLP detector on the verified training tile
 // (Step 4's training half; scoring lives on the fitted Model). Degenerate
 // labeling (all clean or all dirty) yields no trainable signal and returns
 // a nil model — the Model falls back to the propagated labels themselves.
-func (e *engine) stageTrain(X [][]float64, y []float64) (*nn.MLP, error) {
+func (e *engine) stageTrain(flatX []float64, n int, y []float64) (*nn.MLP, error) {
 	if !hasBothClasses(y) {
 		return nil, nil
 	}
 	mlp := nn.New(e.ext.Dim(), e.cfg.MLP)
-	if _, err := mlp.TrainContext(e.ctx, X, y); err != nil {
+	if _, err := mlp.TrainFlatContext(e.ctx, flatX, n, y); err != nil {
 		return nil, fmt.Errorf("zeroed: training detector: %w", err)
 	}
 	return mlp, nil

@@ -1,0 +1,115 @@
+package zeroed
+
+import (
+	"testing"
+
+	"repro/internal/criteria"
+)
+
+// TestFitDedupEquivalence pins the fit-phase dedup contract, mirroring
+// TestScoreDedupEquivalence: fitting with the per-value-ID caches (criteria
+// verdict memo, guideline judgement memo) is bit-identical — every verdict,
+// every score bit, every diagnostic — to fitting with them off, across
+// worker and shard counts.
+func TestFitDedupEquivalence(t *testing.T) {
+	benches := detBenches()
+	combos := [][2]int{{1, 1}, {1, 4}, {8, 1}, {8, 4}} // {workers, shards}
+	if testing.Short() {
+		// Smoke slice (the -race CI budget): one bench, the two extreme
+		// worker/shard corners. The full grid runs in long mode.
+		benches = benches[:1]
+		combos = [][2]int{{1, 1}, {8, 4}}
+	}
+	for _, bench := range benches {
+		t.Run(bench.Name, func(t *testing.T) {
+			for _, wc := range combos {
+				on := detConfig(wc[0], wc[1])
+				off := on
+				off.DisableFitDedup = true
+				a, err := New(on).Detect(bench.Dirty)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := New(off).Detect(bench.Dirty)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertResultsIdentical(t, "fit-dedup-on-vs-off", a, b)
+			}
+		})
+	}
+}
+
+// TestFitDedupEquivalenceUnderAblations re-checks the on ≡ off contract on
+// the pipeline variants that exercise the caches' edge cases: no guidelines
+// (batch-only labeling must stay uncached), no verification (no criteria
+// memo in play), and no criteria at all.
+func TestFitDedupEquivalenceUnderAblations(t *testing.T) {
+	bench := detBenches()[0]
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no-guidelines", func(c *Config) { c.DisableGuidelines = true }},
+		{"no-verification", func(c *Config) { c.DisableVerification = true }},
+		{"no-criteria", func(c *Config) { c.DisableCriteria = true }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			on := detConfig(2, 2)
+			tc.mutate(&on)
+			off := on
+			off.DisableFitDedup = true
+			a, err := New(on).Detect(bench.Dirty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(off).Detect(bench.Dirty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, tc.name, a, b)
+		})
+	}
+}
+
+// TestFitStageTimings pins the per-stage observability contract: a fit
+// reports one timing per pipeline stage, in pipeline order, with sane
+// values.
+func TestFitStageTimings(t *testing.T) {
+	bench := detBenches()[0]
+	m, err := New(detConfig(2, 2)).Fit(bench.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"extractor", "criteria", "sample_label", "traindata", "matrix", "train"}
+	stages := m.Info().Stages
+	if len(stages) != len(want) {
+		t.Fatalf("got %d stage timings, want %d: %+v", len(stages), len(want), stages)
+	}
+	var sum float64
+	for i, st := range stages {
+		if st.Name != want[i] {
+			t.Errorf("stage %d is %q, want %q", i, st.Name, want[i])
+		}
+		if st.Seconds < 0 {
+			t.Errorf("stage %q has negative duration %v", st.Name, st.Seconds)
+		}
+		sum += st.Seconds
+	}
+	if total := m.Info().FitRuntime.Seconds(); sum > total {
+		t.Errorf("stage durations sum to %v, more than the whole fit (%v)", sum, total)
+	}
+}
+
+// TestCriteriaCountNilSet is the regression test for the stageCriteria
+// aggregation panic: a nil per-attribute set must count as zero criteria.
+func TestCriteriaCountNilSet(t *testing.T) {
+	sets := []*criteria.Set{
+		{Attr: "a", Criteria: []*criteria.Criterion{{Kind: criteria.KindNotNull, Attr: "a"}}},
+		nil,
+		{Attr: "c"},
+	}
+	if got := countCriteria(sets); got != 1 {
+		t.Fatalf("countCriteria = %d, want 1", got)
+	}
+}

@@ -60,6 +60,21 @@ type FitInfo struct {
 	CriteriaCount int
 	Usage         llm.Usage
 	FitRuntime    time.Duration
+	// Stages is the per-stage wall time and allocation breakdown of the fit
+	// (extractor, criteria, sample_label, traindata, matrix, train), in
+	// pipeline order. Diagnostics of the fitting process, not scoring state:
+	// the artifact codec deliberately does not serialize it, so a restored
+	// model reports no stage breakdown.
+	Stages []StageTiming
+}
+
+// StageTiming records the wall-clock duration and allocation volume of one
+// fit pipeline stage. AllocBytes is the runtime's cumulative-allocation
+// delta across the stage (bytes allocated, not bytes retained).
+type StageTiming struct {
+	Name       string
+	Seconds    float64
+	AllocBytes uint64
 }
 
 // FallbackLabel is one propagated training label of a degenerate fit

@@ -78,6 +78,19 @@ type Config struct {
 	// TestScoreDedupEquivalence); the flag exists for benchmarking and as
 	// an escape hatch.
 	DisableScoreDedup bool
+	// DisableFitDedup turns off the fit-phase dedup caches. By default the
+	// fit stages memoize per value-ID wherever a computation is provably a
+	// function of the participating value IDs: criteria verdicts during
+	// verification and training-cell selection (keyed by the cell's own
+	// value ID, plus the FD determinant's ID for row-dependent criteria) and
+	// guideline-driven label judgements (keyed by the cell's own value ID
+	// plus its FD determinants' IDs). Batch-context labeling (the
+	// "w/o Guid." ablation) is inherently batch-dependent and is never
+	// cached. Cached entries are the exact values the stages would
+	// recompute, so fitting is bit-identical with the caches on or off
+	// (pinned by TestFitDedupEquivalence); the flag exists for benchmarking
+	// and as an escape hatch.
+	DisableFitDedup bool
 
 	// MaxPropagatedPerAttr caps in-cluster label propagation per attribute
 	// to bound training-set size on large datasets (default 2000).
