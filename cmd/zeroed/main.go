@@ -24,6 +24,14 @@
 //	zeroed -dataset Hospital -model-out hospital.zedm
 //	zeroed -dirty fresh.csv -model-in hospital.zedm -out mask.csv
 //
+// Streaming (ZeroED only): -stream scores -dirty (or stdin with "-") chunk
+// by chunk against -model-in, emitting one JSON verdict line per row;
+// verdicts are chunk-invariant. With -drift-threshold T, drifted streams
+// refit the model in place on the accumulated rows and continue on the
+// successor (saved to -model-out when given):
+//
+//	zeroed -stream -model-in hospital.zedm -dirty feed.csv -drift-threshold 0.3
+//
 // Profiling: -cpuprofile FILE records a pprof CPU profile over the whole
 // run, -memprofile FILE writes a post-run heap profile, so hot-path work
 // is measurable without editing code:
@@ -33,8 +41,12 @@
 package main
 
 import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -72,6 +84,11 @@ type runOpts struct {
 	modelIn    string
 	cpuProfile string
 	memProfile string
+
+	stream         bool
+	streamChunk    int
+	driftThreshold float64
+	driftMinRows   int
 }
 
 func main() {
@@ -94,6 +111,10 @@ func main() {
 	flag.StringVar(&o.modelIn, "model-in", "", "skip fitting: load a model artifact and score the input with it (ZeroED only; pipeline flags like -seed and -label-rate are taken from the artifact)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
+	flag.BoolVar(&o.stream, "stream", false, "streaming mode: score -dirty (or stdin with '-') chunk by chunk against -model-in, one JSON verdict line per row")
+	flag.IntVar(&o.streamChunk, "stream-chunk", 256, "rows per streaming chunk (verdicts are chunk-invariant; latency knob only)")
+	flag.Float64Var(&o.driftThreshold, "drift-threshold", 0, "streaming drift level that triggers an in-place refit on the accumulated rows (0 = never refit)")
+	flag.IntVar(&o.driftMinRows, "drift-min-rows", 256, "minimum streamed rows before the drift threshold may trip")
 	flag.Parse()
 
 	if o.cpuProfile != "" {
@@ -145,11 +166,24 @@ func run(o runOpts) error {
 	if !ok {
 		return fmt.Errorf("unknown model %q", o.model)
 	}
-	if o.modelIn != "" && o.modelOut != "" {
-		return fmt.Errorf("-model-in and -model-out cannot be combined")
+	if o.modelIn != "" && o.modelOut != "" && !o.stream {
+		return fmt.Errorf("-model-in and -model-out cannot be combined (except with -stream, where -model-out receives the refit successor)")
 	}
 	if (o.modelIn != "" || o.modelOut != "") && strings.ToLower(o.method) != "zeroed" {
 		return fmt.Errorf("-model-in/-model-out support only -method zeroed")
+	}
+	if o.stream {
+		switch {
+		case strings.ToLower(o.method) != "zeroed":
+			return fmt.Errorf("-stream supports only -method zeroed")
+		case o.modelIn == "":
+			return fmt.Errorf("-stream requires -model-in (fit one first with -model-out)")
+		case o.batch != "":
+			return fmt.Errorf("-stream cannot be combined with -batch")
+		case o.cleanPath != "" || o.outPath != "" || o.repairOut != "":
+			return fmt.Errorf("-stream cannot be combined with -clean, -out, or -repair")
+		}
+		return runStream(o)
 	}
 	if o.batch != "" {
 		// Flags that only apply to single-dataset runs would be silently
@@ -323,6 +357,142 @@ func run(o runOpts) error {
 		}
 		fmt.Println("wrote mask to", o.outPath)
 	}
+	return nil
+}
+
+// runStream scores rows chunk by chunk against a saved model artifact,
+// writing one JSON verdict line per row to stdout — the CLI twin of the
+// service's POST /v1/models/{id}/stream. Verdicts are chunk-invariant, so
+// -stream-chunk only trades latency. With -drift-threshold set, a tripped
+// drift gauge refits the model in place on the rows accumulated so far
+// (synchronously — this is a CLI, not a server); the successor scores all
+// later chunks and is saved to -model-out when given.
+func runStream(o runOpts) error {
+	m, err := model.LoadFile(o.modelIn)
+	if err != nil {
+		return err
+	}
+	m.SetParallelism(o.workers, o.shards)
+	ss, err := zeroed.NewStreamScorer(m, zeroed.StreamConfig{
+		DriftThreshold: o.driftThreshold,
+		DriftMinRows:   o.driftMinRows,
+	})
+	if err != nil {
+		return err
+	}
+	attrs := m.Attrs()
+
+	var in io.Reader
+	switch {
+	case o.dataset != "":
+		gen, err := datasetGen(o.dataset)
+		if err != nil {
+			return err
+		}
+		b := gen(o.size, o.seed)
+		var buf strings.Builder
+		if err := b.Dirty.WriteCSV(&buf); err != nil {
+			return err
+		}
+		in = strings.NewReader(buf.String())
+	case o.dirtyPath == "" || o.dirtyPath == "-":
+		in = os.Stdin
+	default:
+		f, err := os.Open(o.dirtyPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	cr := csv.NewReader(in)
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("reading stream header: %v", err)
+	}
+	if len(header) != len(attrs) {
+		return fmt.Errorf("stream header has %d columns, model expects %d", len(header), len(attrs))
+	}
+	for j, h := range header {
+		if h != attrs[j] {
+			return fmt.Errorf("stream header column %d is %q, model expects %q", j, h, attrs[j])
+		}
+	}
+	cr.FieldsPerRecord = len(attrs)
+
+	chunkRows := o.streamChunk
+	if chunkRows <= 0 {
+		chunkRows = 256
+	}
+	enc := json.NewEncoder(os.Stdout)
+	type verdict struct {
+		Row     int       `json:"row"`
+		Version int       `json:"version"`
+		Pred    []bool    `json:"pred"`
+		Scores  []float64 `json:"scores"`
+	}
+	rows, refits := 0, 0
+	var st zeroed.ChunkStatus
+	eof := false
+	for !eof {
+		chunk := make([][]string, 0, chunkRows)
+		for len(chunk) < chunkRows {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				eof = true
+				break
+			}
+			if err != nil {
+				return err
+			}
+			chunk = append(chunk, append([]string(nil), rec...))
+		}
+		if len(chunk) == 0 {
+			break
+		}
+		res, cst, err := ss.ScoreChunk(context.Background(), nil, chunk)
+		if err != nil {
+			return err
+		}
+		st = cst
+		for i := range res.Pred {
+			if err := enc.Encode(verdict{Row: rows + i, Version: cst.Version, Pred: res.Pred[i], Scores: res.Scores[i]}); err != nil {
+				return err
+			}
+		}
+		rows += len(chunk)
+		if cst.ShouldRefit && ss.BeginRefit() {
+			fmt.Fprintf(os.Stderr, "zeroed: drift tripped at row %d (unseen %.3f, shift %.3f); refitting on %d accumulated rows\n",
+				rows, cst.Drift.UnseenRate, cst.Drift.Shift, cst.Drift.Rows)
+			m2, err := ss.Refit(context.Background(), nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "zeroed: refit failed, keeping the current model: %v\n", err)
+				ss.AbortRefit()
+				continue
+			}
+			if o.modelOut != "" {
+				if err := model.SaveFile(o.modelOut, m2); err != nil {
+					ss.AbortRefit()
+					return err
+				}
+			}
+			if err := ss.Install(m2); err != nil {
+				return err
+			}
+			refits++
+			l := m2.Lineage()
+			fmt.Fprintf(os.Stderr, "zeroed: hot-swapped to model version %d (refit on %d rows)\n", l.Version, l.RefitRows)
+		}
+	}
+	drift, version := ss.Gauges()
+	if rows > 0 {
+		drift, version = st.Drift, st.Version
+	}
+	fmt.Fprintf(os.Stderr, "zeroed: streamed %d rows, model version %d, %d refits (unseen %.3f, shift %.3f)\n",
+		rows, version, refits, drift.UnseenRate, drift.Shift)
 	return nil
 }
 

@@ -10,6 +10,7 @@
 //	        [-max-concurrent 2] [-max-queue 16]
 //	        [-max-upload-bytes 33554432] [-max-rows 1000000] [-max-cols 256]
 //	        [-max-models 32] [-model-dir DIR]
+//	        [-stream-chunk 256] [-drift-threshold 0] [-drift-min-rows 256]
 //
 // Quickstart:
 //
@@ -25,6 +26,15 @@
 //
 //	curl -s -X POST --data-binary @dirty.csv 'localhost:8080/v1/models?seed=1'
 //	curl -s -X POST --data-binary @fresh.csv 'localhost:8080/v1/models/m-000001/score'
+//
+// Streaming detection: POST /v1/models/{id}/stream scores a chunked CSV or
+// NDJSON body row-by-row (one JSON line per row) against a registered
+// model, tracking per-model drift gauges. With -drift-threshold set, a
+// tripped gauge triggers a background refit on the accumulated stream and a
+// zero-downtime hot swap of the model — the old artifact stays on disk for
+// rollback:
+//
+//	curl -sN -X POST --data-binary @stream.csv 'localhost:8080/v1/models/m-000001/stream'
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener stops, and
 // in-flight jobs are canceled through their contexts.
@@ -56,6 +66,9 @@ func main() {
 		maxCols   = flag.Int("max-cols", 256, "per-upload column cap")
 		maxModels = flag.Int("max-models", 32, "fitted-model registry capacity (409 beyond it)")
 		modelDir  = flag.String("model-dir", "", "persist fitted models as artifacts under this directory and restore them on startup")
+		streamChunk = flag.Int("stream-chunk", 256, "rows per streaming-detection batch (chunk-invariant; latency knob only)")
+		driftThresh = flag.Float64("drift-threshold", 0, "drift gauge level that triggers a background refit + hot swap (0 = never refit; gauges still export)")
+		driftMin    = flag.Int("drift-min-rows", 256, "minimum streamed rows before the drift threshold may trip")
 	)
 	flag.Parse()
 
@@ -69,6 +82,9 @@ func main() {
 		MaxCols:           *maxCols,
 		MaxModels:         *maxModels,
 		ModelDir:          *modelDir,
+		StreamChunkRows:   *streamChunk,
+		DriftThreshold:    *driftThresh,
+		DriftMinRows:      *driftMin,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

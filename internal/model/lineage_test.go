@@ -1,0 +1,91 @@
+package model
+
+import (
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/zeroed"
+)
+
+// asV1 converts a version-2 artifact into the version-1 layout: same
+// sections, but the config payload loses the 16 lineage bytes appended in
+// version 2, and the header declares version 1. This reconstructs exactly
+// the bytes a pre-lineage build wrote.
+func asV1(t *testing.T, v2 []byte) []byte {
+	t.Helper()
+	out := []byte(Magic)
+	out = le.AppendUint32(out, 1)
+	out = le.AppendUint32(out, uint32(len(sectionOrder)))
+	off := len(Magic) + 8
+	for i := range sectionOrder {
+		id := le.Uint32(v2[off:])
+		plen := int(le.Uint64(v2[off+4:]))
+		payload := v2[off+12 : off+12+plen]
+		if i == 0 {
+			if plen < 16 {
+				t.Fatalf("config payload too short: %d bytes", plen)
+			}
+			payload = payload[:plen-16]
+		}
+		start := len(out)
+		out = le.AppendUint32(out, id)
+		out = le.AppendUint64(out, uint64(len(payload)))
+		out = append(out, payload...)
+		out = le.AppendUint32(out, crc32.ChecksumIEEE(out[start:]))
+		off += 12 + plen + 4
+	}
+	if off != len(v2) {
+		t.Fatalf("v2 artifact has %d trailing bytes", len(v2)-off)
+	}
+	return out
+}
+
+// TestDecodeVersion1Artifact pins backwards compatibility: an artifact in
+// the version-1 layout still decodes, reports lineage version 1, and scores
+// bit-identically to the version-2 round trip.
+func TestDecodeVersion1Artifact(t *testing.T) {
+	m, bench := fitSmall(t)
+	v2, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := asV1(t, v2)
+	old, err := Decode(v1)
+	if err != nil {
+		t.Fatalf("version-1 artifact rejected: %v", err)
+	}
+	if l := old.Lineage(); l.Version != 1 || l.RefitRows != 0 {
+		t.Fatalf("version-1 lineage = %+v, want {1 0}", l)
+	}
+	want, err := m.Score(bench.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := old.Score(bench.Dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameScores(t, "v1-artifact", want, got)
+}
+
+// TestLineageRoundTrip: refit provenance survives the artifact codec, and
+// the default lineage of a fresh fit is version 1.
+func TestLineageRoundTrip(t *testing.T) {
+	m, _ := fitSmall(t)
+	if l := m.Lineage(); l.Version != 1 || l.RefitRows != 0 {
+		t.Fatalf("fresh fit lineage = %+v, want {1 0}", l)
+	}
+	m.SetLineage(zeroed.Lineage{Version: 3, RefitRows: 1234})
+	defer m.SetLineage(zeroed.Lineage{}) // fitSmall's model is shared across tests
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := back.Lineage(); l.Version != 3 || l.RefitRows != 1234 {
+		t.Fatalf("lineage round-trip = %+v, want {3 1234}", l)
+	}
+}

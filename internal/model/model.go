@@ -1,7 +1,7 @@
 // Package model persists fitted ZeroED detectors (zeroed.Model) as
 // versioned binary artifacts — the "fit once, score forever" subsystem.
 //
-// Artifact layout (version 1, all integers little-endian):
+// Artifact layout (versions 1 and 2, all integers little-endian):
 //
 //	magic "ZEDM" | version u32 | section count u32
 //	then exactly 5 sections, in order, each framed as
@@ -12,6 +12,10 @@
 // (attributes and per-column dictionaries), feature (correlation structure
 // and frequency tables), criteria (the refined executable criteria sets),
 // and net (the flat MLP weights, or the degenerate-fit fallback labels).
+//
+// Version 2 appends the model's lineage (refit-chain version and refit row
+// count) to the config section; this build writes version 2 and reads both.
+// A version-1 artifact decodes with lineage {Version: 1, RefitRows: 0}.
 //
 // Guarantees: encoding is deterministic (map contents are sorted), floats
 // round-trip bit-exactly (raw IEEE-754 bits), and decoding is total — a
@@ -40,8 +44,12 @@ import (
 // Magic identifies a ZeroED model artifact.
 const Magic = "ZEDM"
 
-// Version is the artifact format version this build writes and reads.
-const Version = 1
+// Version is the artifact format version this build writes. Decode also
+// accepts every earlier version back to MinVersion.
+const Version = 2
+
+// MinVersion is the oldest artifact format version Decode still reads.
+const MinVersion = 1
 
 // Section IDs, in their mandatory file order.
 const (
@@ -106,12 +114,12 @@ func Decode(data []byte) (*zeroed.Model, error) {
 	}
 	off := len(Magic)
 	version := le.Uint32(data[off:])
-	if version != Version {
-		return nil, fmt.Errorf("model: unsupported artifact version %d (this build reads %d)", version, Version)
+	if version < MinVersion || version > Version {
+		return nil, fmt.Errorf("model: unsupported artifact version %d (this build reads %d..%d)", version, MinVersion, Version)
 	}
 	nsec := le.Uint32(data[off+4:])
 	if int(nsec) != len(sectionOrder) {
-		return nil, fmt.Errorf("model: artifact declares %d sections, version %d has %d", nsec, Version, len(sectionOrder))
+		return nil, fmt.Errorf("model: artifact declares %d sections, version %d has %d", nsec, version, len(sectionOrder))
 	}
 	off += 8
 	payloads := make([][]byte, len(sectionOrder))
@@ -140,7 +148,7 @@ func Decode(data []byte) (*zeroed.Model, error) {
 	}
 
 	st := &zeroed.ModelState{}
-	if err := decodeConfig(&reader{b: payloads[0]}, st); err != nil {
+	if err := decodeConfig(&reader{b: payloads[0]}, st, version); err != nil {
 		return nil, err
 	}
 	if err := decodeSchema(&reader{b: payloads[1]}, st); err != nil {
@@ -255,9 +263,13 @@ func encodeConfig(w *writer, st *zeroed.ModelState) {
 	w.i64(st.Info.Usage.OutputTokens)
 	w.i64(st.Info.Usage.Calls)
 	w.i64(int64(st.Info.FitRuntime))
+
+	// Version 2: lineage, appended so the version-1 prefix is unchanged.
+	w.int(st.Lineage.Version)
+	w.int(st.Lineage.RefitRows)
 }
 
-func decodeConfig(r *reader, st *zeroed.ModelState) error {
+func decodeConfig(r *reader, st *zeroed.ModelState, version uint32) error {
 	var c zeroed.Config
 	c.LabelRate = r.f64()
 	c.CorrK = r.int()
@@ -304,6 +316,12 @@ func decodeConfig(r *reader, st *zeroed.ModelState) error {
 	st.Info.Usage.OutputTokens = r.i64()
 	st.Info.Usage.Calls = r.i64()
 	st.Info.FitRuntime = time.Duration(r.i64())
+	if version >= 2 {
+		st.Lineage.Version = r.int()
+		st.Lineage.RefitRows = r.int()
+	} else {
+		st.Lineage = zeroed.Lineage{Version: 1}
+	}
 	return r.done()
 }
 

@@ -3,10 +3,12 @@ package serve
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/stats"
 	"repro/internal/zeroed"
 )
 
@@ -32,6 +34,13 @@ type metrics struct {
 	scoreRuns         atomic.Int64
 	scoreNanos        atomic.Int64
 
+	// Streaming detection and drift-triggered refits.
+	streamRequests atomic.Int64
+	streamRows     atomic.Int64
+	refitsStarted  atomic.Int64
+	refitsSwapped  atomic.Int64
+	refitFailures  atomic.Int64
+
 	// Per-stage fit wall-clock, accumulated from FitInfo.Stages across
 	// fits. Stage names arrive with the fit, so this is the one map-backed
 	// family; fits are rare enough that a mutex is fine.
@@ -56,9 +65,37 @@ func (m *metrics) addFitStages(stages []zeroed.StageTiming) {
 	}
 }
 
+// modelGauge carries one registered model's per-model gauges to render:
+// its current version and — when a stream has touched it — its live drift
+// reading.
+type modelGauge struct {
+	id       string
+	version  int
+	hasDrift bool
+	drift    stats.DriftGauges
+}
+
+// modelGauges snapshots every registered model's version plus the drift
+// gauges of the ones with live stream scorers, sorted by id for stable
+// exposition output.
+func (s *Server) modelGauges() []modelGauge {
+	drift := s.driftReadings()
+	list := s.reg.list()
+	out := make([]modelGauge, 0, len(list))
+	for _, st := range list {
+		g := modelGauge{id: st.ID, version: st.Version}
+		if d, ok := drift[st.ID]; ok {
+			g.hasDrift, g.drift = true, d
+		}
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
 // render writes the Prometheus text exposition of the counters plus the
 // jobs-by-state and model-count gauges.
-func (m *metrics) render(w io.Writer, byState map[JobState]int, modelCount int) {
+func (m *metrics) render(w io.Writer, byState map[JobState]int, modelCount int, models []modelGauge) {
 	fmt.Fprintln(w, "# HELP zeroedd_jobs_submitted_total Jobs accepted into the admission queue.")
 	fmt.Fprintln(w, "# TYPE zeroedd_jobs_submitted_total counter")
 	fmt.Fprintf(w, "zeroedd_jobs_submitted_total %d\n", m.submitted.Load())
@@ -115,4 +152,45 @@ func (m *metrics) render(w io.Writer, byState map[JobState]int, modelCount int) 
 	fmt.Fprintln(w, "# TYPE zeroedd_score_seconds summary")
 	fmt.Fprintf(w, "zeroedd_score_seconds_sum %g\n", time.Duration(m.scoreNanos.Load()).Seconds())
 	fmt.Fprintf(w, "zeroedd_score_seconds_count %d\n", m.scoreRuns.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_stream_requests_total Streaming detection requests accepted.")
+	fmt.Fprintln(w, "# TYPE zeroedd_stream_requests_total counter")
+	fmt.Fprintf(w, "zeroedd_stream_requests_total %d\n", m.streamRequests.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_stream_rows_total Rows scored through streaming detection.")
+	fmt.Fprintln(w, "# TYPE zeroedd_stream_rows_total counter")
+	fmt.Fprintf(w, "zeroedd_stream_rows_total %d\n", m.streamRows.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_model_refits_total Drift-triggered background refits, by outcome.")
+	fmt.Fprintln(w, "# TYPE zeroedd_model_refits_total counter")
+	fmt.Fprintf(w, "zeroedd_model_refits_total{outcome=\"started\"} %d\n", m.refitsStarted.Load())
+	fmt.Fprintf(w, "zeroedd_model_refits_total{outcome=\"swapped\"} %d\n", m.refitsSwapped.Load())
+	fmt.Fprintf(w, "zeroedd_model_refits_total{outcome=\"failed\"} %d\n", m.refitFailures.Load())
+
+	if len(models) > 0 {
+		fmt.Fprintln(w, "# HELP zeroedd_model_version Current hot-swapped version of each registered model.")
+		fmt.Fprintln(w, "# TYPE zeroedd_model_version gauge")
+		for _, g := range models {
+			fmt.Fprintf(w, "zeroedd_model_version{model=%q} %d\n", g.id, g.version)
+		}
+	}
+	withDrift := false
+	for _, g := range models {
+		if g.hasDrift {
+			withDrift = true
+			break
+		}
+	}
+	if withDrift {
+		fmt.Fprintln(w, "# HELP zeroedd_model_drift Streaming drift gauges per model: unseen-value rate and distribution shift against the fit-time snapshot.")
+		fmt.Fprintln(w, "# TYPE zeroedd_model_drift gauge")
+		for _, g := range models {
+			if !g.hasDrift {
+				continue
+			}
+			fmt.Fprintf(w, "zeroedd_model_drift{model=%q,gauge=\"unseen_rate\"} %g\n", g.id, g.drift.UnseenRate)
+			fmt.Fprintf(w, "zeroedd_model_drift{model=%q,gauge=\"shift\"} %g\n", g.id, g.drift.Shift)
+			fmt.Fprintf(w, "zeroedd_model_drift{model=%q,gauge=\"rows\"} %d\n", g.id, g.drift.Rows)
+		}
+	}
 }

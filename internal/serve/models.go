@@ -31,19 +31,54 @@ import (
 // artifactExt is the on-disk suffix of persisted model artifacts.
 const artifactExt = ".zedm"
 
-// regEntry is one registered fitted model. All fields are immutable after
-// registration; the model itself is safe for concurrent scoring.
+// artifactFile names the on-disk artifact for one model version: the
+// original fit keeps the bare "id.zedm" name (backwards compatible with
+// pre-versioning artifacts), refit successors append ".vN". Old versions
+// are retained on disk for rollback until the model is deleted.
+func artifactFile(id string, version int) string {
+	if version <= 1 {
+		return id + artifactExt
+	}
+	return fmt.Sprintf("%s.v%d%s", id, version, artifactExt)
+}
+
+// parseArtifactName splits an artifact filename into (id, version).
+func parseArtifactName(name string) (string, int, bool) {
+	if !strings.HasSuffix(name, artifactExt) {
+		return "", 0, false
+	}
+	base := strings.TrimSuffix(name, artifactExt)
+	if i := strings.LastIndex(base, ".v"); i > 0 {
+		if v, err := strconv.Atoi(base[i+2:]); err == nil && v >= 2 {
+			return base[:i], v, true
+		}
+	}
+	return base, 1, true
+}
+
+// regEntry is one registered fitted model at one version. All fields are
+// immutable after registration; a hot-swap replaces the whole entry under
+// the registry lock, so in-flight requests holding the old entry keep
+// scoring on the old model untouched.
 type regEntry struct {
 	id      string
 	name    string
 	m       *zeroed.Model
 	created time.Time
 	bytes   int
+	version int
 }
 
 // registry owns the fitted-model table. The fit semaphore bounds how many
 // expensive fits run at once (they still share the one worker pool with
 // detection jobs; the semaphore bounds peak memory, not CPU).
+//
+// Pinning: handlers that score against an entry hold a per-id pin
+// (acquire/release) for the duration of the request. DELETE evicts the id
+// from the table immediately — new requests 404 — but defers removal of the
+// on-disk artifacts until the last pin drains, so an in-flight score or
+// stream never races the files out from under a concurrent reload or
+// rollback.
 type registry struct {
 	mu     sync.Mutex
 	models map[string]*regEntry
@@ -51,6 +86,8 @@ type registry struct {
 	nextID int64
 	max    int
 	dir    string
+	pins   map[string]int      // in-flight scoring requests per id
+	doomed map[string][]string // deleted-while-pinned id -> artifact paths
 
 	fitSem chan struct{}
 }
@@ -60,6 +97,8 @@ func newRegistry(cfg Config, met *metrics) *registry {
 		models: make(map[string]*regEntry),
 		max:    cfg.MaxModels,
 		dir:    cfg.ModelDir,
+		pins:   make(map[string]int),
+		doomed: make(map[string][]string),
 		fitSem: make(chan struct{}, cfg.MaxConcurrentJobs),
 	}
 	r.loadDir(met)
@@ -84,41 +123,58 @@ func (r *registry) loadDir(met *metrics) {
 		met.modelLoadFailures.Add(1)
 		return
 	}
-	names := make([]string, 0, len(entries))
+	// Group artifacts by model id: each id may carry several versions
+	// (id.zedm is version 1, id.vN.zedm a refit successor). The registry
+	// restores the highest version that decodes, falling back to older ones
+	// — that is the on-disk rollback story for a corrupt refit artifact.
+	versions := make(map[string][]int)
+	ids := make([]string, 0, len(entries))
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), artifactExt) {
-			names = append(names, e.Name())
+		if e.IsDir() {
+			continue
 		}
+		id, v, ok := parseArtifactName(e.Name())
+		if !ok {
+			continue
+		}
+		if _, seen := versions[id]; !seen {
+			ids = append(ids, id)
+		}
+		versions[id] = append(versions[id], v)
 	}
-	sort.Strings(names)
+	sort.Strings(ids)
 	// Advance the ID counter past EVERY artifact on disk — including files
 	// skipped below as corrupt or beyond capacity — so a freshly assigned
 	// ID can never collide with (and overwrite) an existing artifact.
-	for _, name := range names {
-		id := strings.TrimSuffix(name, artifactExt)
+	for _, id := range ids {
 		if n, err := strconv.ParseInt(strings.TrimPrefix(id, "m-"), 10, 64); err == nil && n > r.nextID {
 			r.nextID = n
 		}
 	}
-	for _, name := range names {
+	for _, id := range ids {
 		if len(r.models) >= r.max {
 			break
 		}
-		id := strings.TrimSuffix(name, artifactExt)
-		m, err := model.LoadFile(filepath.Join(r.dir, name))
-		if err != nil {
-			met.modelLoadFailures.Add(1)
-			continue
+		vs := versions[id]
+		sort.Sort(sort.Reverse(sort.IntSlice(vs)))
+		for _, v := range vs {
+			path := filepath.Join(r.dir, artifactFile(id, v))
+			m, err := model.LoadFile(path)
+			if err != nil {
+				met.modelLoadFailures.Add(1)
+				continue // fall back to the previous version, if any
+			}
+			fi, _ := os.Stat(path)
+			size := 0
+			created := time.Now()
+			if fi != nil {
+				size = int(fi.Size())
+				created = fi.ModTime() // approximate the original fit time
+			}
+			r.models[id] = &regEntry{id: id, name: id, m: m, created: created, bytes: size, version: v}
+			r.order = append(r.order, id)
+			break
 		}
-		fi, _ := os.Stat(filepath.Join(r.dir, name))
-		size := 0
-		created := time.Now()
-		if fi != nil {
-			size = int(fi.Size())
-			created = fi.ModTime() // approximate the original fit time
-		}
-		r.models[id] = &regEntry{id: id, name: id, m: m, created: created, bytes: size}
-		r.order = append(r.order, id)
 	}
 }
 
@@ -143,6 +199,7 @@ func (r *registry) add(name string, m *zeroed.Model, bytes int) (*regEntry, erro
 		m:       m,
 		created: time.Now(),
 		bytes:   bytes,
+		version: m.Lineage().Version,
 	}
 	r.models[e.id] = e
 	r.order = append(r.order, e.id)
@@ -156,9 +213,65 @@ func (r *registry) get(id string) (*regEntry, bool) {
 	return e, ok
 }
 
-// remove evicts a model from the registry; the caller deletes any artifact
-// file outside the lock.
-func (r *registry) remove(id string) (*regEntry, bool) {
+// acquire pins a model for one in-flight scoring request: as long as the
+// pin is held, a concurrent DELETE evicts the id from the table but leaves
+// the on-disk artifacts alone. Every acquire must be paired with release.
+func (r *registry) acquire(id string) (*regEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[id]
+	if !ok {
+		return nil, false
+	}
+	r.pins[id]++
+	return e, true
+}
+
+// release drops one pin. When the last pin of a deleted model drains, its
+// deferred artifact files are removed (outside the lock).
+func (r *registry) release(id string) {
+	r.mu.Lock()
+	var reap []string
+	if r.pins[id]--; r.pins[id] <= 0 {
+		delete(r.pins, id)
+		reap = r.doomed[id]
+		delete(r.doomed, id)
+	}
+	r.mu.Unlock()
+	for _, path := range reap {
+		_ = os.Remove(path)
+	}
+}
+
+// swap replaces a model's registry entry with a refit successor — the
+// hot-swap point. The entry pointer is replaced whole under the lock:
+// requests that already acquired the old entry finish on the old model,
+// requests arriving after the swap score on the successor. Returns false
+// when the model was deleted while the refit ran; the caller discards the
+// successor.
+func (r *registry) swap(id string, m *zeroed.Model, bytes int) (*regEntry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.models[id]
+	if !ok {
+		return nil, false
+	}
+	e := &regEntry{
+		id:      id,
+		name:    old.name,
+		m:       m,
+		created: old.created,
+		bytes:   bytes,
+		version: m.Lineage().Version,
+	}
+	r.models[id] = e
+	return e, true
+}
+
+// remove evicts a model from the registry. It returns the artifact paths
+// the caller must delete — empty when in-flight requests still pin the id,
+// in which case release reaps them after the last pin drains.
+func (r *registry) remove(id string) ([]string, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e, ok := r.models[id]
@@ -172,7 +285,17 @@ func (r *registry) remove(id string) (*regEntry, bool) {
 			break
 		}
 	}
-	return e, true
+	var paths []string
+	if r.dir != "" {
+		for v := 1; v <= e.version; v++ {
+			paths = append(paths, filepath.Join(r.dir, artifactFile(id, v)))
+		}
+	}
+	if r.pins[id] > 0 {
+		r.doomed[id] = paths
+		return nil, true
+	}
+	return paths, true
 }
 
 // list snapshots every registered model, newest first.
@@ -196,11 +319,15 @@ func (r *registry) count() int {
 
 // ModelStatus is the wire form of one registered model.
 type ModelStatus struct {
-	ID      string   `json:"id"`
-	Name    string   `json:"name"`
-	Attrs   []string `json:"attrs"`
-	FitRows int      `json:"fit_rows"`
-	Seed    int64    `json:"seed"`
+	ID    string   `json:"id"`
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+	// Version counts hot-swapped refits: 1 is the original fit, each
+	// drift-triggered refit that swaps in bumps it.
+	Version   int   `json:"version"`
+	RefitRows int   `json:"refit_rows,omitempty"`
+	FitRows   int   `json:"fit_rows"`
+	Seed      int64 `json:"seed"`
 	// Degenerate marks a single-class fit that replays labels instead of
 	// running a trained detector.
 	Degenerate    bool      `json:"degenerate,omitempty"`
@@ -217,6 +344,8 @@ func (e *regEntry) status() ModelStatus {
 		ID:            e.id,
 		Name:          e.name,
 		Attrs:         e.m.Attrs(),
+		Version:       e.version,
+		RefitRows:     e.m.Lineage().RefitRows,
 		FitRows:       e.m.FitRows(),
 		Seed:          e.m.Config().Seed,
 		Degenerate:    e.m.Degenerate(),
@@ -272,9 +401,7 @@ func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
 	case s.reg.fitSem <- struct{}{}:
 		defer func() { <-s.reg.fitSem }()
 	default:
-		w.Header().Set("Retry-After", "5")
-		writeErr(w, http.StatusTooManyRequests, "busy_fitting",
-			"too many fits in flight, retry later")
+		writeBusy(w, "busy_fitting", "too many fits in flight, retry later", retryAfterFit)
 		return
 	}
 	start := time.Now()
@@ -302,7 +429,7 @@ func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.cfg.ModelDir != "" {
-		if err := s.persistArtifact(e.id, data); err != nil {
+		if err := s.persistArtifact(artifactFile(e.id, e.version), data); err != nil {
 			s.reg.remove(e.id)
 			writeErr(w, http.StatusInternalServerError, "persist_failed", err.Error())
 			return
@@ -334,11 +461,11 @@ func (s *Server) fitModel(r *http.Request, cfg zeroed.Config, ds *table.Dataset)
 
 // persistArtifact writes the encoded artifact under the model directory,
 // creating it on first use.
-func (s *Server) persistArtifact(id string, data []byte) error {
+func (s *Server) persistArtifact(file string, data []byte) error {
 	if err := os.MkdirAll(s.cfg.ModelDir, 0o755); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(s.cfg.ModelDir, id+artifactExt), data, 0o644)
+	return os.WriteFile(filepath.Join(s.cfg.ModelDir, file), data, 0o644)
 }
 
 func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
@@ -356,13 +483,18 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 
 // handleModelScore scores a CSV body synchronously against a registered
 // model — the cheap phase only, no retraining. The uploaded header must
-// match the model's schema.
+// match the model's schema. The model is pinned for the duration of the
+// request: a concurrent DELETE makes the id 404 for new requests but never
+// tears this one — the captured entry keeps scoring and its artifacts stay
+// on disk until the pin drains.
 func (s *Server) handleModelScore(w http.ResponseWriter, r *http.Request) {
-	e, ok := s.reg.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	e, ok := s.reg.acquire(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "not_found", "unknown model id")
 		return
 	}
+	defer s.reg.release(id)
 	// A degenerate model has no trained detector — its fallback labels are
 	// positional in the fitting data and meaningless for arbitrary uploads.
 	if e.m.Degenerate() {
@@ -422,15 +554,21 @@ func (s *Server) scoreModel(r *http.Request, e *regEntry, ds *table.Dataset) (re
 	return e.m.ScoreOn(r.Context(), s.mgr.pool, ds)
 }
 
+// handleModelDelete evicts a model. The id 404s immediately for new
+// requests; artifact files (all retained versions) are removed right away
+// when nothing is in flight, or deferred to the last release when scores or
+// streams still pin the model — so deletion never tears an in-flight
+// request.
 func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	e, ok := s.reg.remove(id)
+	paths, ok := s.reg.remove(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "not_found", "unknown model id")
 		return
 	}
-	if s.cfg.ModelDir != "" {
-		_ = os.Remove(filepath.Join(s.cfg.ModelDir, e.id+artifactExt))
+	s.dropScorer(id)
+	for _, path := range paths {
+		_ = os.Remove(path)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
 }

@@ -19,6 +19,11 @@
 //	GET    /v1/jobs/{id}     job lifecycle status
 //	GET    /v1/jobs/{id}/result   per-cell verdicts + scores (done jobs)
 //	DELETE /v1/jobs/{id}     cancel a queued/running job; delete a finished one
+//	POST   /v1/models        fit + register a model -> 201 {id, version, ...}
+//	POST   /v1/models/{id}/score    score a CSV body synchronously
+//	POST   /v1/models/{id}/stream   streaming detection with drift tracking
+//	DELETE /v1/models/{id}   evict a model (artifacts reaped after in-flight
+//	                         requests drain)
 //	GET    /healthz          liveness
 //	GET    /metrics          Prometheus text metrics
 package serve
@@ -69,6 +74,18 @@ type Config struct {
 	// under this directory and restores them on startup. Empty keeps the
 	// registry in-memory only.
 	ModelDir string
+	// StreamChunkRows is how many rows a /stream request scores per batch
+	// (default 256). Verdicts are chunk-invariant, so this trades verdict
+	// latency against per-batch overhead, never correctness. A stream
+	// request may override it per call with ?chunk=N.
+	StreamChunkRows int
+	// DriftThreshold trips a background refit when a streaming model's
+	// drift gauges (unseen-value rate or distribution shift) exceed it.
+	// 0 disables drift-triggered refits; the gauges still export.
+	DriftThreshold float64
+	// DriftMinRows is the minimum streamed row count before the drift
+	// threshold may trip (default 256).
+	DriftMinRows int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,17 +110,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxModels <= 0 {
 		c.MaxModels = 32
 	}
+	if c.StreamChunkRows <= 0 {
+		c.StreamChunkRows = 256
+	}
+	if c.DriftMinRows <= 0 {
+		c.DriftMinRows = 256
+	}
 	return c
 }
 
 // Server is the detection service: an http.Handler plus the job manager and
 // fitted-model registry behind it.
 type Server struct {
-	cfg Config
-	mgr *manager
-	reg *registry
-	met *metrics
-	mux *http.ServeMux
+	cfg     Config
+	mgr     *manager
+	reg     *registry
+	met     *metrics
+	mux     *http.ServeMux
+	streams streamTable
 }
 
 // New creates a service with its runner goroutines started and any
@@ -122,6 +146,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/models", s.handleModelList)
 	mux.HandleFunc("GET /v1/models/{id}", s.handleModelInfo)
 	mux.HandleFunc("POST /v1/models/{id}/score", s.handleModelScore)
+	mux.HandleFunc("POST /v1/models/{id}/stream", s.handleModelStream)
 	mux.HandleFunc("DELETE /v1/models/{id}", s.handleModelDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -163,6 +188,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeErr(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, map[string]apiError{"error": {Code: code, Message: msg}})
+}
+
+// Backpressure retry hints, in seconds: a queue slot frees as soon as a
+// runner pops a job, a fit slot only when a whole fit finishes.
+const (
+	retryAfterQueue = 1
+	retryAfterFit   = 5
+)
+
+// writeBusy is the single 429 path. Every backpressure rejection — job
+// queue full, fit semaphore saturated — carries the same structured error
+// envelope plus a Retry-After hint, so clients get one retry contract.
+func writeBusy(w http.ResponseWriter, code, msg string, retryAfterSec int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	writeErr(w, http.StatusTooManyRequests, code, msg)
 }
 
 // writeIngestErr maps a CSV-ingestion failure to its structured response:
@@ -298,8 +338,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// paying for the upload parse. submit re-checks authoritatively under
 	// its lock, so a slot freed in between still admits the job.
 	if s.mgr.queueFull() {
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "queue_full", errQueueFull.Error())
+		writeBusy(w, "queue_full", errQueueFull.Error(), retryAfterQueue)
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
@@ -311,8 +350,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.mgr.submit(ds, params)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
-			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusTooManyRequests, "queue_full", err.Error())
+			writeBusy(w, "queue_full", err.Error(), retryAfterQueue)
 			return
 		}
 		writeErr(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
@@ -415,5 +453,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.render(w, s.mgr.counts(), s.reg.count())
+	s.met.render(w, s.mgr.counts(), s.reg.count(), s.modelGauges())
 }

@@ -1,0 +1,470 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strconv"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/zeroed"
+)
+
+// Streaming detection: POST /v1/models/{id}/stream accepts a chunked CSV or
+// NDJSON body and answers with one JSON line per input row, scored against
+// the registered model through its warm score cache. Verdicts are
+// chunk-invariant — the same rows split at any transport boundaries produce
+// byte-identical verdict lines — because scoring binds a fresh
+// dictionary-seeded dataset per chunk (see zeroed.StreamScorer).
+//
+// Every streamed cell also feeds the model's drift gauges (unseen-value
+// rate and score-distribution shift against the fit-time frequency
+// snapshot, exported as zeroedd_model_drift). When a gauge trips the
+// configured threshold, a background refit trains a successor on the rows
+// accumulated so far (bounded by Config.MaxRows), persists it as a new
+// versioned artifact, and hot-swaps it into the registry: in-flight chunks
+// finish on the old model, later chunks score on the successor, and the old
+// artifact stays on disk for rollback.
+
+// streamTable holds one StreamScorer per model id, created lazily on the
+// first stream request and dropped on DELETE. All concurrent streams of one
+// model share the scorer, so their rows pool into one drift estimate and
+// one refit accumulator.
+type streamTable struct {
+	mu sync.Mutex
+	m  map[string]*zeroed.StreamScorer
+}
+
+// scorerFor returns the model's stream scorer, creating it on first use.
+func (s *Server) scorerFor(id string, e *regEntry) (*zeroed.StreamScorer, error) {
+	s.streams.mu.Lock()
+	defer s.streams.mu.Unlock()
+	if s.streams.m == nil {
+		s.streams.m = make(map[string]*zeroed.StreamScorer)
+	}
+	if ss, ok := s.streams.m[id]; ok {
+		return ss, nil
+	}
+	ss, err := zeroed.NewStreamScorer(e.m, zeroed.StreamConfig{
+		DriftThreshold: s.cfg.DriftThreshold,
+		DriftMinRows:   s.cfg.DriftMinRows,
+		MaxAccumRows:   s.cfg.MaxRows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.streams.m[id] = ss
+	return ss, nil
+}
+
+func (s *Server) dropScorer(id string) {
+	s.streams.mu.Lock()
+	delete(s.streams.m, id)
+	s.streams.mu.Unlock()
+}
+
+// driftReadings snapshots every live stream scorer's gauges for /metrics.
+func (s *Server) driftReadings() map[string]stats.DriftGauges {
+	s.streams.mu.Lock()
+	defer s.streams.mu.Unlock()
+	out := make(map[string]stats.DriftGauges, len(s.streams.m))
+	for id, ss := range s.streams.m {
+		g, _ := ss.Gauges()
+		out[id] = g
+	}
+	return out
+}
+
+// streamLine is one NDJSON verdict frame: the verdict for input row Row,
+// scored by model version Version. Scores round-trip through JSON
+// bit-exactly, so equal rows always render equal bytes.
+type streamLine struct {
+	Row     int       `json:"row"`
+	Version int       `json:"version"`
+	Pred    []bool    `json:"pred"`
+	Scores  []float64 `json:"scores,omitempty"`
+}
+
+// streamSummary is the final NDJSON frame of a stream response.
+type streamSummary struct {
+	Done    bool              `json:"done"`
+	Model   string            `json:"model"`
+	Version int               `json:"version"`
+	Rows    int               `json:"rows"`
+	Drift   stats.DriftGauges `json:"drift"`
+	Refits  int               `json:"refits,omitempty"`
+}
+
+// rowSource yields raw rows in the model's attribute order, up to max per
+// call. It returns io.EOF (possibly alongside a last batch) at end of body.
+type rowSource interface {
+	next(max int) ([][]string, error)
+}
+
+// handleModelStream scores a chunked CSV or NDJSON body row-by-row against
+// a registered model, writing one JSON line per row as chunks arrive.
+func (s *Server) handleModelStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e, ok := s.reg.acquire(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", "unknown model id")
+		return
+	}
+	defer s.reg.release(id)
+	if e.m.Degenerate() {
+		writeErr(w, http.StatusConflict, "degenerate_model",
+			"model was fitted on single-class data and cannot score new rows; refit on richer data")
+		return
+	}
+	ss, err := s.scorerFor(id, e)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "stream_failed", err.Error())
+		return
+	}
+	chunkRows := s.cfg.StreamChunkRows
+	if v := r.URL.Query().Get("chunk"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 || n > s.cfg.MaxRows {
+			writeErr(w, http.StatusBadRequest, "bad_param",
+				fmt.Sprintf("bad chunk %q: must be an int in [1, %d]", v, s.cfg.MaxRows))
+			return
+		}
+		chunkRows = n
+	}
+	src, err := newRowSource(r, e.m.Attrs())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_stream", err.Error())
+		return
+	}
+	withScores := r.URL.Query().Get("scores") != "0"
+
+	// Verdicts are written while the body is still being read, so the
+	// HTTP/1.x server must not close the unread request body at the first
+	// response write. Best-effort: HTTP/2 is always full-duplex.
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+
+	// From here on the response is a 200 NDJSON stream; failures surface as
+	// a terminal {"error": ...} line, not a status rewrite.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	s.met.streamRequests.Add(1)
+
+	rows, refits := 0, 0
+	var st zeroed.ChunkStatus
+	for {
+		chunk, rerr := src.next(chunkRows)
+		if len(chunk) > 0 {
+			res, cst, err := s.scoreChunk(r.Context(), ss, chunk)
+			if err != nil {
+				if r.Context().Err() != nil {
+					return // client gone
+				}
+				_ = enc.Encode(map[string]apiError{"error": {Code: "score_failed", Message: err.Error()}})
+				return
+			}
+			st = cst
+			for i := range res.Pred {
+				line := streamLine{Row: rows + i, Version: cst.Version, Pred: res.Pred[i]}
+				if withScores {
+					line.Scores = res.Scores[i]
+				}
+				if err := enc.Encode(line); err != nil {
+					return // client gone
+				}
+			}
+			rows += len(chunk)
+			s.met.streamRows.Add(int64(len(chunk)))
+			_ = rc.Flush()
+			if cst.ShouldRefit && ss.BeginRefit() {
+				refits++
+				s.met.refitsStarted.Add(1)
+				_ = enc.Encode(map[string]any{"event": "refit", "model": id, "version": cst.Version})
+				go s.runRefit(id, ss)
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			_ = enc.Encode(map[string]apiError{"error": {Code: "bad_stream", Message: rerr.Error()}})
+			return
+		}
+		// A long-lived stream ends gracefully when its model is deleted:
+		// the chunk that was in flight finished above, nothing tears.
+		if _, ok := s.reg.get(id); !ok {
+			_ = enc.Encode(map[string]apiError{"error": {Code: "model_deleted", Message: "model was deleted mid-stream"}})
+			return
+		}
+	}
+	drift := st.Drift
+	version := st.Version
+	if rows == 0 {
+		drift, version = ss.Gauges()
+	}
+	_ = enc.Encode(streamSummary{Done: true, Model: id, Version: version, Rows: rows, Drift: drift, Refits: refits})
+}
+
+// scoreChunk scores one stream chunk on the shared pool, converting stray
+// panics into errors like every other request-reachable path.
+func (s *Server) scoreChunk(ctx context.Context, ss *zeroed.StreamScorer, chunk [][]string) (res *zeroed.Result, st zeroed.ChunkStatus, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			fmt.Fprintf(os.Stderr, "zeroedd: stream scoring panicked: %v\n%s", rec, debug.Stack())
+			err = errInternalPanic
+		}
+	}()
+	return ss.ScoreChunk(ctx, s.mgr.pool, chunk)
+}
+
+// runRefit is the background half of a drift trip: fit a successor on the
+// accumulated stream (bounded by the fit semaphore, like client-driven
+// fits), persist it as the next artifact version, and hot-swap registry and
+// scorer. Any failure aborts the refit and keeps the old model serving; the
+// drift gauges keep accumulating so a later chunk can trip again.
+func (s *Server) runRefit(id string, ss *zeroed.StreamScorer) {
+	ok := false
+	defer func() {
+		if rec := recover(); rec != nil {
+			fmt.Fprintf(os.Stderr, "zeroedd: refit panicked: %v\n%s", rec, debug.Stack())
+		}
+		if !ok {
+			s.met.refitFailures.Add(1)
+			ss.AbortRefit()
+		}
+	}()
+	s.reg.fitSem <- struct{}{}
+	defer func() { <-s.reg.fitSem }()
+	m2, err := ss.Refit(context.Background(), s.mgr.pool)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zeroedd: refit of %s failed: %v\n", id, err)
+		return
+	}
+	data, err := model.Encode(m2)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zeroedd: refit of %s failed to encode: %v\n", id, err)
+		return
+	}
+	version := m2.Lineage().Version
+	if s.cfg.ModelDir != "" {
+		if err := s.persistArtifact(artifactFile(id, version), data); err != nil {
+			fmt.Fprintf(os.Stderr, "zeroedd: refit of %s failed to persist: %v\n", id, err)
+			return
+		}
+	}
+	if _, swapped := s.reg.swap(id, m2, len(data)); !swapped {
+		// Deleted while the refit ran: discard the successor and its
+		// artifact; the DELETE already reaped (or doomed) the older files.
+		if s.cfg.ModelDir != "" {
+			_ = os.Remove(filepath.Join(s.cfg.ModelDir, artifactFile(id, version)))
+		}
+		return
+	}
+	if err := ss.Install(m2); err != nil {
+		fmt.Fprintf(os.Stderr, "zeroedd: refit of %s failed to install: %v\n", id, err)
+		return
+	}
+	ok = true
+	s.met.refitsSwapped.Add(1)
+}
+
+// newRowSource picks the body decoder: NDJSON when the Content-Type or the
+// format query parameter says so, CSV otherwise.
+func newRowSource(r *http.Request, attrs []string) (rowSource, error) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		switch r.Header.Get("Content-Type") {
+		case "application/x-ndjson", "application/jsonl", "application/json":
+			format = "ndjson"
+		default:
+			format = "csv"
+		}
+	}
+	switch format {
+	case "csv":
+		return newCSVSource(r.Body, attrs)
+	case "ndjson":
+		return newNDJSONSource(r.Body, attrs), nil
+	default:
+		return nil, fmt.Errorf("unknown stream format %q (want csv or ndjson)", format)
+	}
+}
+
+// csvSource decodes a CSV stream whose header must match the model schema.
+type csvSource struct {
+	r *csv.Reader
+}
+
+func newCSVSource(body io.Reader, attrs []string) (*csvSource, error) {
+	cr := csv.NewReader(body)
+	cr.ReuseRecord = true
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading CSV header: %v", err)
+	}
+	if len(header) != len(attrs) {
+		return nil, fmt.Errorf("CSV header has %d columns, model expects %d", len(header), len(attrs))
+	}
+	for i, h := range header {
+		if h != attrs[i] {
+			return nil, fmt.Errorf("CSV header column %d is %q, model expects %q", i, h, attrs[i])
+		}
+	}
+	cr.FieldsPerRecord = len(attrs)
+	return &csvSource{r: cr}, nil
+}
+
+func (c *csvSource) next(max int) ([][]string, error) {
+	var rows [][]string
+	for len(rows) < max {
+		rec, err := c.r.Read()
+		if err == io.EOF {
+			return rows, io.EOF
+		}
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, append([]string(nil), rec...))
+	}
+	return rows, nil
+}
+
+// ndjsonSource decodes one JSON value per line: either an array of cell
+// values in attribute order, or an object keyed by attribute name (every
+// attribute required). Non-string scalars are rendered as their JSON text;
+// null becomes the empty string.
+type ndjsonSource struct {
+	sc    *bufio.Scanner
+	attrs []string
+	line  int
+}
+
+func newNDJSONSource(body io.Reader, attrs []string) *ndjsonSource {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	return &ndjsonSource{sc: sc, attrs: attrs}
+}
+
+func (n *ndjsonSource) next(max int) ([][]string, error) {
+	var rows [][]string
+	for len(rows) < max {
+		if !n.sc.Scan() {
+			if err := n.sc.Err(); err != nil {
+				return rows, err
+			}
+			return rows, io.EOF
+		}
+		n.line++
+		raw := n.sc.Bytes()
+		if len(trimSpaceBytes(raw)) == 0 {
+			continue
+		}
+		row, err := n.decodeLine(raw)
+		if err != nil {
+			return rows, fmt.Errorf("NDJSON line %d: %v", n.line, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func (n *ndjsonSource) decodeLine(raw []byte) ([]string, error) {
+	t := trimSpaceBytes(raw)
+	switch t[0] {
+	case '[':
+		var cells []json.RawMessage
+		if err := json.Unmarshal(t, &cells); err != nil {
+			return nil, err
+		}
+		if len(cells) != len(n.attrs) {
+			return nil, fmt.Errorf("array has %d cells, model expects %d", len(cells), len(n.attrs))
+		}
+		row := make([]string, len(cells))
+		for i, c := range cells {
+			v, err := jsonCell(c)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		return row, nil
+	case '{':
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(t, &obj); err != nil {
+			return nil, err
+		}
+		row := make([]string, len(n.attrs))
+		for i, a := range n.attrs {
+			c, ok := obj[a]
+			if !ok {
+				return nil, fmt.Errorf("object is missing attribute %q", a)
+			}
+			v, err := jsonCell(c)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		if len(obj) > len(n.attrs) {
+			for k := range obj {
+				known := false
+				for _, a := range n.attrs {
+					if k == a {
+						known = true
+						break
+					}
+				}
+				if !known {
+					return nil, fmt.Errorf("object has unknown attribute %q", k)
+				}
+			}
+		}
+		return row, nil
+	default:
+		return nil, fmt.Errorf("line must be a JSON array or object, got %q", t[0])
+	}
+}
+
+// jsonCell renders one JSON scalar as its cell string.
+func jsonCell(raw json.RawMessage) (string, error) {
+	t := trimSpaceBytes(raw)
+	if len(t) == 0 {
+		return "", fmt.Errorf("empty cell value")
+	}
+	switch t[0] {
+	case '"':
+		var s string
+		if err := json.Unmarshal(t, &s); err != nil {
+			return "", err
+		}
+		return s, nil
+	case '[', '{':
+		return "", fmt.Errorf("cell value must be a scalar, got %q", t[0])
+	default:
+		if string(t) == "null" {
+			return "", nil
+		}
+		return string(t), nil // numbers and booleans keep their JSON text
+	}
+}
+
+func trimSpaceBytes(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r' || b[0] == '\n') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r' || b[len(b)-1] == '\n') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

@@ -44,11 +44,23 @@ func NewCSVStream(name string, r io.Reader) (*CSVStream, error) {
 // readers while the stream continues.
 func (s *CSVStream) Dataset() *Dataset { return s.d }
 
-// ReadChunk appends up to maxRows data rows (all remaining rows when
-// maxRows <= 0) and returns the number appended. It returns io.EOF once the
-// input is exhausted and a wrapped parse error on malformed or ragged rows;
-// rows appended before the error remain in the dataset.
+// ReadChunk appends up to maxRows data rows and returns the number
+// appended. maxRows must be positive: a caller whose computed chunk budget
+// reaches zero almost certainly wants "read nothing", and silently draining
+// the whole stream instead (the historical maxRows<=0 sentinel) turned that
+// arithmetic slip into an unbounded read — use ReadAll when draining is
+// what you mean. It returns io.EOF once the input is exhausted and a
+// wrapped parse error on malformed or ragged rows; rows appended before the
+// error remain in the dataset.
 func (s *CSVStream) ReadChunk(maxRows int) (int, error) {
+	if maxRows <= 0 {
+		return 0, fmt.Errorf("table: ReadChunk needs a positive row budget, got %d (use ReadAll to drain the stream)", maxRows)
+	}
+	return s.readChunk(maxRows)
+}
+
+// readChunk is the budgeted read loop; maxRows <= 0 drains to EOF.
+func (s *CSVStream) readChunk(maxRows int) (int, error) {
 	appended := 0
 	for maxRows <= 0 || appended < maxRows {
 		rec, err := s.cr.Read()
@@ -70,9 +82,10 @@ func (s *CSVStream) ReadChunk(maxRows int) (int, error) {
 	return appended, nil
 }
 
-// ReadAll drains the remaining rows into the dataset.
+// ReadAll drains the remaining rows into the dataset. It is the one
+// explicit "no budget" entry point; ReadChunk always bounds its read.
 func (s *CSVStream) ReadAll() error {
-	_, err := s.ReadChunk(0)
+	_, err := s.readChunk(0)
 	if err == io.EOF {
 		return nil
 	}

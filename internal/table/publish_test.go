@@ -1,0 +1,109 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPublishSnapshotCrossGoroutine pins the safe cross-goroutine handoff:
+// one goroutine appends rows and publishes snapshots, while reader
+// goroutines concurrently load the latest published view and walk every
+// cell of it. Run under -race this is the regression test for the old
+// pattern, where a reader-side d.Snapshot() call raced with appends (the
+// snapshot copy reads the live slice headers, dict lengths, and index maps
+// while AppendRow grows them); routing the handoff through the atomic
+// PublishSnapshot/LatestSnapshot pair is the fix. Replacing the
+// LatestSnapshot call below with stream.Dataset().Snapshot() reproduces the
+// pre-fix race report.
+func TestPublishSnapshotCrossGoroutine(t *testing.T) {
+	const rows = 2000
+	var sb strings.Builder
+	sb.WriteString("a,b,c\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "a%d,b%d,c%d\n", i%13, i%7, i)
+	}
+	stream, err := NewCSVStream("pub", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stream.Dataset()
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := 0
+			for !done.Load() {
+				snap := d.LatestSnapshot()
+				if snap == nil {
+					continue
+				}
+				if snap.NumRows() < seen {
+					errc <- fmt.Errorf("published snapshot shrank from %d to %d rows", seen, snap.NumRows())
+					return
+				}
+				seen = snap.NumRows()
+				for i := 0; i < snap.NumRows(); i++ {
+					if got, want := snap.Value(i, 0), fmt.Sprintf("a%d", i%13); got != want {
+						errc <- fmt.Errorf("snapshot cell (%d,0) = %q, want %q", i, got, want)
+						return
+					}
+					if id := snap.ValueID(i, 2); snap.DictValue(2, id) != fmt.Sprintf("c%d", i) {
+						errc <- fmt.Errorf("snapshot ID round-trip broken at row %d", i)
+						return
+					}
+				}
+				if snap.NumRows() > 0 {
+					if _, ok := snap.LookupID(1, "b0"); !ok {
+						errc <- fmt.Errorf("snapshot lost an interned value")
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	for {
+		_, err := stream.ReadChunk(37)
+		d.PublishSnapshot()
+		if err != nil {
+			break
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	if d.NumRows() != rows {
+		t.Fatalf("loaded %d rows, want %d", d.NumRows(), rows)
+	}
+	final := d.LatestSnapshot()
+	if final == nil || final.NumRows() != rows {
+		t.Fatalf("final published snapshot has %v rows, want %d", final.NumRows(), rows)
+	}
+}
+
+// TestLatestSnapshotBeforePublish: a dataset that never published reports
+// nil rather than an inconsistent view.
+func TestLatestSnapshotBeforePublish(t *testing.T) {
+	d := New("n", []string{"a"})
+	d.MustAppendRow([]string{"x"})
+	if d.LatestSnapshot() != nil {
+		t.Fatal("LatestSnapshot must be nil before the first PublishSnapshot")
+	}
+	if s := d.PublishSnapshot(); s.NumRows() != 1 {
+		t.Fatalf("published snapshot has %d rows, want 1", s.NumRows())
+	}
+	if d.LatestSnapshot().NumRows() != 1 {
+		t.Fatal("LatestSnapshot must return the published view")
+	}
+}

@@ -116,7 +116,7 @@ func TestStreamRaggedRow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := s.ReadChunk(0)
+	n, err := s.ReadChunk(100)
 	if err == nil || errors.Is(err, io.EOF) {
 		t.Fatalf("chunked ragged read = (%d, %v), want parse error", n, err)
 	}

@@ -18,6 +18,7 @@ package table
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Cell identifies one cell of a dataset by row and column index.
@@ -75,6 +76,15 @@ type Dataset struct {
 
 	cols  []column
 	nrows int
+
+	// published is the safe cross-goroutine handoff point for snapshots of
+	// a growing dataset: the appending goroutine stores a fresh Snapshot
+	// through PublishSnapshot, and any other goroutine loads the latest one
+	// through LatestSnapshot. The atomic pointer is the publication fence —
+	// a plain reader-side Snapshot() call races with appends (slice headers
+	// and lengths are read unsynchronized), which is exactly the pattern
+	// this field exists to replace.
+	published atomic.Pointer[Dataset]
 }
 
 // New creates an empty dataset with the given schema.
@@ -273,6 +283,9 @@ func (d *Dataset) Clone() *Dataset {
 // otherwise synchronized with appends); the returned view must be treated
 // as read-only; and overwrites of existing cells (SetValue) on the original
 // are NOT isolated — use Clone when the original will be mutated in place.
+// When another goroutine needs a consistent view of a growing dataset, the
+// appender must hand one over through PublishSnapshot/LatestSnapshot —
+// calling Snapshot from the reader side races with appends.
 func (d *Dataset) Snapshot() *Dataset {
 	c := &Dataset{Name: d.Name, Attrs: d.Attrs, nrows: d.nrows}
 	c.cols = make([]column, len(d.cols))
@@ -285,6 +298,27 @@ func (d *Dataset) Snapshot() *Dataset {
 		c.cols[j] = column{ids: src.ids[:len(src.ids):len(src.ids)], dict: src.dict[:len(src.dict):len(src.dict)], index: idx}
 	}
 	return c
+}
+
+// PublishSnapshot takes a Snapshot and atomically publishes it for
+// cross-goroutine readers. It must be called from the appending goroutine
+// (it reads the live column storage, like Snapshot); the atomic store is
+// the release fence that makes every append before the call visible to any
+// goroutine that later observes the snapshot via LatestSnapshot. The
+// snapshot is also returned for the appender's own use.
+func (d *Dataset) PublishSnapshot() *Dataset {
+	s := d.Snapshot()
+	d.published.Store(s)
+	return s
+}
+
+// LatestSnapshot returns the most recently published snapshot, or nil if
+// PublishSnapshot has never been called. Safe from any goroutine: the
+// returned view is immutable (appends to the original only ever write past
+// its fixed lengths) and at least as old as the publishing append — readers
+// see a consistent prefix of the stream, never a torn row.
+func (d *Dataset) LatestSnapshot() *Dataset {
+	return d.published.Load()
 }
 
 // Subset returns a new dataset containing the first n rows (or all rows if

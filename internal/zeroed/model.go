@@ -42,6 +42,7 @@ type Model struct {
 	// the fitting dataset itself.
 	fallback []FallbackLabel
 	info     FitInfo
+	lineage  Lineage
 
 	// cacheOnce/cache is the model-lifetime warm score cache: value-ID
 	// tuples over feature.DepCols are stable across every dataset bound to
@@ -84,6 +85,18 @@ type FallbackLabel struct {
 	IsErr    bool
 }
 
+// Lineage records where a model sits in a refit chain. A freshly fitted
+// model is version 1 with no refit provenance; a drift-triggered successor
+// carries its predecessor's version plus one and the row count of the
+// accumulated stream it was refitted on.
+type Lineage struct {
+	// Version is 1-based; 0 (a pre-lineage artifact) reads as version 1.
+	Version int
+	// RefitRows is the accumulated-stream row count a refit trained on;
+	// 0 for an original fit.
+	RefitRows int
+}
+
 // Fit runs the expensive phase of the pipeline — criteria induction,
 // clustering-based sampling, LLM labeling, training-data construction, and
 // detector training — and returns a reusable fitted model. Fit never scores
@@ -120,6 +133,22 @@ func (m *Model) Info() FitInfo { return m.info }
 // model therefore scores by replaying propagated labels instead of a
 // trained detector.
 func (m *Model) Degenerate() bool { return m.mlp == nil }
+
+// Lineage returns the model's position in its refit chain. Models fitted
+// before lineage existed (or restored from version-1 artifacts) report
+// version 1.
+func (m *Model) Lineage() Lineage {
+	l := m.lineage
+	if l.Version <= 0 {
+		l.Version = 1
+	}
+	return l
+}
+
+// SetLineage stamps the refit provenance onto a model, which the streaming
+// refit path does before persisting a successor artifact. It does not
+// affect scoring.
+func (m *Model) SetLineage(l Lineage) { m.lineage = l }
 
 // SetParallelism overrides the worker and shard counts used by subsequent
 // Score calls — scheduling knobs only; results are bit-identical for any
@@ -313,6 +342,7 @@ type ModelState struct {
 	Net      *nn.Snapshot // nil on a degenerate fit
 	Fallback []FallbackLabel
 	Info     FitInfo
+	Lineage  Lineage
 }
 
 // State captures the model's complete serializable state. Dictionaries and
@@ -326,6 +356,7 @@ func (m *Model) State() *ModelState {
 		Feature:  m.ext.Snapshot(),
 		Fallback: append([]FallbackLabel(nil), m.fallback...),
 		Info:     m.info,
+		Lineage:  m.Lineage(),
 	}
 	if m.mlp != nil {
 		st.Net = m.mlp.Snapshot()
@@ -366,6 +397,9 @@ func ModelFromState(st *ModelState) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	if st.Lineage.Version < 0 || st.Lineage.RefitRows < 0 {
+		return nil, fmt.Errorf("zeroed: model state lineage %+v is negative", st.Lineage)
+	}
 	m := &Model{
 		cfg:     cfg,
 		attrs:   st.Attrs,
@@ -373,6 +407,7 @@ func ModelFromState(st *ModelState) (*Model, error) {
 		fitRows: st.FitRows,
 		ext:     ext,
 		info:    st.Info,
+		lineage: st.Lineage,
 	}
 	if st.Net != nil {
 		mlp, err := nn.FromSnapshot(st.Net)

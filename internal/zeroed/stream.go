@@ -1,0 +1,251 @@
+package zeroed
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// StreamScorer drives long-lived streaming detection over one model slot:
+// chunks of raw rows are scored against the current model (through its warm
+// score cache), every cell value is folded into per-model drift gauges
+// against the model's fit-time frequency snapshot, and the scored rows
+// accumulate into a dictionary-bound dataset that a drift-triggered refit
+// trains a successor on.
+//
+// Chunking invariance: each chunk is scored by Model.ScoreRowsOn, which
+// binds its own scoring dataset per call, so a verdict depends only on the
+// model and the row's cell values — the same byte stream split at any chunk
+// boundaries yields the identical verdict sequence. Drift observation is
+// per cell value, equally chunk-invariant.
+//
+// Concurrency: ScoreChunk is safe for concurrent callers. Scoring runs
+// outside the scorer's lock (the model is safe for concurrent scoring);
+// drift observation and stream accumulation serialize under it. The refit
+// path reads the accumulated rows through the dataset's published-snapshot
+// handoff (table.PublishSnapshot / LatestSnapshot), never touching the live
+// columns from the fitting goroutine.
+type StreamScorer struct {
+	cfg StreamConfig
+
+	mu      sync.Mutex
+	m       *Model
+	version int
+	drift   *stats.DriftTracker
+	accum   *table.Dataset
+
+	refitting atomic.Bool
+}
+
+// StreamConfig tunes one streaming scorer.
+type StreamConfig struct {
+	// DriftThreshold trips a refit when either drift gauge (unseen-value
+	// rate or distribution shift) exceeds it. <= 0 disables tripping; the
+	// gauges still accumulate.
+	DriftThreshold float64
+	// DriftMinRows is the minimum accumulated stream size before the
+	// threshold may trip (default 256): early chunks are too small to
+	// estimate a distribution.
+	DriftMinRows int
+	// MaxAccumRows bounds the accumulated refit dataset (default 100000).
+	// Beyond it rows keep scoring and keep moving the gauges, but are no
+	// longer retained for refitting.
+	MaxAccumRows int
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.DriftMinRows <= 0 {
+		c.DriftMinRows = 256
+	}
+	if c.MaxAccumRows <= 0 {
+		c.MaxAccumRows = 100_000
+	}
+	return c
+}
+
+// ChunkStatus reports the stream state after one scored chunk.
+type ChunkStatus struct {
+	// Version is the model version the chunk was scored by.
+	Version int
+	// Drift is the gauge reading after folding the chunk in.
+	Drift stats.DriftGauges
+	// ShouldRefit is set when the drift threshold tripped and no refit is
+	// already running; the caller decides whether (and where) to run it.
+	ShouldRefit bool
+}
+
+// NewStreamScorer starts a stream against a fitted model. The version is
+// taken from the model's lineage. Degenerate models cannot score unseen
+// rows and are rejected.
+func NewStreamScorer(m *Model, cfg StreamConfig) (*StreamScorer, error) {
+	if m == nil {
+		return nil, fmt.Errorf("zeroed: nil model")
+	}
+	if m.Degenerate() {
+		return nil, fmt.Errorf("zeroed: degenerate model cannot drive a stream")
+	}
+	ss := &StreamScorer{cfg: cfg.withDefaults()}
+	if err := ss.install(m); err != nil {
+		return nil, err
+	}
+	return ss, nil
+}
+
+// install binds the scorer to a model: fresh drift tracker against the
+// model's fit-time frequency snapshot, fresh accumulator seeded with the
+// model's dictionaries. Caller holds mu (or is the constructor).
+func (ss *StreamScorer) install(m *Model) error {
+	ref, err := m.bind()
+	if err != nil {
+		return err
+	}
+	drift, err := stats.NewDriftTracker(m.ext.Snapshot().Freq, ref)
+	if err != nil {
+		return err
+	}
+	accum, err := m.bind()
+	if err != nil {
+		return err
+	}
+	accum.Name = "stream"
+	ss.m = m
+	ss.version = m.Lineage().Version
+	ss.drift = drift
+	ss.accum = accum
+	return nil
+}
+
+// Model returns the current model and its version.
+func (ss *StreamScorer) Model() (*Model, int) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.m, ss.version
+}
+
+// Gauges returns the current drift reading and the model version it is
+// accumulating against.
+func (ss *StreamScorer) Gauges() (stats.DriftGauges, int) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.drift.Gauges(), ss.version
+}
+
+// ScoreChunk scores one chunk of raw rows (in the model's attribute order)
+// against the current model, then folds the rows into the drift gauges and
+// the refit accumulator. The verdicts are computed before the fold, so a
+// concurrent hot-swap never tears a chunk: every row of the chunk is scored
+// by the one model captured at entry, reported in the status version.
+func (ss *StreamScorer) ScoreChunk(ctx context.Context, p *Pool, rows [][]string) (*Result, ChunkStatus, error) {
+	ss.mu.Lock()
+	m, version := ss.m, ss.version
+	ss.mu.Unlock()
+
+	var res *Result
+	var err error
+	if p != nil {
+		res, err = m.ScoreRowsOn(ctx, p, rows)
+	} else {
+		res, err = m.ScoreRowsContext(ctx, rows)
+	}
+	if err != nil {
+		return nil, ChunkStatus{Version: version}, err
+	}
+
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for _, r := range rows {
+		// Arity was validated by scoring; a mismatch here is unreachable.
+		if err := ss.drift.ObserveRow(r); err != nil {
+			return nil, ChunkStatus{Version: version}, err
+		}
+		if ss.accum.NumRows() < ss.cfg.MaxAccumRows {
+			ss.accum.MustAppendRow(r)
+		}
+	}
+	ss.accum.PublishSnapshot()
+	st := ChunkStatus{Version: ss.version, Drift: ss.drift.Gauges()}
+	if ss.drift.Trip(ss.cfg.DriftThreshold, ss.cfg.DriftMinRows) && !ss.refitting.Load() {
+		st.ShouldRefit = true
+	}
+	return res, st, nil
+}
+
+// BeginRefit claims the single refit slot. It returns false when a refit is
+// already in flight; the winner must end with Install or AbortRefit.
+func (ss *StreamScorer) BeginRefit() bool {
+	return ss.refitting.CompareAndSwap(false, true)
+}
+
+// AbortRefit releases the refit slot without swapping, after a failed fit.
+// The old model keeps serving and the gauges keep accumulating (so a later
+// chunk can trip again).
+func (ss *StreamScorer) AbortRefit() { ss.refitting.Store(false) }
+
+// Refit trains a successor model on the accumulated stream. It runs from
+// the refit goroutine: the rows are taken from the accumulator's latest
+// published snapshot (the cross-goroutine handoff — streaming appends keep
+// going while the fit runs) and cloned before fitting, because the fit
+// pipeline mutates its dataset in place during training-data synthesis.
+//
+// The successor reuses the prior model's configuration and seed, and —
+// because the accumulator is seeded with the prior dictionaries — its
+// dictionaries extend the prior model's. Fitting is deterministic given the
+// accumulated dataset: an independent Fit over the same accumulated rows
+// with the same dictionary seeding produces a bit-identical successor
+// (pinned by TestStreamRefitMatchesFromScratchFit).
+//
+// Refit does not swap anything: the caller persists/installs the returned
+// model via Install, so in-flight chunks keep scoring on the old model
+// until the swap is complete.
+func (ss *StreamScorer) Refit(ctx context.Context, p *Pool) (*Model, error) {
+	if !ss.refitting.Load() {
+		return nil, fmt.Errorf("zeroed: Refit without BeginRefit")
+	}
+	ss.mu.Lock()
+	prior, version := ss.m, ss.version
+	accum := ss.accum
+	ss.mu.Unlock()
+
+	snap := accum.LatestSnapshot()
+	if snap == nil || snap.NumRows() == 0 {
+		return nil, fmt.Errorf("zeroed: no accumulated rows to refit on")
+	}
+	ds := snap.Clone()
+	ds.Name = "refit"
+	det := New(prior.cfg)
+	var m2 *Model
+	var err error
+	if p != nil {
+		m2, err = det.FitOn(ctx, p, ds)
+	} else {
+		m2, err = det.FitContext(ctx, ds)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("zeroed: refit failed: %w", err)
+	}
+	if m2.Degenerate() {
+		return nil, fmt.Errorf("zeroed: refit produced a degenerate model (accumulated stream is single-class); keeping the old model")
+	}
+	m2.SetLineage(Lineage{Version: version + 1, RefitRows: ds.NumRows()})
+	return m2, nil
+}
+
+// Install hot-swaps the successor in: subsequent chunks score on it, the
+// drift gauges and the accumulator reset against its dictionaries, and the
+// refit slot reopens. In-flight ScoreChunk calls that captured the old
+// model finish on it untouched — the swap replaces the pointer, it never
+// mutates the old model.
+func (ss *StreamScorer) Install(m *Model) error {
+	if m == nil || m.Degenerate() {
+		return fmt.Errorf("zeroed: cannot install a nil or degenerate model")
+	}
+	ss.mu.Lock()
+	err := ss.install(m)
+	ss.mu.Unlock()
+	ss.refitting.Store(false)
+	return err
+}

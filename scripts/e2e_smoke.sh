@@ -3,9 +3,12 @@
 # submit a small CSV job, poll it to completion, and check the result and
 # metrics endpoints; then fit a model over the socket, score fresh rows
 # against it, and assert the scored verdicts match a direct
-# `cmd/zeroed -model-in` run on the persisted artifact. Exercises the same
-# paths CI pins with httptest, but against the real binaries over a real
-# socket.
+# `cmd/zeroed -model-in` run on the persisted artifact; finally stream
+# chunked rows against a registered model, trip a drift-triggered refit
+# with a novel-value burst, and assert the model hot-swapped to a new
+# version (old artifact retained) with zero non-200 responses. Exercises
+# the same paths CI pins with httptest, but against the real binaries over
+# a real socket.
 set -euo pipefail
 
 ADDR="127.0.0.1:18080"
@@ -17,7 +20,8 @@ MODELDIR="$WORK/models"
 
 go build -o "$BIN" ./cmd/zeroedd
 go build -o "$CLI" ./cmd/zeroed
-"$BIN" -addr "$ADDR" -workers 2 -model-dir "$MODELDIR" &
+"$BIN" -addr "$ADDR" -workers 2 -model-dir "$MODELDIR" \
+  -drift-threshold 0.3 -drift-min-rows 30 -stream-chunk 16 &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
 
@@ -86,5 +90,71 @@ echo "e2e: model verdicts match cmd/zeroed -model-in ($SRV_MASK)"
 METRICS="$(curl -fsS "$BASE/metrics")"
 echo "$METRICS" | grep -q 'zeroedd_models_current 1' || { echo "e2e: metrics missing model gauge"; exit 1; }
 echo "$METRICS" | grep -q 'zeroedd_score_seconds_count 1' || { echo "e2e: metrics missing score latency"; exit 1; }
+
+# --- Streaming & drift: stream chunks, trip a refit, assert the hot swap. ---
+# Every curl below uses -f, so any non-200 during streaming aborts the smoke.
+
+# Fit a streaming model on a larger CSV (repeated clean patterns plus a few
+# errors, so a refit on accumulated rows has both classes to train on).
+STREAMFIT="$WORK/streamfit.csv"
+{
+  printf 'city,state,zip\n'
+  for _ in $(seq 1 12); do
+    printf 'chicago,IL,60601\nspringfield,IL,62701\nmadison,WI,53703\n'
+  done
+  printf 'chicago,XX,60601\nmadison,WI,99999\n'
+} > "$STREAMFIT"
+SMID="$(curl -fsS -X POST --data-binary @"$STREAMFIT" "$BASE/v1/models?seed=2&name=streamsmoke" \
+  | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$SMID" ] || { echo "e2e: no model id in stream-fit response"; exit 1; }
+echo "e2e: fitted streaming model $SMID"
+
+# Replay the fit data as a stream: one verdict line per row, version 1, no
+# drift (the observed distribution equals the fit-time one exactly).
+OUT1="$(curl -fsS -X POST --data-binary @"$STREAMFIT" "$BASE/v1/models/$SMID/stream?scores=0")"
+ROWS=$(($(wc -l < "$STREAMFIT") - 1))
+GOT1="$(echo "$OUT1" | grep -c '"pred":')"
+[ "$GOT1" -eq "$ROWS" ] || { echo "e2e: stream returned $GOT1 verdicts for $ROWS rows"; exit 1; }
+echo "$OUT1" | grep -q '"done":true' || { echo "e2e: stream missing summary line"; exit 1; }
+echo "$OUT1" | grep -q '"event":"refit"' && { echo "e2e: fit-identical stream tripped a refit"; exit 1; }
+
+# A burst of all-novel rows pushes the unseen-value gauge over the
+# threshold: the stream must report the triggered refit.
+NOVEL="$WORK/novel.csv"
+{
+  printf 'city,state,zip\n'
+  for i in $(seq 1 30); do printf 'newtown-%s,N%s,%s00\n' "$i" "$i" "$i"; done
+} > "$NOVEL"
+OUT2="$(curl -fsS -X POST --data-binary @"$NOVEL" "$BASE/v1/models/$SMID/stream?scores=0")"
+GOT2="$(echo "$OUT2" | grep -c '"pred":')"
+[ "$GOT2" -eq 30 ] || { echo "e2e: novel stream returned $GOT2 verdicts for 30 rows"; exit 1; }
+echo "$OUT2" | grep -q '"event":"refit"' || { echo "e2e: novel burst never tripped a refit"; exit 1; }
+
+# The background refit persists a new artifact version and hot-swaps it
+# into the registry; the original artifact stays on disk for rollback.
+VER=""
+for _ in $(seq 1 300); do
+  VER="$(curl -fsS "$BASE/v1/models/$SMID" | sed -n 's/.*"version":\([0-9]*\).*/\1/p')"
+  [ -n "$VER" ] && [ "$VER" -ge 2 ] && break
+  sleep 0.2
+done
+[ -n "$VER" ] && [ "$VER" -ge 2 ] || { echo "e2e: model never hot-swapped (version '$VER')"; exit 1; }
+[ -f "$MODELDIR/$SMID.zedm" ] || { echo "e2e: v1 artifact not retained for rollback"; exit 1; }
+[ -f "$MODELDIR/$SMID.v$VER.zedm" ] || { echo "e2e: v$VER artifact not persisted"; exit 1; }
+echo "e2e: drift refit hot-swapped $SMID to version $VER"
+
+# The swapped model keeps scoring over the same endpoint, and the drift
+# gauges export per model.
+OUT3="$(curl -fsS -X POST --data-binary @"$NOVEL" "$BASE/v1/models/$SMID/stream?scores=0")"
+echo "$OUT3" | grep -q "\"version\":$VER" || { echo "e2e: post-swap stream not scored by v$VER"; exit 1; }
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -q "zeroedd_model_drift{model=\"$SMID\",gauge=\"unseen_rate\"}" \
+  || { echo "e2e: metrics missing drift gauge"; exit 1; }
+# The post-swap stream may legitimately trip a further refit, so assert
+# the exported version is at least the one we observed, not exactly it.
+MVER="$(echo "$METRICS" | sed -n "s/^zeroedd_model_version{model=\"$SMID\"} \([0-9]*\)$/\1/p")"
+[ -n "$MVER" ] && [ "$MVER" -ge "$VER" ] || { echo "e2e: metrics model version '$MVER' < $VER"; exit 1; }
+echo "$METRICS" | grep -q 'zeroedd_model_refits_total{outcome="swapped"}' \
+  || { echo "e2e: metrics missing refit counter"; exit 1; }
 
 echo "e2e: OK"
