@@ -19,7 +19,9 @@
 // Model artifacts (ZeroED only): -model-out FILE fits, persists the fitted
 // model as a versioned artifact, and scores with it; -model-in FILE skips
 // fitting entirely and scores the input with a previously saved artifact —
-// verdicts and scores are bit-identical to the run that produced it:
+// verdicts and scores are bit-identical to the run that produced it. Saves
+// commit atomically (temp file + fsync + rename), so a crash mid-save
+// leaves the previous artifact intact, never a torn file:
 //
 //	zeroed -dataset Hospital -model-out hospital.zedm
 //	zeroed -dirty fresh.csv -model-in hospital.zedm -out mask.csv

@@ -11,6 +11,8 @@
 //	        [-max-upload-bytes 33554432] [-max-rows 1000000] [-max-cols 256]
 //	        [-max-models 32] [-model-dir DIR]
 //	        [-stream-chunk 256] [-drift-threshold 0] [-drift-min-rows 256]
+//	        [-request-timeout 0] [-refit-backoff 1s] [-refit-breaker-after 5]
+//	        [-list-failpoints]
 //
 // Quickstart:
 //
@@ -36,6 +38,18 @@
 //
 //	curl -sN -X POST --data-binary @stream.csv 'localhost:8080/v1/models/m-000001/stream'
 //
+// Durability: with -model-dir set, every artifact commit is atomic
+// (temp + fsync + rename + directory fsync) and a manifest.json ledger
+// records committed versions; a crash or kill -9 at any instant leaves each
+// artifact committed-or-absent, never torn. Startup quarantines corrupt
+// files to *.corrupt (counted once, not once per boot) and recovers the
+// highest intact version per model. -request-timeout bounds server-side
+// work per request with a typed 503 {"error":{"code":"deadline"}};
+// -refit-backoff/-refit-breaker-after contain failing drift refits while
+// the model keeps serving its last good version. Fault injection for all of
+// this is armed via ZEROED_FAILPOINTS (see -list-failpoints and
+// internal/faultpoint).
+//
 // SIGINT/SIGTERM shut the server down gracefully: the listener stops, and
 // in-flight jobs are canceled through their contexts.
 package main
@@ -51,6 +65,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultpoint"
 	"repro/internal/serve"
 )
 
@@ -69,8 +84,21 @@ func main() {
 		streamChunk = flag.Int("stream-chunk", 256, "rows per streaming-detection batch (chunk-invariant; latency knob only)")
 		driftThresh = flag.Float64("drift-threshold", 0, "drift gauge level that triggers a background refit + hot swap (0 = never refit; gauges still export)")
 		driftMin    = flag.Int("drift-min-rows", 256, "minimum streamed rows before the drift threshold may trip")
+
+		reqTimeout   = flag.Duration("request-timeout", 0, "server-side deadline per request; beyond it fits and scores return a typed 503 \"deadline\" (0 = unbounded)")
+		refitBackoff = flag.Duration("refit-backoff", time.Second, "base backoff after a failed drift refit, doubling per consecutive failure")
+		refitBreaker = flag.Int("refit-breaker-after", 5, "consecutive refit failures that open a per-model breaker until the next successful install (negative = never)")
+
+		listFailpoints = flag.Bool("list-failpoints", false, "print the registered fault-injection points ("+faultpoint.EnvVar+" arms them) and exit")
 	)
 	flag.Parse()
+
+	if *listFailpoints {
+		for _, name := range faultpoint.List() {
+			fmt.Println(name)
+		}
+		return
+	}
 
 	svc := serve.New(serve.Config{
 		Workers:           *workers,
@@ -85,6 +113,9 @@ func main() {
 		StreamChunkRows:   *streamChunk,
 		DriftThreshold:    *driftThresh,
 		DriftMinRows:      *driftMin,
+		RequestTimeout:    *reqTimeout,
+		RefitBackoff:      *refitBackoff,
+		RefitBreakerAfter: *refitBreaker,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

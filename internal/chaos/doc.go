@@ -1,0 +1,17 @@
+// Package chaos holds the crash-recovery test suite for the serve layer.
+//
+// The package itself is empty: everything lives in its tests, which re-exec
+// the test binary as a real zeroedd server subprocess, arm one crash
+// failpoint per disk-write site (see internal/faultpoint), drive the
+// operation under test until the process dies with
+// faultpoint.CrashExitCode, restart it, and assert that recovery serves the
+// highest intact model version with bit-identical scores. A coverage test
+// fails the suite if any registered failpoint is never exercised — a new
+// failpoint must be added to the sweep before it ships.
+//
+// Run it directly with:
+//
+//	go test ./internal/chaos/
+//
+// or via scripts/chaos.sh, which also sweeps the non-crash actions.
+package chaos

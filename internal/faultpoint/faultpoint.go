@@ -1,0 +1,291 @@
+// Package faultpoint is a registry of named failure-injection points — the
+// substrate of the crash-safety and chaos test suites. Code that performs a
+// risky effect (a disk write, a rename, a call to a flaky backend) declares
+// a package-level failpoint and evaluates it at the effect's boundary:
+//
+//	var fpBeforeRename = faultpoint.New("model.save.before_rename")
+//	...
+//	if err := fpBeforeRename.Eval(); err != nil { return err }
+//
+// In production nothing is armed and Eval is a single atomic load of a
+// package-wide flag — no map lookups, no allocation, no locks. Under test
+// (or via the ZEROED_FAILPOINTS environment variable) a failpoint can be
+// armed with an action:
+//
+//	error        inject an error on every evaluation
+//	error(N)     inject an error on the first N evaluations, then pass
+//	sleep(D)     inject latency D (Go duration syntax) and pass
+//	crash        print one line to stderr and exit the process with
+//	             CrashExitCode — the moral equivalent of kill -9 at exactly
+//	             this point in the code
+//
+// The environment form is a comma-separated list of name:action entries,
+// e.g. ZEROED_FAILPOINTS="model.save.before_rename:crash" or
+// ZEROED_FAILPOINTS="llm.judge.transient:error(2),serve.fit.persist:sleep(50ms)".
+// Arming is also available programmatically (Arm/Disarm/Reset) for
+// in-process tests.
+//
+// Every evaluation while anything is armed is counted (Evals), and every
+// injected fault is counted (Hits) — the chaos suite uses the counters and
+// the registry listing (List) to prove that no registered failpoint is dead
+// wiring.
+package faultpoint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar names the environment variable that arms failpoints at process
+// start.
+const EnvVar = "ZEROED_FAILPOINTS"
+
+// CrashExitCode is the exit status of a process killed by a crash action.
+// It is deliberately distinctive so a chaos harness can tell "died at the
+// armed failpoint" from every other way a process can end.
+const CrashExitCode = 57
+
+// Error is the injected fault returned by an armed error action.
+type Error struct {
+	// Name is the failpoint that injected the fault.
+	Name string
+}
+
+func (e *Error) Error() string {
+	return "faultpoint: injected fault at " + e.Name
+}
+
+// FP is one registered failpoint. Declare them as package-level variables
+// via New so registration happens at init time and the registry is complete
+// before any code runs.
+type FP struct {
+	name  string
+	arm   atomic.Pointer[action]
+	evals atomic.Int64 // evaluations while the registry had anything armed
+	hits  atomic.Int64 // evaluations that actually injected a fault
+}
+
+// Name returns the failpoint's registered name.
+func (f *FP) Name() string { return f.name }
+
+// Eval evaluates the failpoint: a no-op returning nil unless this failpoint
+// is armed, in which case the armed action runs (returning an injected
+// error, sleeping, or crashing the process). The disarmed fast path is one
+// atomic load.
+func (f *FP) Eval() error {
+	if !anyArmed.Load() {
+		return nil
+	}
+	f.evals.Add(1)
+	a := f.arm.Load()
+	if a == nil {
+		return nil
+	}
+	return a.run(f)
+}
+
+// action is one armed behavior.
+type action struct {
+	kind      byte // 'e' error, 's' sleep, 'c' crash
+	remaining atomic.Int64
+	limited   bool
+	sleep     time.Duration
+}
+
+func (a *action) run(f *FP) error {
+	switch a.kind {
+	case 'e':
+		if a.limited && a.remaining.Add(-1) < 0 {
+			return nil // budget spent: the transient fault has passed
+		}
+		f.hits.Add(1)
+		return &Error{Name: f.name}
+	case 's':
+		f.hits.Add(1)
+		time.Sleep(a.sleep)
+		return nil
+	case 'c':
+		f.hits.Add(1)
+		fmt.Fprintf(os.Stderr, "faultpoint: %s: crash\n", f.name)
+		os.Exit(CrashExitCode)
+	}
+	return nil
+}
+
+// parseAction parses the action half of a name:action entry.
+func parseAction(s string) (*action, error) {
+	switch {
+	case s == "error":
+		return &action{kind: 'e'}, nil
+	case strings.HasPrefix(s, "error(") && strings.HasSuffix(s, ")"):
+		n, err := strconv.Atoi(s[len("error(") : len(s)-1])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("faultpoint: bad error count in %q", s)
+		}
+		a := &action{kind: 'e', limited: true}
+		a.remaining.Store(int64(n))
+		return a, nil
+	case strings.HasPrefix(s, "sleep(") && strings.HasSuffix(s, ")"):
+		d, err := time.ParseDuration(s[len("sleep(") : len(s)-1])
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("faultpoint: bad sleep duration in %q", s)
+		}
+		return &action{kind: 's', sleep: d}, nil
+	case s == "crash":
+		return &action{kind: 'c'}, nil
+	}
+	return nil, fmt.Errorf("faultpoint: unknown action %q (want error, error(N), sleep(D), or crash)", s)
+}
+
+var (
+	regMu sync.Mutex
+	reg   = map[string]*FP{}
+
+	// anyArmed short-circuits Eval when the whole registry is idle. It is
+	// the only state the production fast path ever reads.
+	anyArmed atomic.Bool
+
+	envOnce sync.Once
+	envSpec map[string]string // parsed EnvVar entries, keyed by failpoint name
+	envErr  error
+)
+
+// New registers a failpoint under a unique name and returns it. If the
+// ZEROED_FAILPOINTS environment variable names it, it is armed immediately.
+// New panics on duplicate registration — failpoint names are a flat global
+// namespace, declared once each at package init.
+func New(name string) *FP {
+	parseEnv()
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[name]; dup {
+		panic("faultpoint: duplicate registration of " + name)
+	}
+	f := &FP{name: name}
+	reg[name] = f
+	if spec, ok := envSpec[name]; ok {
+		a, err := parseAction(spec)
+		if err != nil {
+			// A malformed env entry must not silently disable the fault the
+			// operator asked for: fail loudly at startup.
+			panic(err.Error())
+		}
+		f.arm.Store(a)
+		anyArmed.Store(true)
+	}
+	return f
+}
+
+func parseEnv() {
+	envOnce.Do(func() {
+		envSpec = map[string]string{}
+		raw := os.Getenv(EnvVar)
+		if raw == "" {
+			return
+		}
+		for _, entry := range strings.Split(raw, ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
+				continue
+			}
+			name, spec, ok := strings.Cut(entry, ":")
+			if !ok || name == "" || spec == "" {
+				envErr = fmt.Errorf("faultpoint: malformed %s entry %q (want name:action)", EnvVar, entry)
+				panic(envErr.Error())
+			}
+			envSpec[name] = spec
+		}
+	})
+}
+
+// Arm activates a failpoint by name with the given action spec (same syntax
+// as the environment variable). It replaces any previous arming.
+func Arm(name, spec string) error {
+	a, err := parseAction(spec)
+	if err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	f, ok := reg[name]
+	if !ok {
+		return fmt.Errorf("faultpoint: unknown failpoint %q", name)
+	}
+	f.arm.Store(a)
+	anyArmed.Store(true)
+	return nil
+}
+
+// Disarm deactivates one failpoint. Counters are preserved.
+func Disarm(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if f, ok := reg[name]; ok {
+		f.arm.Store(nil)
+	}
+	recomputeArmedLocked()
+}
+
+// Reset disarms every failpoint and zeroes all counters — test teardown.
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, f := range reg {
+		f.arm.Store(nil)
+		f.evals.Store(0)
+		f.hits.Store(0)
+	}
+	anyArmed.Store(false)
+}
+
+func recomputeArmedLocked() {
+	for _, f := range reg {
+		if f.arm.Load() != nil {
+			anyArmed.Store(true)
+			return
+		}
+	}
+	anyArmed.Store(false)
+}
+
+// List returns the names of every registered failpoint, sorted.
+func List() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(reg))
+	for name := range reg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hits returns how many faults the named failpoint has injected.
+func Hits(name string) int64 {
+	regMu.Lock()
+	f := reg[name]
+	regMu.Unlock()
+	if f == nil {
+		return 0
+	}
+	return f.hits.Load()
+}
+
+// Evals returns how many times the named failpoint was evaluated while the
+// registry had anything armed (evaluations in the fully disarmed state are
+// deliberately uncounted — the production path must not pay for them).
+func Evals(name string) int64 {
+	regMu.Lock()
+	f := reg[name]
+	regMu.Unlock()
+	if f == nil {
+		return 0
+	}
+	return f.evals.Load()
+}

@@ -1,0 +1,132 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Test failpoints, registered once for the whole package test binary.
+var (
+	fpA = New("test.a")
+	fpB = New("test.b")
+)
+
+func TestDisarmedEvalIsNil(t *testing.T) {
+	Reset()
+	if err := fpA.Eval(); err != nil {
+		t.Fatalf("disarmed Eval returned %v", err)
+	}
+	if Hits("test.a") != 0 || Evals("test.a") != 0 {
+		t.Fatalf("disarmed Eval moved counters: hits=%d evals=%d", Hits("test.a"), Evals("test.a"))
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("test.a", "error"); err != nil {
+		t.Fatal(err)
+	}
+	err := fpA.Eval()
+	var inj *Error
+	if !errors.As(err, &inj) || inj.Name != "test.a" {
+		t.Fatalf("armed Eval = %v, want injected *Error{test.a}", err)
+	}
+	if err := fpB.Eval(); err != nil {
+		t.Fatalf("unarmed sibling injected %v", err)
+	}
+	if Hits("test.a") != 1 {
+		t.Fatalf("hits = %d, want 1", Hits("test.a"))
+	}
+	// Evals counts the armed-registry evaluations of both points.
+	if Evals("test.b") != 1 {
+		t.Fatalf("sibling evals = %d, want 1", Evals("test.b"))
+	}
+}
+
+func TestErrorBudget(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("test.a", "error(2)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := fpA.Eval(); err == nil {
+			t.Fatalf("eval %d passed inside the fault budget", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := fpA.Eval(); err != nil {
+			t.Fatalf("eval after budget injected %v", err)
+		}
+	}
+	if Hits("test.a") != 2 {
+		t.Fatalf("hits = %d, want 2", Hits("test.a"))
+	}
+}
+
+func TestSleepAction(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("test.a", "sleep(10ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := fpA.Eval(); err != nil {
+		t.Fatalf("sleep action returned %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("sleep action returned after %v, want >= 10ms", d)
+	}
+	if Hits("test.a") != 1 {
+		t.Fatalf("hits = %d, want 1", Hits("test.a"))
+	}
+}
+
+func TestDisarmRestoresFastPath(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("test.a", "error"); err != nil {
+		t.Fatal(err)
+	}
+	Disarm("test.a")
+	if anyArmed.Load() {
+		t.Fatal("anyArmed still set after last Disarm")
+	}
+	if err := fpA.Eval(); err != nil {
+		t.Fatalf("disarmed Eval returned %v", err)
+	}
+}
+
+func TestParseActionRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "boom", "error()", "error(-1)", "error(x)", "sleep(nope)", "sleep()", "crash(1)"} {
+		if _, err := parseAction(bad); err == nil {
+			t.Errorf("parseAction(%q) accepted", bad)
+		}
+	}
+	for _, good := range []string{"error", "error(3)", "sleep(5ms)", "crash"} {
+		if _, err := parseAction(good); err != nil {
+			t.Errorf("parseAction(%q) rejected: %v", good, err)
+		}
+	}
+}
+
+func TestArmUnknownName(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := Arm("test.never-registered", "error"); err == nil {
+		t.Fatal("Arm of an unregistered failpoint succeeded")
+	}
+}
+
+func TestListIncludesRegistered(t *testing.T) {
+	names := List()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	if !found["test.a"] || !found["test.b"] {
+		t.Fatalf("List() = %v missing test points", names)
+	}
+}

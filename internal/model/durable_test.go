@@ -1,0 +1,156 @@
+package model
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faultpoint"
+)
+
+func TestWriteFileAtomicLeavesNoTmp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.zedm")
+	if err := WriteFileAtomic(path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	assertNoTmp(t, dir)
+
+	// Overwrite commits atomically too.
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	assertNoTmp(t, dir)
+}
+
+func assertNoTmp(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), TmpSuffix) {
+			t.Fatalf("stranded temp file %s", e.Name())
+		}
+	}
+}
+
+// TestWriteFileAtomicFaultBeforeRename proves the commit point is the
+// rename: a fault injected anywhere before it leaves the destination
+// untouched (old contents intact) and no temp file behind.
+func TestWriteFileAtomicFaultBeforeRename(t *testing.T) {
+	for _, fp := range []string{"model.save.after_write", "model.save.before_rename"} {
+		t.Run(fp, func(t *testing.T) {
+			faultpoint.Reset()
+			defer faultpoint.Reset()
+			dir := t.TempDir()
+			path := filepath.Join(dir, "a.zedm")
+			if err := WriteFileAtomic(path, []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			if err := faultpoint.Arm(fp, "error"); err != nil {
+				t.Fatal(err)
+			}
+			err := WriteFileAtomic(path, []byte("new"))
+			var inj *faultpoint.Error
+			if !errors.As(err, &inj) {
+				t.Fatalf("WriteFileAtomic = %v, want injected fault", err)
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil || string(got) != "old" {
+				t.Fatalf("destination after fault: %q, %v (want old contents)", got, rerr)
+			}
+			assertNoTmp(t, dir)
+		})
+	}
+}
+
+// TestWriteFileAtomicFaultAfterRename: past the commit point the new bytes
+// are in place even though the caller sees the injected error — callers must
+// treat a post-commit failure as "maybe committed" and clean up explicitly.
+func TestWriteFileAtomicFaultAfterRename(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.zedm")
+	if err := faultpoint.Arm("model.save.after_rename", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("new")); err == nil {
+		t.Fatal("WriteFileAtomic passed with after_rename armed")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "new" {
+		t.Fatalf("destination after post-commit fault: %q, %v", got, err)
+	}
+	assertNoTmp(t, dir)
+}
+
+// TestCorruptClassification: decode failures are *CorruptError, I/O
+// failures are not — the serve layer quarantines only the former.
+func TestCorruptClassification(t *testing.T) {
+	m, _ := fitSmall(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.zedm")
+	if err := SaveFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Intact artifact loads, and a missing file is an I/O error.
+	if _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(filepath.Join(dir, "absent.zedm"))
+	if err == nil || IsCorrupt(err) {
+		t.Fatalf("missing file: err=%v IsCorrupt=%v, want plain I/O error", err, IsCorrupt(err))
+	}
+
+	// Truncated, garbage, and empty files are all corrupt.
+	data, _ := os.ReadFile(path)
+	for name, bad := range map[string][]byte{
+		"truncated": data[:len(data)/2],
+		"garbage":   []byte("not a model at all"),
+		"empty":     nil,
+	} {
+		p := filepath.Join(dir, name+".zedm")
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(p); !IsCorrupt(err) {
+			t.Fatalf("%s: err=%v, want CorruptError", name, err)
+		}
+	}
+}
+
+// TestLoadDecodeFaultIsCorrupt: the injected load fault classifies as
+// corruption so the quarantine path is exercisable without crafting bytes.
+func TestLoadDecodeFaultIsCorrupt(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	m, _ := fitSmall(t)
+	path := filepath.Join(t.TempDir(), "m.zedm")
+	if err := SaveFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultpoint.Arm("model.load.decode", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); !IsCorrupt(err) {
+		t.Fatalf("err=%v, want CorruptError from injected decode fault", err)
+	}
+	faultpoint.Reset()
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("disarmed reload failed: %v", err)
+	}
+}

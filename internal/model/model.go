@@ -27,19 +27,53 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/criteria"
+	"repro/internal/faultpoint"
 	"repro/internal/feature"
 	"repro/internal/llm"
 	"repro/internal/nn"
 	"repro/internal/stats"
 	"repro/internal/zeroed"
 )
+
+// Failpoints at the artifact store's effect boundaries. Disarmed they cost
+// one atomic load; the chaos suite arms them to kill the process at each
+// point and prove recovery (see internal/faultpoint and scripts/chaos.sh).
+var (
+	fpSaveAfterWrite   = faultpoint.New("model.save.after_write")
+	fpSaveBeforeRename = faultpoint.New("model.save.before_rename")
+	fpSaveAfterRename  = faultpoint.New("model.save.after_rename")
+	fpLoadDecode       = faultpoint.New("model.load.decode")
+)
+
+// TmpSuffix marks an in-progress atomic write. A crash can strand such a
+// file; it is never a committed artifact and is safe to delete on startup.
+const TmpSuffix = ".tmp"
+
+// CorruptError marks artifact bytes that are structurally or semantically
+// invalid — as opposed to I/O failures reading them. Callers use the
+// distinction to quarantine corrupt files while leaving unreadable-but-
+// possibly-fine files alone.
+type CorruptError struct {
+	Err error
+}
+
+func (e *CorruptError) Error() string { return e.Err.Error() }
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// IsCorrupt reports whether err marks corrupt artifact content.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
 
 // Magic identifies a ZeroED model artifact.
 const Magic = "ZEDM"
@@ -104,8 +138,18 @@ func Encode(m *zeroed.Model) ([]byte, error) {
 }
 
 // Decode reconstructs a scoring-ready model from artifact bytes, rejecting
-// anything structurally or semantically corrupt.
+// anything structurally or semantically corrupt. Every Decode failure is a
+// *CorruptError: the bytes themselves are bad, not the medium they came
+// from.
 func Decode(data []byte) (*zeroed.Model, error) {
+	m, err := decode(data)
+	if err != nil {
+		return nil, &CorruptError{Err: err}
+	}
+	return m, nil
+}
+
+func decode(data []byte) (*zeroed.Model, error) {
 	if len(data) < len(Magic)+8 {
 		return nil, fmt.Errorf("model: artifact truncated at %d bytes", len(data))
 	}
@@ -188,22 +232,80 @@ func Load(r io.Reader) (*zeroed.Model, error) {
 	return Decode(data)
 }
 
-// SaveFile writes the artifact to path.
+// SaveFile writes the artifact to path with full crash safety: a reader
+// observes either the previous contents or the complete new artifact, never
+// a torn write (see WriteFileAtomic).
 func SaveFile(path string, m *zeroed.Model) error {
 	data, err := Encode(m)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return WriteFileAtomic(path, data)
 }
 
-// LoadFile reads and decodes the artifact at path.
+// WriteFileAtomic commits data to path durably: write to path+TmpSuffix,
+// fsync the file, rename over path, then fsync the directory so the rename
+// itself survives power loss. A crash at any point leaves either the old
+// contents or the new — plus at worst a stranded .tmp file, which is never
+// read as an artifact and is reaped at the next startup.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + TmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = fpSaveAfterWrite.Eval()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = fpSaveBeforeRename.Eval()
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := fpSaveAfterRename.Eval(); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-committed rename inside it is
+// durable. Best effort on platforms where directories refuse fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
+// LoadFile reads and decodes the artifact at path. Open/read failures come
+// back as plain I/O errors; bad bytes come back as *CorruptError.
 func LoadFile(path string) (*zeroed.Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	if err := fpLoadDecode.Eval(); err != nil {
+		return nil, &CorruptError{Err: err}
+	}
 	return Load(f)
 }
 

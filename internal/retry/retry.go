@@ -1,0 +1,122 @@
+// Package retry is a small jittered-exponential-backoff retrier for
+// transient failures (a flaky LLM backend, a briefly unavailable disk).
+//
+// Determinism contract: the jitter draws from the policy's own seeded
+// random stream, created per Do call — it never touches any RNG the caller
+// owns. Retrying therefore cannot perturb seeded computation in the retried
+// function: a call that eventually succeeds is bit-identical to one that
+// succeeded first try, as long as the function itself is deterministic and
+// failed attempts have no side effects.
+package retry
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy tunes one retry loop. The zero value retries nothing extra
+// (withDefaults turns it into 5 attempts, 5ms..1s backoff, 50% jitter).
+type Policy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (default 5). 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 5ms); each
+	// further retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 1s).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay that is randomized (default
+	// 0.5): the slept delay is d*(1-Jitter/2) + d*Jitter*u for uniform u in
+	// [0,1), so the mean is unchanged and retry storms decorrelate.
+	Jitter float64
+	// Seed seeds the jitter stream (0 means seed 1). The stream is local to
+	// each Do call; it exists so backoff timing is reproducible, and so the
+	// retrier provably never draws from a caller-owned RNG.
+	Seed int64
+	// OnRetry, when set, observes each scheduled retry (attempt is the
+	// 1-based number of the attempt that just failed).
+	OnRetry func(attempt int, err error)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Jitter <= 0 || p.Jitter > 1 {
+		p.Jitter = 0.5
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Do runs fn until it succeeds, the attempt budget is spent, or the context
+// ends. Context errors (from the context itself, or surfaced by fn) are
+// returned immediately and never retried — a canceled caller must not keep
+// hammering a backend. The final error wraps fn's last error.
+func Do(ctx context.Context, p Policy, fn func() error) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt >= p.MaxAttempts {
+			break
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err)
+		}
+		if serr := sleep(ctx, delay(p, rng, attempt)); serr != nil {
+			return serr
+		}
+	}
+	return fmt.Errorf("retry: %d attempts failed: %w", p.MaxAttempts, err)
+}
+
+// delay computes the jittered backoff before retry number `attempt`
+// (1-based count of failures so far).
+func delay(p Policy, rng *rand.Rand, attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	f := float64(d) * (1 - p.Jitter/2 + p.Jitter*rng.Float64())
+	return time.Duration(f)
+}
+
+// sleep waits d, aborting early when the context ends.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,122 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var errFlaky = errors.New("flaky")
+
+func fastPolicy() Policy {
+	return Policy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+}
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	retries := 0
+	p := fastPolicy()
+	p.OnRetry = func(attempt int, err error) {
+		retries++
+		if !errors.Is(err, errFlaky) {
+			t.Fatalf("OnRetry err = %v", err)
+		}
+	}
+	err := Do(context.Background(), p, func() error {
+		calls++
+		if calls < 3 {
+			return errFlaky
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls=%d retries=%d, want 3 and 2", calls, retries)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func() error {
+		calls++
+		return errFlaky
+	})
+	if !errors.Is(err, errFlaky) {
+		t.Fatalf("Do = %v, want wrapped errFlaky", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want MaxAttempts=4", calls)
+	}
+}
+
+func TestDoStopsOnCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Do(ctx, fastPolicy(), func() error {
+		calls++
+		cancel()
+		return errFlaky
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d after cancel, want 1", calls)
+	}
+}
+
+func TestDelayExponentialAndCapped(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 45 * time.Millisecond, Jitter: 0.5, MaxAttempts: 8}.withDefaults()
+	rng := rand.New(rand.NewSource(1))
+	prevCap := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := delay(p, rng, attempt)
+		// Nominal delay before jitter: min(45ms, 10ms<<(attempt-1)).
+		nominal := p.BaseDelay << (attempt - 1)
+		if nominal > p.MaxDelay {
+			nominal = p.MaxDelay
+		}
+		lo := time.Duration(float64(nominal) * 0.74)
+		hi := time.Duration(float64(nominal) * 1.26)
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: delay %v outside jitter band [%v, %v]", attempt, d, lo, hi)
+		}
+		if nominal < prevCap {
+			t.Fatalf("nominal delay shrank: %v after %v", nominal, prevCap)
+		}
+		prevCap = nominal
+	}
+}
+
+func TestJitterStreamIsLocalAndSeeded(t *testing.T) {
+	// Two Do calls with the same seed sleep identical jittered delays; the
+	// caller's own RNG stream is untouched by retrying.
+	seq := func() []time.Duration {
+		p := Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Seed: 7}.withDefaults()
+		rng := rand.New(rand.NewSource(p.Seed))
+		var ds []time.Duration
+		for a := 1; a <= 3; a++ {
+			ds = append(ds, delay(p, rng, a))
+		}
+		return ds
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter stream not reproducible: %v vs %v", a, b)
+		}
+	}
+
+	callerRng := rand.New(rand.NewSource(99))
+	before := callerRng.Float64()
+	callerRng = rand.New(rand.NewSource(99))
+	_ = Do(context.Background(), fastPolicy(), func() error { return errFlaky })
+	after := callerRng.Float64()
+	if before != after {
+		t.Fatal("retrying perturbed a caller-owned RNG stream")
+	}
+}

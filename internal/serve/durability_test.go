@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/faultpoint"
+)
+
+// metricsText fetches the full /metrics body as a string.
+func metricsText(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// dirNames lists the file names in dir matching the given suffix.
+func dirNames(t *testing.T, dir, suffix string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), suffix) {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// readManifest decodes manifest.json from the model dir.
+func readManifest(t *testing.T, dir string) manifest {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest.json unparseable: %v\n%s", err, raw)
+	}
+	return m
+}
+
+// TestQuarantineOnceAcrossRestarts: a corrupt artifact (garbage or
+// zero-byte) is renamed to *.corrupt and counted exactly once; the next
+// boot sees a clean directory and counts nothing.
+func TestQuarantineOnceAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "m-000007"+artifactExt), []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "m-000008"+artifactExt), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A stranded atomic-write temp file from a crashed save is reaped too.
+	if err := os.WriteFile(filepath.Join(dir, "m-000009"+artifactExt+".tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ts1, _ := testServer(t, Config{Workers: 1, ModelDir: dir})
+	text := metricsText(t, ts1.URL)
+	if !strings.Contains(text, "zeroedd_models_quarantined_total 2") {
+		t.Fatalf("first boot should quarantine 2 artifacts:\n%s", text)
+	}
+	if !strings.Contains(text, "zeroedd_model_load_failures_total 2") {
+		t.Fatalf("first boot should count 2 load failures:\n%s", text)
+	}
+	if got := dirNames(t, dir, corruptSuffix); len(got) != 2 {
+		t.Fatalf("want 2 quarantined files, got %v", got)
+	}
+	if got := dirNames(t, dir, artifactExt); len(got) != 0 {
+		t.Fatalf("corrupt originals should be renamed away, got %v", got)
+	}
+	if got := dirNames(t, dir, ".tmp"); len(got) != 0 {
+		t.Fatalf("stranded temp files should be swept, got %v", got)
+	}
+
+	// Second boot: the quarantined files no longer parse as artifacts, so
+	// the same corruption is NOT re-counted (satellite: counted once, not
+	// once per restart).
+	ts2, _ := testServer(t, Config{Workers: 1, ModelDir: dir})
+	text = metricsText(t, ts2.URL)
+	if !strings.Contains(text, "zeroedd_models_quarantined_total 0") {
+		t.Fatalf("second boot re-counted quarantined artifacts:\n%s", text)
+	}
+	if !strings.Contains(text, "zeroedd_model_load_failures_total 0") {
+		t.Fatalf("second boot re-counted load failures:\n%s", text)
+	}
+	if got := dirNames(t, dir, corruptSuffix); len(got) != 2 {
+		t.Fatalf("quarantined files should be left in place, got %v", got)
+	}
+}
+
+// TestManifestLedger: a fit writes the commit ledger; a manifest that
+// claims a version no artifact backs makes the loss loudly observable at
+// the next boot, and the ledger is rewritten to match reality.
+func TestManifestLedger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits a model over HTTP")
+	}
+	dir := t.TempDir()
+	ts1, _ := testServer(t, Config{Workers: 2, ModelDir: dir})
+	csv := benchCSV(t, datasets.Hospital(120, 3).Dirty)
+	st := fitHTTPModel(t, ts1.URL, csv, "?seed=3")
+
+	man := readManifest(t, dir)
+	if man.Models[st.ID] != 1 {
+		t.Fatalf("manifest after fit: %+v, want %s -> 1", man.Models, st.ID)
+	}
+
+	// Rewrite the ledger to claim a version 3 that never hit the disk —
+	// the moral equivalent of an artifact lost to a torn volume.
+	man.Models[st.ID] = 3
+	raw, _ := json.Marshal(&man)
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2, _ := testServer(t, Config{Workers: 2, ModelDir: dir})
+	text := metricsText(t, ts2.URL)
+	if !strings.Contains(text, "zeroedd_manifest_missing_total 1") {
+		t.Fatalf("missing committed version not counted:\n%s", text)
+	}
+	// The model still serves from the highest intact version.
+	var sr ScoreResult
+	postModelCSV(t, ts2.URL+"/v1/models/"+st.ID+"/score", csv, http.StatusOK, &sr)
+	// And the ledger now reflects what actually restored.
+	if man = readManifest(t, dir); man.Models[st.ID] != 1 {
+		t.Fatalf("manifest not rewritten after recovery: %+v", man.Models)
+	}
+}
+
+// TestHighestIntactVersionWins: with v1 and v2 intact and v3 corrupt on
+// disk, a restart serves v2 bit-identically, quarantines v3, and records
+// v2 in the manifest.
+func TestHighestIntactVersionWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits a model over HTTP")
+	}
+	dir := t.TempDir()
+	ts1, _ := testServer(t, Config{Workers: 2, ModelDir: dir})
+	csv := benchCSV(t, datasets.Hospital(120, 3).Dirty)
+	st := fitHTTPModel(t, ts1.URL, csv, "?seed=3")
+	var before ScoreResult
+	postModelCSV(t, ts1.URL+"/v1/models/"+st.ID+"/score", csv, http.StatusOK, &before)
+
+	// Fake a committed refit: copy v1's artifact to the v2 slot (a valid
+	// model), and leave a torn v3 behind.
+	v1, err := os.ReadFile(filepath.Join(dir, artifactFile(st.ID, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, artifactFile(st.ID, 2)), v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, artifactFile(st.ID, 3)), v1[:len(v1)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2, _ := testServer(t, Config{Workers: 2, ModelDir: dir})
+	resp, err := http.Get(ts2.URL + "/v1/models/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info ModelStatus
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Version != 2 {
+		t.Fatalf("restored version %d, want 2 (highest intact)", info.Version)
+	}
+	var after ScoreResult
+	postModelCSV(t, ts2.URL+"/v1/models/"+st.ID+"/score", csv, http.StatusOK, &after)
+	for i := range before.Pred {
+		for j := range before.Pred[i] {
+			if before.Pred[i][j] != after.Pred[i][j] {
+				t.Fatalf("recovered verdict differs at (%d,%d)", i, j)
+			}
+			if math.Float64bits(before.Scores[i][j]) != math.Float64bits(after.Scores[i][j]) {
+				t.Fatalf("recovered score bits differ at (%d,%d)", i, j)
+			}
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, artifactFile(st.ID, 3)+corruptSuffix)); err != nil {
+		t.Fatalf("torn v3 not quarantined: %v", err)
+	}
+	if man := readManifest(t, dir); man.Models[st.ID] != 2 {
+		t.Fatalf("manifest after recovery: %+v, want %s -> 2", man.Models, st.ID)
+	}
+	text := metricsText(t, ts2.URL)
+	if !strings.Contains(text, "zeroedd_models_quarantined_total 1") {
+		t.Fatalf("torn v3 not counted as quarantined:\n%s", text)
+	}
+}
+
+// deadlineErr decodes a structured error envelope and asserts the typed
+// deadline shape: 503, code "deadline", Retry-After set.
+func assertDeadline(t *testing.T, resp *http.Response) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		var raw bytes.Buffer
+		raw.ReadFrom(resp.Body)
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, raw.String())
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("deadline response missing Retry-After")
+	}
+	var env struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "deadline" {
+		t.Fatalf("error code %q, want \"deadline\"", env.Error.Code)
+	}
+}
+
+// TestRequestDeadlineFit: a fit that exceeds -request-timeout returns the
+// typed 503, never a generic 500.
+func TestRequestDeadlineFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts a fit over HTTP")
+	}
+	ts, _ := testServer(t, Config{Workers: 2, RequestTimeout: 50 * time.Millisecond})
+	csv := benchCSV(t, datasets.Hospital(150, 3).Dirty)
+	resp, err := http.Post(ts.URL+"/v1/models?seed=3", "text/csv", bytes.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDeadline(t, resp)
+	if !strings.Contains(metricsText(t, ts.URL), "zeroedd_request_deadlines_total 1") {
+		t.Error("deadline not counted in metrics")
+	}
+}
+
+// slowBody yields head immediately, then rest after delay — a client whose
+// upload outlives the server-side request deadline.
+func slowBody(head, rest []byte, delay time.Duration) io.Reader {
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write(head)
+		time.Sleep(delay)
+		pw.Write(rest)
+		pw.Close()
+	}()
+	return pr
+}
+
+// TestRequestDeadlineScoreAndStream: a score whose body arrives after the
+// deadline gets the typed 503; a stream — whose 200 is already on the wire
+// — gets a terminal typed error line instead.
+func TestRequestDeadlineScoreAndStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits a model over HTTP")
+	}
+	dir := t.TempDir()
+	tsFit, _ := testServer(t, Config{Workers: 2, ModelDir: dir})
+	csv := benchCSV(t, datasets.Hospital(120, 3).Dirty)
+	st := fitHTTPModel(t, tsFit.URL, csv, "?seed=3")
+
+	// Same directory, now behind a tight request deadline.
+	ts, _ := testServer(t, Config{Workers: 2, ModelDir: dir, RequestTimeout: 100 * time.Millisecond})
+	header := []byte(strings.Join(st.Attrs, ",") + "\n")
+	row := []byte(strings.Join(dsRows(datasets.Hospital(120, 3).Dirty, 1)[0], ",") + "\n")
+
+	resp, err := http.Post(ts.URL+"/v1/models/"+st.ID+"/score", "text/csv",
+		slowBody(header, row, 400*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDeadline(t, resp)
+
+	resp, err = http.Post(ts.URL+"/v1/models/"+st.ID+"/stream", "text/csv",
+		slowBody(header, row, 400*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d, want 200 (error arrives in-band)", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errLine string
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.Contains(line, `"error"`) {
+			errLine = line
+		}
+	}
+	if !strings.Contains(errLine, `"deadline"`) {
+		t.Fatalf("stream should end with a typed deadline line, got:\n%s", body)
+	}
+	if !strings.Contains(metricsText(t, ts.URL), "zeroedd_request_deadlines_total 2") {
+		t.Error("score+stream deadlines not counted in metrics")
+	}
+}
+
+// TestClientDisconnectMidFit: a client that vanishes mid-fit leaves the
+// registry and the model directory exactly as they were — no phantom
+// registration, no stranded artifact or temp file — and the very next fit
+// succeeds.
+func TestClientDisconnectMidFit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits models over HTTP")
+	}
+	dir := t.TempDir()
+	ts, _ := testServer(t, Config{Workers: 2, ModelDir: dir})
+	csv := benchCSV(t, datasets.Hospital(250, 5).Dirty)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/models?seed=4", bytes.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Skip("fit finished before the disconnect; nothing to assert")
+	}
+
+	// The abandoned fit unwinds asynchronously; poll for a quiescent,
+	// consistent state.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		zedms := dirNames(t, dir, artifactExt)
+		tmps := dirNames(t, dir, ".tmp")
+		var listing struct {
+			Models []ModelStatus `json:"models"`
+		}
+		resp, err := http.Get(ts.URL + "/v1/models")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&listing)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(zedms) == 0 && len(tmps) == 0 && len(listing.Models) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("inconsistent state after disconnect: artifacts %v tmp %v registry %d",
+				zedms, tmps, len(listing.Models))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The server is fully healthy: the next fit lands and persists.
+	st := fitHTTPModel(t, ts.URL, benchCSV(t, datasets.Hospital(120, 3).Dirty), "?seed=3")
+	if _, err := os.Stat(filepath.Join(dir, artifactFile(st.ID, 1))); err != nil {
+		t.Fatalf("post-disconnect fit not persisted: %v", err)
+	}
+	if man := readManifest(t, dir); man.Models[st.ID] != 1 {
+		t.Fatalf("manifest after post-disconnect fit: %+v", man.Models)
+	}
+}
+
+// TestRefitFailureBackoffKeepsServing: when every drift-triggered refit
+// fails at the persist boundary, the model keeps serving its last good
+// version (zero non-200s under concurrent load), the failure is counted,
+// and the backoff/breaker state is exported as gauges.
+func TestRefitFailureBackoffKeepsServing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits models over HTTP")
+	}
+	if err := faultpoint.Arm("serve.refit.persist", "error"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultpoint.Reset)
+
+	dir := t.TempDir()
+	ts, _ := testServer(t, Config{
+		Workers:           4,
+		ModelDir:          dir,
+		MaxRows:           400,
+		StreamChunkRows:   64,
+		DriftThreshold:    0.15,
+		DriftMinRows:      400,
+		RefitBreakerAfter: 1,
+	})
+	bench := datasets.Hospital(250, 5)
+	csv := benchCSV(t, bench.Dirty)
+	st := fitHTTPModel(t, ts.URL, csv, "?seed=5")
+
+	warm := dsRows(bench.Dirty, 400)
+	out := postStream(t, ts.URL+"/v1/models/"+st.ID+"/stream", "text/csv", rowsCSV(t, st.Attrs, warm))
+	if out.status != http.StatusOK || out.errLine != "" {
+		t.Fatalf("warm stream: status %d err %q", out.status, out.errLine)
+	}
+
+	// Novel rows trip the drift gauge and start a refit that is doomed to
+	// fail at persist; concurrently, hammer the score endpoint — every
+	// response must stay 200 on the last good version.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postStream(t, ts.URL+"/v1/models/"+st.ID+"/stream", "text/csv",
+			rowsCSV(t, st.Attrs, novelRows(len(st.Attrs), 250)))
+	}()
+	errs := make([]error, 20)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/models/"+st.ID+"/score", "text/csv", bytes.NewReader(csv))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("score %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wait for the doomed refit to settle as a counted failure.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if strings.Contains(metricsText(t, ts.URL), `zeroedd_model_refits_total{outcome="failed"} 1`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("refit failure never counted:\n%s", metricsText(t, ts.URL))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	text := metricsText(t, ts.URL)
+	for _, want := range []string{
+		fmt.Sprintf("zeroedd_model_refit_breaker{model=%q} 1", st.ID),
+		fmt.Sprintf("zeroedd_model_refit_consecutive_failures{model=%q} 1", st.ID),
+		fmt.Sprintf("zeroedd_model_version{model=%q} 1", st.ID),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// The failed successor's artifact must not be on disk, and the
+	// registry still serves version 1.
+	if _, err := os.Stat(filepath.Join(dir, artifactFile(st.ID, 2))); err == nil {
+		t.Error("failed refit left a v2 artifact on disk")
+	}
+	var info ModelStatus
+	resp, err := http.Get(ts.URL + "/v1/models/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Version != 1 {
+		t.Fatalf("version %d after failed refit, want 1", info.Version)
+	}
+}

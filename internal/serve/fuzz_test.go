@@ -42,3 +42,39 @@ func FuzzDetect(f *testing.F) {
 		}
 	})
 }
+
+// FuzzStreamNDJSON throws arbitrary bytes at the streaming NDJSON row
+// decoder: it must never panic, never emit a row with the wrong arity, and
+// never return more rows per call than asked for — the memory bound the
+// streaming endpoint relies on to stay O(chunk), not O(body).
+func FuzzStreamNDJSON(f *testing.F) {
+	f.Add([]byte(`["a","b"]`))
+	f.Add([]byte(`{"x":"a","y":null}`))
+	f.Add([]byte("\n\n[1,2]\n{\"x\":\"v\",\"y\":3.5}\n"))
+	f.Add([]byte(`[{"deep":[1,2]},"b"]`))
+	f.Add([]byte(`{"x":"a","y":"b","z":"unknown"}`))
+	f.Add([]byte(`["only one cell"]`))
+	f.Add([]byte("[\"a\",\"b\"]\nnot json at all\n[\"c\",\"d\"]"))
+	f.Add([]byte("\xff\xfe\x00 garbage"))
+	f.Add(bytes.Repeat([]byte(`["a","b"]`+"\n"), 100))
+	attrs := []string{"x", "y"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := newNDJSONSource(bytes.NewReader(data), attrs)
+		const max = 8
+		for i := 0; i < 1<<20; i++ { // hard stop: next must terminate
+			rows, err := src.next(max)
+			if len(rows) > max {
+				t.Fatalf("next(%d) returned %d rows", max, len(rows))
+			}
+			for _, row := range rows {
+				if len(row) != len(attrs) {
+					t.Fatalf("row has %d cells, model expects %d", len(row), len(attrs))
+				}
+			}
+			if err != nil {
+				return // io.EOF or a decode error: both are clean exits
+			}
+		}
+		t.Fatal("ndjson source never terminated")
+	})
+}

@@ -34,6 +34,12 @@ type metrics struct {
 	scoreRuns         atomic.Int64
 	scoreNanos        atomic.Int64
 
+	// Durability and failure containment (see durability.go).
+	modelsQuarantined     atomic.Int64
+	manifestWriteFailures atomic.Int64
+	manifestMissing       atomic.Int64
+	deadlines             atomic.Int64
+
 	// Streaming detection and drift-triggered refits.
 	streamRequests atomic.Int64
 	streamRows     atomic.Int64
@@ -69,10 +75,12 @@ func (m *metrics) addFitStages(stages []zeroed.StageTiming) {
 // its current version and — when a stream has touched it — its live drift
 // reading.
 type modelGauge struct {
-	id       string
-	version  int
-	hasDrift bool
-	drift    stats.DriftGauges
+	id        string
+	version   int
+	hasDrift  bool
+	drift     stats.DriftGauges
+	hasHealth bool
+	health    zeroed.RefitHealth
 }
 
 // modelGauges snapshots every registered model's version plus the drift
@@ -80,12 +88,16 @@ type modelGauge struct {
 // exposition output.
 func (s *Server) modelGauges() []modelGauge {
 	drift := s.driftReadings()
+	health := s.healthReadings()
 	list := s.reg.list()
 	out := make([]modelGauge, 0, len(list))
 	for _, st := range list {
 		g := modelGauge{id: st.ID, version: st.Version}
 		if d, ok := drift[st.ID]; ok {
 			g.hasDrift, g.drift = true, d
+		}
+		if h, ok := health[st.ID]; ok {
+			g.hasHealth, g.health = true, h
 		}
 		out = append(out, g)
 	}
@@ -133,6 +145,22 @@ func (m *metrics) render(w io.Writer, byState map[JobState]int, modelCount int, 
 	fmt.Fprintln(w, "# TYPE zeroedd_model_load_failures_total counter")
 	fmt.Fprintf(w, "zeroedd_model_load_failures_total %d\n", m.modelLoadFailures.Load())
 
+	fmt.Fprintln(w, "# HELP zeroedd_models_quarantined_total Corrupt artifacts renamed aside to *.corrupt at startup.")
+	fmt.Fprintln(w, "# TYPE zeroedd_models_quarantined_total counter")
+	fmt.Fprintf(w, "zeroedd_models_quarantined_total %d\n", m.modelsQuarantined.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_manifest_write_failures_total Registry manifest writes that failed (soft: artifacts remain the source of truth).")
+	fmt.Fprintln(w, "# TYPE zeroedd_manifest_write_failures_total counter")
+	fmt.Fprintf(w, "zeroedd_manifest_write_failures_total %d\n", m.manifestWriteFailures.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_manifest_missing_total Manifest-committed artifact versions found missing or unloadable at startup.")
+	fmt.Fprintln(w, "# TYPE zeroedd_manifest_missing_total counter")
+	fmt.Fprintf(w, "zeroedd_manifest_missing_total %d\n", m.manifestMissing.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_request_deadlines_total Requests that exceeded the configured request timeout.")
+	fmt.Fprintln(w, "# TYPE zeroedd_request_deadlines_total counter")
+	fmt.Fprintf(w, "zeroedd_request_deadlines_total %d\n", m.deadlines.Load())
+
 	fmt.Fprintln(w, "# HELP zeroedd_fit_seconds Fit-phase wall-clock across model fits.")
 	fmt.Fprintln(w, "# TYPE zeroedd_fit_seconds summary")
 	fmt.Fprintf(w, "zeroedd_fit_seconds_sum %g\n", time.Duration(m.fitNanos.Load()).Seconds())
@@ -172,6 +200,35 @@ func (m *metrics) render(w io.Writer, byState map[JobState]int, modelCount int, 
 		fmt.Fprintln(w, "# TYPE zeroedd_model_version gauge")
 		for _, g := range models {
 			fmt.Fprintf(w, "zeroedd_model_version{model=%q} %d\n", g.id, g.version)
+		}
+	}
+	withHealth := false
+	for _, g := range models {
+		if g.hasHealth {
+			withHealth = true
+			break
+		}
+	}
+	if withHealth {
+		fmt.Fprintln(w, "# HELP zeroedd_model_refit_breaker Per-model refit circuit breaker: 1 when open (refits disabled until a successful install).")
+		fmt.Fprintln(w, "# TYPE zeroedd_model_refit_breaker gauge")
+		for _, g := range models {
+			if !g.hasHealth {
+				continue
+			}
+			open := 0
+			if g.health.BreakerOpen {
+				open = 1
+			}
+			fmt.Fprintf(w, "zeroedd_model_refit_breaker{model=%q} %d\n", g.id, open)
+		}
+		fmt.Fprintln(w, "# HELP zeroedd_model_refit_consecutive_failures Consecutive failed refits since the last successful install (drives exponential backoff).")
+		fmt.Fprintln(w, "# TYPE zeroedd_model_refit_consecutive_failures gauge")
+		for _, g := range models {
+			if !g.hasHealth {
+				continue
+			}
+			fmt.Fprintf(w, "zeroedd_model_refit_consecutive_failures{model=%q} %d\n", g.id, g.health.ConsecutiveFailures)
 		}
 	}
 	withDrift := false

@@ -105,9 +105,14 @@ func newRegistry(cfg Config, met *metrics) *registry {
 	return r
 }
 
-// loadDir restores persisted artifacts from the model directory. Corrupt or
-// unreadable files are skipped (and counted), so one damaged artifact never
-// takes down the service with it.
+// loadDir restores persisted artifacts from the model directory: for each
+// model id, the highest intact version wins. Recovery unions the manifest
+// (the commit ledger) with a directory scan — the atomic save protocol
+// guarantees every scanned artifact is complete-or-absent, and the manifest
+// makes a missing or corrupt committed version loudly observable. Corrupt
+// files are quarantined to *.corrupt (renamed once, counted once — later
+// boots skip them entirely), stranded *.tmp files from a crash mid-save are
+// reaped, and the manifest is rewritten to match what actually restored.
 func (r *registry) loadDir(met *metrics) {
 	if r.dir == "" {
 		return
@@ -122,6 +127,15 @@ func (r *registry) loadDir(met *metrics) {
 		fmt.Fprintf(os.Stderr, "zeroedd: model dir %s unreadable: %v\n", r.dir, err)
 		met.modelLoadFailures.Add(1)
 		return
+	}
+	sweepTmp(r.dir, entries)
+	man, err := loadManifest(r.dir)
+	if err != nil {
+		// A corrupt manifest never blocks recovery: the artifacts are the
+		// source of truth and the scan below restores from them alone.
+		fmt.Fprintf(os.Stderr, "zeroedd: manifest unreadable (recovering from directory scan): %v\n", err)
+		met.manifestWriteFailures.Add(1)
+		man = &manifest{Models: map[string]int{}}
 	}
 	// Group artifacts by model id: each id may carry several versions
 	// (id.zedm is version 1, id.vN.zedm a refit successor). The registry
@@ -142,6 +156,13 @@ func (r *registry) loadDir(met *metrics) {
 		}
 		versions[id] = append(versions[id], v)
 	}
+	// Manifest entries with no surviving file still advance the scan: the
+	// per-version load below reports them as missing.
+	for id := range man.Models {
+		if _, seen := versions[id]; !seen {
+			ids = append(ids, id)
+		}
+	}
 	sort.Strings(ids)
 	// Advance the ID counter past EVERY artifact on disk — including files
 	// skipped below as corrupt or beyond capacity — so a freshly assigned
@@ -157,11 +178,15 @@ func (r *registry) loadDir(met *metrics) {
 		}
 		vs := versions[id]
 		sort.Sort(sort.Reverse(sort.IntSlice(vs)))
+		restored := 0
 		for _, v := range vs {
 			path := filepath.Join(r.dir, artifactFile(id, v))
 			m, err := model.LoadFile(path)
 			if err != nil {
 				met.modelLoadFailures.Add(1)
+				if model.IsCorrupt(err) {
+					quarantine(path, met)
+				}
 				continue // fall back to the previous version, if any
 			}
 			fi, _ := os.Stat(path)
@@ -173,8 +198,30 @@ func (r *registry) loadDir(met *metrics) {
 			}
 			r.models[id] = &regEntry{id: id, name: id, m: m, created: created, bytes: size, version: v}
 			r.order = append(r.order, id)
+			restored = v
 			break
 		}
+		// The manifest said version N was committed; restoring anything
+		// less means a committed artifact vanished or rotted — say so
+		// explicitly instead of silently serving the older version.
+		if committed := man.Models[id]; committed > restored {
+			fmt.Fprintf(os.Stderr, "zeroedd: model %s: manifest committed v%d but recovered v%d\n",
+				id, committed, restored)
+			met.manifestMissing.Add(1)
+		}
+	}
+	// Re-anchor the ledger to reality: recovery (quarantines, fallbacks)
+	// may have changed which versions are live. Skipped when the ledger
+	// already matches — a clean boot performs no writes, so an armed
+	// disk-write failpoint fires at the operation under test, not here.
+	stale := len(man.Models) != len(r.models)
+	for id, e := range r.models {
+		if man.Models[id] != e.version {
+			stale = true
+		}
+	}
+	if stale {
+		r.writeManifest(met)
 	}
 }
 
@@ -408,7 +455,11 @@ func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
 	m, err := s.fitModel(r, cfg, ds)
 	fitDur := time.Since(start) // the fit phase alone, not encode/persist
 	if err != nil {
-		if r.Context().Err() != nil {
+		switch s.classifyFailure(r) {
+		case failDeadline:
+			s.writeDeadline(w)
+			return
+		case failClientGone:
 			return // client gone; nothing useful to write
 		}
 		if errors.Is(err, errInternalPanic) {
@@ -429,11 +480,23 @@ func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.cfg.ModelDir != "" {
-		if err := s.persistArtifact(artifactFile(e.id, e.version), data); err != nil {
-			s.reg.remove(e.id)
+		err := fpFitPersist.Eval()
+		if err == nil {
+			err = s.persistArtifact(artifactFile(e.id, e.version), data)
+		}
+		if err != nil {
+			// Roll the registration back completely: a failure after the
+			// commit point (rename) may have left the artifact on disk, and
+			// a half-registered model must not resurrect on restart.
+			if paths, ok := s.reg.remove(e.id); ok {
+				for _, p := range paths {
+					_ = os.Remove(p)
+				}
+			}
 			writeErr(w, http.StatusInternalServerError, "persist_failed", err.Error())
 			return
 		}
+		s.reg.writeManifest(s.met)
 	}
 	s.met.modelsFitted.Add(1)
 	s.met.fitRuns.Add(1)
@@ -459,13 +522,15 @@ func (s *Server) fitModel(r *http.Request, cfg zeroed.Config, ds *table.Dataset)
 	return zeroed.New(cfg).FitOn(r.Context(), s.mgr.pool, ds)
 }
 
-// persistArtifact writes the encoded artifact under the model directory,
-// creating it on first use.
+// persistArtifact durably commits the encoded artifact under the model
+// directory (creating it on first use) via the atomic temp+fsync+rename
+// protocol: a crash at any point leaves the directory with either no new
+// artifact or the complete one, never a torn file.
 func (s *Server) persistArtifact(file string, data []byte) error {
 	if err := os.MkdirAll(s.cfg.ModelDir, 0o755); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(s.cfg.ModelDir, file), data, 0o644)
+	return model.WriteFileAtomic(filepath.Join(s.cfg.ModelDir, file), data)
 }
 
 func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
@@ -510,7 +575,11 @@ func (s *Server) handleModelScore(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.scoreModel(r, e, ds)
 	if err != nil {
-		if r.Context().Err() != nil {
+		switch s.classifyFailure(r) {
+		case failDeadline:
+			s.writeDeadline(w)
+			return
+		case failClientGone:
 			return
 		}
 		if errors.Is(err, errInternalPanic) {
@@ -569,6 +638,9 @@ func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	s.dropScorer(id)
 	for _, path := range paths {
 		_ = os.Remove(path)
+	}
+	if s.cfg.ModelDir != "" {
+		s.reg.writeManifest(s.met)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
 }

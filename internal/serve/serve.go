@@ -29,6 +29,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -86,6 +87,19 @@ type Config struct {
 	// DriftMinRows is the minimum streamed row count before the drift
 	// threshold may trip (default 256).
 	DriftMinRows int
+	// RequestTimeout bounds one request's server-side work (fit, score,
+	// stream). A request that exceeds it gets a typed 503 deadline error
+	// with a Retry-After hint — never a generic 500. 0 disables.
+	RequestTimeout time.Duration
+	// RefitBackoff is the backoff after the first failed drift refit
+	// (default 1s); consecutive failures double it (capped at 100x).
+	RefitBackoff time.Duration
+	// RefitBreakerAfter opens a per-model circuit breaker after this many
+	// consecutive refit failures (default 5; negative disables). An open
+	// breaker stops drift-triggered refits — the last good model keeps
+	// serving — until a successful refit or operator action installs a
+	// fresh model.
+	RefitBreakerAfter int
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +180,11 @@ func (s *Server) Handler() http.Handler {
 					fmt.Sprintf("internal error: %v", rec))
 			}
 		}()
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		s.mux.ServeHTTP(w, r)
 	})
 }
@@ -203,6 +222,42 @@ const (
 func writeBusy(w http.ResponseWriter, code, msg string, retryAfterSec int) {
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
 	writeErr(w, http.StatusTooManyRequests, code, msg)
+}
+
+// retryAfterDeadline hints how long a deadline-exceeded client should wait
+// before retrying, in seconds.
+const retryAfterDeadline = 2
+
+// writeDeadline is the single request-timeout path: a typed 503 with a
+// Retry-After hint. The deadline is a capacity signal (the work was sound,
+// the box was slow), so it must never surface as a generic 500.
+func (s *Server) writeDeadline(w http.ResponseWriter) {
+	s.met.deadlines.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterDeadline))
+	writeErr(w, http.StatusServiceUnavailable, "deadline",
+		fmt.Sprintf("request exceeded the %s server-side deadline", s.cfg.RequestTimeout))
+}
+
+// requestFailure classifies a handler error against the request context:
+// deadline (write the typed 503), client gone (write nothing), or neither
+// (the caller maps its own domain errors).
+type requestFailure int
+
+const (
+	failOther requestFailure = iota
+	failDeadline
+	failClientGone
+)
+
+func (s *Server) classifyFailure(r *http.Request) requestFailure {
+	switch {
+	case errors.Is(r.Context().Err(), context.DeadlineExceeded):
+		return failDeadline
+	case r.Context().Err() != nil:
+		return failClientGone
+	default:
+		return failOther
+	}
 }
 
 // writeIngestErr maps a CSV-ingestion failure to its structured response:

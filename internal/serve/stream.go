@@ -55,9 +55,11 @@ func (s *Server) scorerFor(id string, e *regEntry) (*zeroed.StreamScorer, error)
 		return ss, nil
 	}
 	ss, err := zeroed.NewStreamScorer(e.m, zeroed.StreamConfig{
-		DriftThreshold: s.cfg.DriftThreshold,
-		DriftMinRows:   s.cfg.DriftMinRows,
-		MaxAccumRows:   s.cfg.MaxRows,
+		DriftThreshold:    s.cfg.DriftThreshold,
+		DriftMinRows:      s.cfg.DriftMinRows,
+		MaxAccumRows:      s.cfg.MaxRows,
+		RefitBackoffBase:  s.cfg.RefitBackoff,
+		RefitBreakerAfter: s.cfg.RefitBreakerAfter,
 	})
 	if err != nil {
 		return nil, err
@@ -80,6 +82,18 @@ func (s *Server) driftReadings() map[string]stats.DriftGauges {
 	for id, ss := range s.streams.m {
 		g, _ := ss.Gauges()
 		out[id] = g
+	}
+	return out
+}
+
+// healthReadings snapshots every live stream scorer's refit-failure
+// containment state for /metrics.
+func (s *Server) healthReadings() map[string]zeroed.RefitHealth {
+	s.streams.mu.Lock()
+	defer s.streams.mu.Unlock()
+	out := make(map[string]zeroed.RefitHealth, len(s.streams.m))
+	for id, ss := range s.streams.m {
+		out[id] = ss.RefitHealth()
 	}
 	return out
 }
@@ -167,7 +181,15 @@ func (s *Server) handleModelStream(w http.ResponseWriter, r *http.Request) {
 		if len(chunk) > 0 {
 			res, cst, err := s.scoreChunk(r.Context(), ss, chunk)
 			if err != nil {
-				if r.Context().Err() != nil {
+				switch s.classifyFailure(r) {
+				case failDeadline:
+					// The 200 is already on the wire: the deadline surfaces
+					// as a typed terminal NDJSON line instead of a status.
+					s.met.deadlines.Add(1)
+					_ = enc.Encode(map[string]apiError{"error": {Code: "deadline",
+						Message: fmt.Sprintf("stream exceeded the %s server-side deadline", s.cfg.RequestTimeout)}})
+					return
+				case failClientGone:
 					return // client gone
 				}
 				_ = enc.Encode(map[string]apiError{"error": {Code: "score_failed", Message: err.Error()}})
@@ -257,8 +279,16 @@ func (s *Server) runRefit(id string, ss *zeroed.StreamScorer) {
 	}
 	version := m2.Lineage().Version
 	if s.cfg.ModelDir != "" {
-		if err := s.persistArtifact(artifactFile(id, version), data); err != nil {
+		err := fpRefitPersist.Eval()
+		if err == nil {
+			err = s.persistArtifact(artifactFile(id, version), data)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "zeroedd: refit of %s failed to persist: %v\n", id, err)
+			// A post-commit failure may have left the successor artifact on
+			// disk without a swap; remove it so restart recovers the version
+			// that was actually serving.
+			_ = os.Remove(filepath.Join(s.cfg.ModelDir, artifactFile(id, version)))
 			return
 		}
 	}
@@ -276,6 +306,9 @@ func (s *Server) runRefit(id string, ss *zeroed.StreamScorer) {
 	}
 	ok = true
 	s.met.refitsSwapped.Add(1)
+	if s.cfg.ModelDir != "" {
+		s.reg.writeManifest(s.met)
+	}
 }
 
 // newRowSource picks the body decoder: NDJSON when the Content-Type or the

@@ -146,7 +146,7 @@ func (dt *Detector) fit(ctx context.Context, d *table.Dataset, pool *workPool) (
 	}{
 		{"extractor", func() error { e.stageExtractor(); return nil }},
 		{"criteria", func() error { e.stageCriteria(); return nil }},
-		{"sample_label", func() error { e.stageSampleAndLabel(); return nil }},
+		{"sample_label", e.stageSampleAndLabel},
 		{"traindata", func() error { e.stageTrainingData(); return nil }},
 		{"matrix", func() error { flatX, nTrain, yTrain = e.stageTrainingMatrix(); return nil }},
 		{"train", func() error {
@@ -281,8 +281,10 @@ func countCriteria(sets []*criteria.Set) int {
 
 // stageSampleAndLabel clusters each attribute's feature vectors, samples
 // the cluster representatives, and labels them with the LLM under generated
-// guidelines (Step 2).
-func (e *engine) stageSampleAndLabel() {
+// guidelines (Step 2). Labeling runs through the transient-retry path; a
+// batch that exhausts its retry budget fails the whole stage (reported
+// deterministically: lowest attribute index wins).
+func (e *engine) stageSampleAndLabel() error {
 	n, m := e.d.NumRows(), e.d.NumCols()
 	e.clustersPerAttr = int(float64(n) * e.cfg.LabelRate)
 	if e.clustersPerAttr < 2 {
@@ -306,6 +308,7 @@ func (e *engine) stageSampleAndLabel() {
 	e.labeled = make([][]cellLabel, m)
 	e.clusterings = make([]*cluster.Result, m)
 	sampledPerAttr := make([]int, m)
+	labelErrs := make([]error, m)
 	dim := e.ext.Dim()
 	e.pool.forN(m, func(j int) {
 		if e.ctx.Err() != nil {
@@ -353,15 +356,25 @@ func (e *engine) stageSampleAndLabel() {
 			}
 			end := min(s+e.cfg.BatchSize, len(sampleRows))
 			batch := sampleRows[s:end]
-			verdicts := e.client.LabelBatchDedup(e.d, j, batch, guideline, memo)
+			verdicts, err := e.client.LabelBatchTransient(e.ctx, e.d, j, batch, guideline, memo)
+			if err != nil {
+				labelErrs[j] = err
+				return
+			}
 			for bi, row := range batch {
 				e.labeled[j] = append(e.labeled[j], cellLabel{row: row, col: j, isErr: verdicts[bi]})
 			}
 		}
 	})
+	for _, err := range labelErrs {
+		if err != nil {
+			return fmt.Errorf("zeroed: labeling failed: %w", err)
+		}
+	}
 	for _, s := range sampledPerAttr {
 		e.res.SampledCells += s
 	}
+	return nil
 }
 
 // stageTrainingMatrix materializes the flat feature tile for the verified

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/table"
@@ -38,6 +39,14 @@ type StreamScorer struct {
 	drift   *stats.DriftTracker
 	accum   *table.Dataset
 
+	// Refit failure containment (guarded by mu): consecutive failed refits
+	// push the next attempt out exponentially; enough of them trip the
+	// per-model circuit breaker. Either way the last good model keeps
+	// serving — a failing refit must never hot-loop the fit pipeline.
+	refitFails int
+	retryAt    time.Time
+	broken     bool
+
 	refitting atomic.Bool
 }
 
@@ -55,6 +64,17 @@ type StreamConfig struct {
 	// Beyond it rows keep scoring and keep moving the gauges, but are no
 	// longer retained for refitting.
 	MaxAccumRows int
+	// RefitBackoffBase is the delay before retrying after the first failed
+	// refit (default 1s); each consecutive failure doubles it.
+	RefitBackoffBase time.Duration
+	// RefitBackoffMax caps the refit backoff (default 5m).
+	RefitBackoffMax time.Duration
+	// RefitBreakerAfter trips the per-model circuit breaker after this many
+	// consecutive refit failures (default 5): no further refits trip until a
+	// successful Install resets it. Negative disables the breaker.
+	RefitBreakerAfter int
+	// Clock overrides time.Now for backoff bookkeeping (tests).
+	Clock func() time.Time
 }
 
 func (c StreamConfig) withDefaults() StreamConfig {
@@ -64,7 +84,33 @@ func (c StreamConfig) withDefaults() StreamConfig {
 	if c.MaxAccumRows <= 0 {
 		c.MaxAccumRows = 100_000
 	}
+	if c.RefitBackoffBase <= 0 {
+		c.RefitBackoffBase = time.Second
+	}
+	if c.RefitBackoffMax <= 0 {
+		c.RefitBackoffMax = 5 * time.Minute
+	}
+	if c.RefitBreakerAfter == 0 {
+		c.RefitBreakerAfter = 5
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
 	return c
+}
+
+// RefitHealth is the failure-containment state of one stream's refit loop,
+// exported for gauges and admin introspection.
+type RefitHealth struct {
+	// ConsecutiveFailures counts refit failures since the last successful
+	// Install.
+	ConsecutiveFailures int
+	// BackoffUntil is the time before which drift will not trip another
+	// refit (zero when no backoff is pending).
+	BackoffUntil time.Time
+	// BreakerOpen reports a tripped circuit breaker: refits stay disabled
+	// until a successful Install (e.g. an operator-driven manual refit).
+	BreakerOpen bool
 }
 
 // ChunkStatus reports the stream state after one scored chunk.
@@ -168,10 +214,31 @@ func (ss *StreamScorer) ScoreChunk(ctx context.Context, p *Pool, rows [][]string
 	}
 	ss.accum.PublishSnapshot()
 	st := ChunkStatus{Version: ss.version, Drift: ss.drift.Gauges()}
-	if ss.drift.Trip(ss.cfg.DriftThreshold, ss.cfg.DriftMinRows) && !ss.refitting.Load() {
+	if ss.drift.Trip(ss.cfg.DriftThreshold, ss.cfg.DriftMinRows) &&
+		!ss.refitting.Load() && ss.refitAllowedLocked() {
 		st.ShouldRefit = true
 	}
 	return res, st, nil
+}
+
+// refitAllowedLocked reports whether failure containment permits another
+// refit attempt right now. Caller holds mu.
+func (ss *StreamScorer) refitAllowedLocked() bool {
+	if ss.broken {
+		return false
+	}
+	return ss.retryAt.IsZero() || !ss.cfg.Clock().Before(ss.retryAt)
+}
+
+// RefitHealth returns the current failure-containment state.
+func (ss *StreamScorer) RefitHealth() RefitHealth {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return RefitHealth{
+		ConsecutiveFailures: ss.refitFails,
+		BackoffUntil:        ss.retryAt,
+		BreakerOpen:         ss.broken,
+	}
 }
 
 // BeginRefit claims the single refit slot. It returns false when a refit is
@@ -181,9 +248,29 @@ func (ss *StreamScorer) BeginRefit() bool {
 }
 
 // AbortRefit releases the refit slot without swapping, after a failed fit.
-// The old model keeps serving and the gauges keep accumulating (so a later
-// chunk can trip again).
-func (ss *StreamScorer) AbortRefit() { ss.refitting.Store(false) }
+// The old model keeps serving and the gauges keep accumulating, but the
+// failure is recorded: the next trip is pushed out by exponential backoff
+// (RefitBackoffBase doubling up to RefitBackoffMax), and RefitBreakerAfter
+// consecutive failures open the circuit breaker until the next successful
+// Install.
+func (ss *StreamScorer) AbortRefit() {
+	ss.mu.Lock()
+	ss.refitFails++
+	backoff := ss.cfg.RefitBackoffBase
+	for i := 1; i < ss.refitFails; i++ {
+		backoff *= 2
+		if backoff >= ss.cfg.RefitBackoffMax {
+			backoff = ss.cfg.RefitBackoffMax
+			break
+		}
+	}
+	ss.retryAt = ss.cfg.Clock().Add(backoff)
+	if ss.cfg.RefitBreakerAfter > 0 && ss.refitFails >= ss.cfg.RefitBreakerAfter {
+		ss.broken = true
+	}
+	ss.mu.Unlock()
+	ss.refitting.Store(false)
+}
 
 // Refit trains a successor model on the accumulated stream. It runs from
 // the refit goroutine: the rows are taken from the accumulator's latest
@@ -239,12 +326,19 @@ func (ss *StreamScorer) Refit(ctx context.Context, p *Pool) (*Model, error) {
 // refit slot reopens. In-flight ScoreChunk calls that captured the old
 // model finish on it untouched — the swap replaces the pointer, it never
 // mutates the old model.
+// A successful install also resets refit-failure containment: the breaker
+// closes and any pending backoff clears.
 func (ss *StreamScorer) Install(m *Model) error {
 	if m == nil || m.Degenerate() {
 		return fmt.Errorf("zeroed: cannot install a nil or degenerate model")
 	}
 	ss.mu.Lock()
 	err := ss.install(m)
+	if err == nil {
+		ss.refitFails = 0
+		ss.retryAt = time.Time{}
+		ss.broken = false
+	}
 	ss.mu.Unlock()
 	ss.refitting.Store(false)
 	return err

@@ -1,0 +1,119 @@
+package zeroed
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRefitBackoffAndBreaker pins the failure-containment contract: each
+// failed refit pushes the next attempt out exponentially, enough failures
+// open the breaker, and a successful Install resets everything.
+func TestRefitBackoffAndBreaker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits a model")
+	}
+	m, _ := fitStreamModel(t)
+	now := time.Unix(1000, 0)
+	ss, err := NewStreamScorer(m, StreamConfig{
+		RefitBackoffBase:  time.Second,
+		RefitBackoffMax:   4 * time.Second,
+		RefitBreakerAfter: 3,
+		Clock:             func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := func() bool {
+		ss.mu.Lock()
+		defer ss.mu.Unlock()
+		return ss.refitAllowedLocked()
+	}
+	fail := func() {
+		t.Helper()
+		if !ss.BeginRefit() {
+			t.Fatal("refit slot not free")
+		}
+		ss.AbortRefit()
+	}
+
+	if !allowed() {
+		t.Fatal("fresh scorer blocks refits")
+	}
+
+	// Failure 1: 1s backoff.
+	fail()
+	h := ss.RefitHealth()
+	if h.ConsecutiveFailures != 1 || h.BreakerOpen || !h.BackoffUntil.Equal(now.Add(time.Second)) {
+		t.Fatalf("after failure 1: %+v", h)
+	}
+	if allowed() {
+		t.Fatal("refit allowed inside backoff window")
+	}
+	now = now.Add(time.Second)
+	if !allowed() {
+		t.Fatal("refit blocked after backoff elapsed")
+	}
+
+	// Failure 2: backoff doubles.
+	fail()
+	if h = ss.RefitHealth(); !h.BackoffUntil.Equal(now.Add(2 * time.Second)) {
+		t.Fatalf("after failure 2: %+v, want 2s backoff", h)
+	}
+	now = now.Add(2 * time.Second)
+
+	// Failure 3: breaker opens; no amount of waiting reopens it.
+	fail()
+	if h = ss.RefitHealth(); !h.BreakerOpen || h.ConsecutiveFailures != 3 {
+		t.Fatalf("after failure 3: %+v, want open breaker", h)
+	}
+	now = now.Add(time.Hour)
+	if allowed() {
+		t.Fatal("open breaker still allows refits")
+	}
+
+	// A successful (here: manual) install closes the breaker and clears the
+	// counters — the model slot is healthy again.
+	if !ss.BeginRefit() {
+		t.Fatal("breaker must not block an operator-driven refit slot claim")
+	}
+	if err := ss.Install(m); err != nil {
+		t.Fatal(err)
+	}
+	if h = ss.RefitHealth(); h.ConsecutiveFailures != 0 || h.BreakerOpen || !h.BackoffUntil.IsZero() {
+		t.Fatalf("after install: %+v, want reset health", h)
+	}
+	if !allowed() {
+		t.Fatal("refits blocked after successful install")
+	}
+}
+
+// TestRefitBackoffCaps pins the RefitBackoffMax clamp.
+func TestRefitBackoffCaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fits a model")
+	}
+	m, _ := fitStreamModel(t)
+	now := time.Unix(0, 0)
+	ss, err := NewStreamScorer(m, StreamConfig{
+		RefitBackoffBase:  time.Second,
+		RefitBackoffMax:   3 * time.Second,
+		RefitBreakerAfter: -1, // disabled: backoff alone contains the loop
+		Clock:             func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if !ss.BeginRefit() {
+			t.Fatal("refit slot not free")
+		}
+		ss.AbortRefit()
+	}
+	h := ss.RefitHealth()
+	if h.BreakerOpen {
+		t.Fatalf("breaker opened while disabled: %+v", h)
+	}
+	if !h.BackoffUntil.Equal(now.Add(3 * time.Second)) {
+		t.Fatalf("backoff %v, want capped at 3s", h.BackoffUntil.Sub(now))
+	}
+}

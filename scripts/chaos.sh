@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Chaos sweep for the serve layer's durability story.
+#
+# Part 1 runs the crash-recovery suite (internal/chaos): it re-execs the
+# test binary as a real zeroedd server, arms one crash failpoint per
+# disk-write site (ZEROED_FAILPOINTS=<site>:crash), drives a fit or refit
+# into the crash, kill -9s servers with state committed, restarts, and
+# asserts the highest intact model version recovers with bit-identical
+# scores. TestFailpointCoverage fails the run if any registered failpoint
+# is never exercised — adding a failpoint without chaos coverage is a CI
+# failure, not a silent gap.
+#
+# Part 2 re-runs the fault-relevant unit suites under the race detector
+# with EVERY failpoint armed as a small sleep: timing chaos on each disk
+# write, artifact load, and judge call, with zero behavior change — the
+# whole suite must still pass bit-for-bit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> chaos: crash-recovery suite (subprocess crash sweep + coverage)"
+go test ./internal/chaos/ -count=1
+
+echo "==> chaos: unit suites under timing faults + race detector"
+FAULTS="$(go run ./cmd/zeroedd -list-failpoints | sed 's/$/:sleep(200us)/' | paste -sd, -)"
+echo "    ZEROED_FAILPOINTS=$FAULTS"
+ZEROED_FAILPOINTS="$FAULTS" go test -race -short -count=1 -timeout 25m \
+  ./internal/faultpoint/ ./internal/retry/ ./internal/model/ \
+  ./internal/llm/ ./internal/zeroed/ ./internal/serve/
+
+echo "==> chaos: OK"
