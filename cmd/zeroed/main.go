@@ -1,12 +1,16 @@
-// Command zeroed runs error detection on a CSV dataset. It detects with
-// the ZeroED pipeline by default or any of the six baselines via -method,
-// and reports precision/recall/F1 when a clean ground-truth CSV is given.
+// Command zeroed runs error detection on a tabular dataset. It detects
+// with the ZeroED pipeline by default or any of the six baselines via
+// -method, and reports precision/recall/F1 when a clean ground-truth file
+// is given.
 //
 // Usage:
 //
 //	zeroed -dirty data.csv [-clean truth.csv] [-method zeroed] [-out mask.csv]
 //
-// With -dataset NAME (-dirty omitted), a built-in synthetic benchmark is
+// Inputs may be CSV or NDJSON (one JSON array or object per line, first
+// line the header): the format is auto-detected from the file extension
+// (.ndjson/.jsonl/.json select NDJSON) or forced with -format. With
+// -dataset NAME (-dirty omitted), a built-in synthetic benchmark is
 // generated instead, e.g. -dataset Hospital.
 //
 // Scaling knobs (ZeroED only): -workers bounds the shared worker pool,
@@ -26,6 +30,20 @@
 //	zeroed -dataset Hospital -model-out hospital.zedm
 //	zeroed -dirty fresh.csv -model-in hospital.zedm -out mask.csv
 //
+// A -model-in input may carry extra columns or a permuted header: it is
+// projected onto the model's schema before scoring (extra columns are
+// dropped and reported; missing schema columns are an error).
+//
+// Repair (ZeroED and baselines): -repair FILE applies the repair
+// strategies (FD-implied values, typo correction, numeric medians,
+// dominant modes) to the flagged cells and writes the corrected table;
+// -repair-log FILE additionally writes one JSON line per changed cell
+// (row, col, attr, old, new, strategy). Combined with -model-in this is a
+// score-only detect→repair pass — no refit — bit-identical to the
+// service's POST /v1/models/{id}/repair on the same artifact and bytes:
+//
+//	zeroed -dirty fresh.csv -model-in hospital.zedm -repair fixed.csv -repair-log changes.ndjson
+//
 // Streaming (ZeroED only): -stream scores -dirty (or stdin with "-") chunk
 // by chunk against -model-in, emitting one JSON verdict line per row;
 // verdicts are chunk-invariant. With -drift-threshold T, drifted streams
@@ -44,7 +62,6 @@ package main
 
 import (
 	"context"
-	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -70,6 +87,7 @@ import (
 type runOpts struct {
 	dirtyPath  string
 	cleanPath  string
+	format     string
 	dataset    string
 	size       int
 	method     string
@@ -82,6 +100,7 @@ type runOpts struct {
 	batch      string
 	outPath    string
 	repairOut  string
+	repairLog  string
 	modelOut   string
 	modelIn    string
 	cpuProfile string
@@ -97,6 +116,7 @@ func main() {
 	var o runOpts
 	flag.StringVar(&o.dirtyPath, "dirty", "", "path to the dirty CSV (header row required)")
 	flag.StringVar(&o.cleanPath, "clean", "", "optional path to the clean ground-truth CSV for scoring")
+	flag.StringVar(&o.format, "format", "", "ingest format of -dirty and the -stream input: csv or ndjson (default: auto-detect from the file extension)")
 	flag.StringVar(&o.dataset, "dataset", "", "generate a built-in benchmark instead of reading CSVs (Hospital, Flights, Beers, Rayyan, Billionaire, Movies, Tax)")
 	flag.IntVar(&o.size, "size", 0, "tuple count for -dataset (0 = Table II default)")
 	flag.StringVar(&o.method, "method", "zeroed", "detector: zeroed, dboost, nadeef, katara, raha, activeclean, fmed")
@@ -109,6 +129,7 @@ func main() {
 	flag.StringVar(&o.batch, "batch", "", "detect a batch over one shared pool: comma-separated dirty CSVs, or a replica count with -dataset (replicas generated at seeds seed..seed+n-1)")
 	flag.StringVar(&o.outPath, "out", "", "optional path to write the predicted error mask as CSV")
 	flag.StringVar(&o.repairOut, "repair", "", "optional path to write a repaired copy of the data as CSV")
+	flag.StringVar(&o.repairLog, "repair-log", "", "optional path to write the repair change log as JSON lines (one object per changed cell; requires -repair)")
 	flag.StringVar(&o.modelOut, "model-out", "", "fit and write the model artifact to this path, then score with it (ZeroED only)")
 	flag.StringVar(&o.modelIn, "model-in", "", "skip fitting: load a model artifact and score the input with it (ZeroED only; pipeline flags like -seed and -label-rate are taken from the artifact)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -168,6 +189,12 @@ func run(o runOpts) error {
 	if !ok {
 		return fmt.Errorf("unknown model %q", o.model)
 	}
+	if o.format != "" && o.format != table.FormatCSV && o.format != table.FormatNDJSON {
+		return fmt.Errorf("unknown -format %q (want %s or %s)", o.format, table.FormatCSV, table.FormatNDJSON)
+	}
+	if o.repairLog != "" && o.repairOut == "" {
+		return fmt.Errorf("-repair-log requires -repair (there is no change log without a repair pass)")
+	}
 	if o.modelIn != "" && o.modelOut != "" && !o.stream {
 		return fmt.Errorf("-model-in and -model-out cannot be combined (except with -stream, where -model-out receives the refit successor)")
 	}
@@ -184,6 +211,8 @@ func run(o runOpts) error {
 			return fmt.Errorf("-stream cannot be combined with -batch")
 		case o.cleanPath != "" || o.outPath != "" || o.repairOut != "":
 			return fmt.Errorf("-stream cannot be combined with -clean, -out, or -repair")
+		case o.repairLog != "":
+			return fmt.Errorf("-stream cannot be combined with -repair-log")
 		}
 		return runStream(o)
 	}
@@ -196,8 +225,10 @@ func run(o runOpts) error {
 		}{
 			{"-dirty", o.dirtyPath != ""},
 			{"-clean", o.cleanPath != ""},
+			{"-format", o.format != ""},
 			{"-out", o.outPath != ""},
 			{"-repair", o.repairOut != ""},
+			{"-repair-log", o.repairLog != ""},
 			{"-model-out", o.modelOut != ""},
 			{"-model-in", o.modelIn != ""},
 		} {
@@ -228,12 +259,12 @@ func run(o runOpts) error {
 			b.Name, dirty.NumRows(), dirty.NumCols(), 100*rate)
 	case o.dirtyPath != "":
 		var err error
-		dirty, err = table.ReadCSVFile("input", o.dirtyPath)
+		dirty, err = table.ReadFile("input", o.dirtyPath, o.format)
 		if err != nil {
 			return err
 		}
 		if o.cleanPath != "" {
-			clean, err = table.ReadCSVFile("truth", o.cleanPath)
+			clean, err = table.ReadFile("truth", o.cleanPath, "")
 			if err != nil {
 				return err
 			}
@@ -252,11 +283,28 @@ func run(o runOpts) error {
 		switch {
 		case o.modelIn != "":
 			// Score-only: load the fitted artifact and run the cheap phase.
+			// The input header may be a permutation or superset of the model
+			// schema — it is projected onto the schema before scoring, like
+			// an upload to the service's score endpoint.
 			m, err := model.LoadFile(o.modelIn)
 			if err != nil {
 				return err
 			}
 			m.SetParallelism(o.workers, o.shards)
+			proj, mapping, err := table.Project(dirty, m.Attrs())
+			if err != nil {
+				return err
+			}
+			if len(mapping.Dropped) > 0 {
+				fmt.Printf("dropped %d input columns outside the model schema: %s\n",
+					len(mapping.Dropped), strings.Join(mapping.Dropped, ", "))
+			}
+			dirty = proj
+			if clean != nil {
+				if clean, _, err = table.Project(clean, m.Attrs()); err != nil {
+					return fmt.Errorf("projecting -clean onto the model schema: %w", err)
+				}
+			}
 			res, err := m.Score(dirty)
 			if err != nil {
 				return err
@@ -334,6 +382,12 @@ func run(o runOpts) error {
 			return err
 		}
 		fmt.Printf("applied %d repairs, wrote repaired data to %s\n", len(fixes), o.repairOut)
+		if o.repairLog != "" {
+			if err := writeRepairLog(o.repairLog, dirty.Attrs, fixes); err != nil {
+				return err
+			}
+			fmt.Println("wrote repair change log to", o.repairLog)
+		}
 		if clean != nil {
 			before, _ := table.ErrorRate(dirty, clean)
 			after, _ := table.ErrorRate(repaired, clean)
@@ -362,13 +416,45 @@ func run(o runOpts) error {
 	return nil
 }
 
+// writeRepairLog writes one JSON line per applied fix — the same fields,
+// in the same order, as the service's repair change log, so a served
+// repair and a CLI repair on the same artifact and bytes diff empty.
+func writeRepairLog(path string, attrs []string, fixes []repair.Fix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	type change struct {
+		Row      int    `json:"row"`
+		Col      int    `json:"col"`
+		Attr     string `json:"attr"`
+		Old      string `json:"old"`
+		New      string `json:"new"`
+		Strategy string `json:"strategy"`
+	}
+	for _, fx := range fixes {
+		if err := enc.Encode(change{
+			Row: fx.Row, Col: fx.Col, Attr: attrs[fx.Col],
+			Old: fx.Old, New: fx.New, Strategy: string(fx.Strategy),
+		}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
 // runStream scores rows chunk by chunk against a saved model artifact,
 // writing one JSON verdict line per row to stdout — the CLI twin of the
-// service's POST /v1/models/{id}/stream. Verdicts are chunk-invariant, so
-// -stream-chunk only trades latency. With -drift-threshold set, a tripped
-// drift gauge refits the model in place on the rows accumulated so far
-// (synchronously — this is a CLI, not a server); the successor scores all
-// later chunks and is saved to -model-out when given.
+// service's POST /v1/models/{id}/stream. The input decodes through the
+// shared table.RowSource layer (CSV or NDJSON, -format or extension
+// auto-detect) and its header may be a permutation or superset of the
+// model schema. Verdicts are chunk-invariant, so -stream-chunk only trades
+// latency. With -drift-threshold set, a tripped drift gauge refits the
+// model in place on the rows accumulated so far (synchronously — this is a
+// CLI, not a server); the successor scores all later chunks and is saved
+// to -model-out when given.
 func runStream(o runOpts) error {
 	m, err := model.LoadFile(o.modelIn)
 	if err != nil {
@@ -385,6 +471,7 @@ func runStream(o runOpts) error {
 	attrs := m.Attrs()
 
 	var in io.Reader
+	format := o.format
 	switch {
 	case o.dataset != "":
 		gen, err := datasetGen(o.dataset)
@@ -397,8 +484,12 @@ func runStream(o runOpts) error {
 			return err
 		}
 		in = strings.NewReader(buf.String())
+		format = table.FormatCSV
 	case o.dirtyPath == "" || o.dirtyPath == "-":
 		in = os.Stdin
+		if format == "" {
+			format = table.FormatCSV
+		}
 	default:
 		f, err := os.Open(o.dirtyPath)
 		if err != nil {
@@ -406,29 +497,24 @@ func runStream(o runOpts) error {
 		}
 		defer f.Close()
 		in = f
-	}
-
-	cr := csv.NewReader(in)
-	cr.ReuseRecord = true
-	cr.FieldsPerRecord = -1
-	header, err := cr.Read()
-	if err != nil {
-		return fmt.Errorf("reading stream header: %v", err)
-	}
-	if len(header) != len(attrs) {
-		return fmt.Errorf("stream header has %d columns, model expects %d", len(header), len(attrs))
-	}
-	for j, h := range header {
-		if h != attrs[j] {
-			return fmt.Errorf("stream header column %d is %q, model expects %q", j, h, attrs[j])
+		if format == "" {
+			format = table.FormatForPath(o.dirtyPath)
 		}
 	}
-	cr.FieldsPerRecord = len(attrs)
 
-	chunkRows := o.streamChunk
-	if chunkRows <= 0 {
-		chunkRows = 256
+	raw, err := table.NewSource(format, in)
+	if err != nil {
+		return err
 	}
+	src, mapping, err := table.MapSource(attrs, raw)
+	if err != nil {
+		return err
+	}
+	if len(mapping.Dropped) > 0 {
+		fmt.Fprintf(os.Stderr, "zeroed: dropping %d stream columns outside the model schema: %s\n",
+			len(mapping.Dropped), strings.Join(mapping.Dropped, ", "))
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	type verdict struct {
 		Row     int       `json:"row"`
@@ -436,58 +522,40 @@ func runStream(o runOpts) error {
 		Pred    []bool    `json:"pred"`
 		Scores  []float64 `json:"scores"`
 	}
-	rows, refits := 0, 0
-	var st zeroed.ChunkStatus
-	eof := false
-	for !eof {
-		chunk := make([][]string, 0, chunkRows)
-		for len(chunk) < chunkRows {
-			rec, err := cr.Read()
-			if err == io.EOF {
-				eof = true
-				break
-			}
-			if err != nil {
-				return err
-			}
-			chunk = append(chunk, append([]string(nil), rec...))
-		}
-		if len(chunk) == 0 {
-			break
-		}
-		res, cst, err := ss.ScoreChunk(context.Background(), nil, chunk)
-		if err != nil {
-			return err
-		}
-		st = cst
-		for i := range res.Pred {
-			if err := enc.Encode(verdict{Row: rows + i, Version: cst.Version, Pred: res.Pred[i], Scores: res.Scores[i]}); err != nil {
-				return err
-			}
-		}
-		rows += len(chunk)
-		if cst.ShouldRefit && ss.BeginRefit() {
-			fmt.Fprintf(os.Stderr, "zeroed: drift tripped at row %d (unseen %.3f, shift %.3f); refitting on %d accumulated rows\n",
-				rows, cst.Drift.UnseenRate, cst.Drift.Shift, cst.Drift.Rows)
-			m2, err := ss.Refit(context.Background(), nil)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "zeroed: refit failed, keeping the current model: %v\n", err)
-				ss.AbortRefit()
-				continue
-			}
-			if o.modelOut != "" {
-				if err := model.SaveFile(o.modelOut, m2); err != nil {
-					ss.AbortRefit()
+	refits := 0
+	rows, st, err := ss.ScoreSource(context.Background(), nil, src, o.streamChunk,
+		func(start int, res *zeroed.Result, cst zeroed.ChunkStatus) error {
+			for i := range res.Pred {
+				if err := enc.Encode(verdict{Row: start + i, Version: cst.Version, Pred: res.Pred[i], Scores: res.Scores[i]}); err != nil {
 					return err
 				}
 			}
-			if err := ss.Install(m2); err != nil {
-				return err
+			if cst.ShouldRefit && ss.BeginRefit() {
+				fmt.Fprintf(os.Stderr, "zeroed: drift tripped at row %d (unseen %.3f, shift %.3f); refitting on %d accumulated rows\n",
+					start+len(res.Pred), cst.Drift.UnseenRate, cst.Drift.Shift, cst.Drift.Rows)
+				m2, err := ss.Refit(context.Background(), nil)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "zeroed: refit failed, keeping the current model: %v\n", err)
+					ss.AbortRefit()
+					return nil
+				}
+				if o.modelOut != "" {
+					if err := model.SaveFile(o.modelOut, m2); err != nil {
+						ss.AbortRefit()
+						return err
+					}
+				}
+				if err := ss.Install(m2); err != nil {
+					return err
+				}
+				refits++
+				l := m2.Lineage()
+				fmt.Fprintf(os.Stderr, "zeroed: hot-swapped to model version %d (refit on %d rows)\n", l.Version, l.RefitRows)
 			}
-			refits++
-			l := m2.Lineage()
-			fmt.Fprintf(os.Stderr, "zeroed: hot-swapped to model version %d (refit on %d rows)\n", l.Version, l.RefitRows)
-		}
+			return nil
+		})
+	if err != nil {
+		return err
 	}
 	drift, version := ss.Gauges()
 	if rows > 0 {
@@ -539,7 +607,7 @@ func runBatch(o runOpts, profile llm.Profile) error {
 			if path == "" {
 				continue
 			}
-			d, err := table.ReadCSVFile(path, path)
+			d, err := table.ReadFile(path, path, "")
 			if err != nil {
 				return err
 			}

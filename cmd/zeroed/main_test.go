@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -142,6 +143,67 @@ func TestRunBatchCSVList(t *testing.T) {
 	}
 }
 
+// TestRunNDJSONInput: the same rows ingested as CSV and as NDJSON (auto-
+// detected from the extension, or forced with -format on a misnamed file)
+// produce byte-identical masks.
+func TestRunNDJSONInput(t *testing.T) {
+	dir := t.TempDir()
+	var csvB, ndB, cleanB strings.Builder
+	ndB.WriteString(`["Grade","Score"]` + "\n")
+	csvB.WriteString("Grade,Score\n")
+	cleanB.WriteString("Grade,Score\n")
+	for i := 0; i < 120; i++ {
+		cleanB.WriteString("A,90\n")
+		if i == 3 {
+			csvB.WriteString("A,9000\n")
+			ndB.WriteString(`["A","9000"]` + "\n")
+		} else {
+			csvB.WriteString("A,90\n")
+			ndB.WriteString(`["A","90"]` + "\n")
+		}
+	}
+	files := map[string]string{
+		"dirty.csv":    csvB.String(),
+		"dirty.ndjson": ndB.String(),
+		"dirty.dat":    ndB.String(), // wrong extension; -format must rescue it
+		"clean.csv":    cleanB.String(),
+	}
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	masks := make(map[string][]byte)
+	for name, in := range map[string]struct{ file, format string }{
+		"csv":           {"dirty.csv", ""},
+		"ndjson-auto":   {"dirty.ndjson", ""},
+		"ndjson-forced": {"dirty.dat", "ndjson"},
+	} {
+		mask := filepath.Join(dir, name+".mask.csv")
+		err := run(opts(func(o *runOpts) {
+			o.dirtyPath = filepath.Join(dir, in.file)
+			o.cleanPath = filepath.Join(dir, "clean.csv")
+			o.format = in.format
+			o.method = "dboost"
+			o.outPath = mask
+		}))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := os.ReadFile(mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		masks[name] = b
+	}
+	if string(masks["ndjson-auto"]) != string(masks["csv"]) {
+		t.Error("auto-detected NDJSON mask differs from the CSV mask")
+	}
+	if string(masks["ndjson-forced"]) != string(masks["csv"]) {
+		t.Error("-format ndjson mask differs from the CSV mask")
+	}
+}
+
 func TestRunBatchValidation(t *testing.T) {
 	if err := run(opts(func(o *runOpts) { o.batch = "3" })); err == nil {
 		t.Error("replica batch without -dataset must error")
@@ -164,6 +226,8 @@ func TestRunBatchValidation(t *testing.T) {
 		func(o *runOpts) { o.cleanPath = "x.csv" },
 		func(o *runOpts) { o.outPath = "x.csv" },
 		func(o *runOpts) { o.repairOut = "x.csv" },
+		func(o *runOpts) { o.format = "ndjson" },
+		func(o *runOpts) { o.repairOut = "x.csv"; o.repairLog = "x.ndjson" },
 	} {
 		err := run(opts(func(o *runOpts) { o.batch = "2"; o.dataset = "Hospital"; mod(o) }))
 		if err == nil || !strings.Contains(err.Error(), "-batch") {
@@ -228,14 +292,72 @@ func TestRunModelOutIn(t *testing.T) {
 // fast.
 func TestRunModelFlagValidation(t *testing.T) {
 	for name, mod := range map[string]func(*runOpts){
-		"in+out":       func(o *runOpts) { o.dataset = "Hospital"; o.modelIn = "a"; o.modelOut = "b" },
-		"non-zeroed":   func(o *runOpts) { o.dataset = "Hospital"; o.modelIn = "a"; o.method = "dboost" },
-		"batch+out":    func(o *runOpts) { o.dataset = "Hospital"; o.batch = "2"; o.modelOut = "b" },
-		"batch+in":     func(o *runOpts) { o.dataset = "Hospital"; o.batch = "2"; o.modelIn = "a" },
-		"missing-file": func(o *runOpts) { o.dataset = "Hospital"; o.size = 50; o.modelIn = "/nonexistent.zedm" },
+		"in+out":            func(o *runOpts) { o.dataset = "Hospital"; o.modelIn = "a"; o.modelOut = "b" },
+		"non-zeroed":        func(o *runOpts) { o.dataset = "Hospital"; o.modelIn = "a"; o.method = "dboost" },
+		"batch+out":         func(o *runOpts) { o.dataset = "Hospital"; o.batch = "2"; o.modelOut = "b" },
+		"batch+in":          func(o *runOpts) { o.dataset = "Hospital"; o.batch = "2"; o.modelIn = "a" },
+		"missing-file":      func(o *runOpts) { o.dataset = "Hospital"; o.size = 50; o.modelIn = "/nonexistent.zedm" },
+		"bad-format":        func(o *runOpts) { o.dataset = "Hospital"; o.size = 50; o.format = "xml" },
+		"log-without-pass":  func(o *runOpts) { o.dataset = "Hospital"; o.size = 50; o.repairLog = "c.ndjson" },
+		"stream+repair-log": func(o *runOpts) { o.stream = true; o.modelIn = "a"; o.repairOut = ""; o.repairLog = "c.ndjson" },
 	} {
 		if err := run(opts(mod)); err == nil {
 			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+// TestRunScoreOnlyRepair: -model-in with -repair and -repair-log runs the
+// detect→repair loop with no refit, writing the corrected CSV plus a change
+// log whose lines carry the served endpoint's exact fields.
+func TestRunScoreOnlyRepair(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "hospital.zedm")
+	repaired := filepath.Join(dir, "repaired.csv")
+	changeLog := filepath.Join(dir, "changes.ndjson")
+	base := func(o *runOpts) {
+		o.dataset = "Hospital"
+		o.size = 150
+		o.labelRate = 0.08
+		o.seed = 5
+	}
+	if err := run(opts(func(o *runOpts) { base(o); o.modelOut = artifact })); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(opts(func(o *runOpts) {
+		base(o)
+		o.modelIn = artifact
+		o.repairOut = repaired
+		o.repairLog = changeLog
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(repaired); err != nil {
+		t.Fatalf("repaired CSV missing: %v", err)
+	}
+	b, err := os.ReadFile(changeLog)
+	if err != nil {
+		t.Fatalf("change log missing: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("change log is empty; the benchmark should have repairable errors")
+	}
+	for i, line := range lines {
+		var c struct {
+			Row      *int    `json:"row"`
+			Col      *int    `json:"col"`
+			Attr     *string `json:"attr"`
+			Old      *string `json:"old"`
+			New      *string `json:"new"`
+			Strategy *string `json:"strategy"`
+		}
+		if err := json.Unmarshal([]byte(line), &c); err != nil {
+			t.Fatalf("change-log line %d is not JSON: %v", i, err)
+		}
+		if c.Row == nil || c.Col == nil || c.Attr == nil || c.Old == nil || c.New == nil ||
+			c.Strategy == nil || *c.Strategy == "" {
+			t.Fatalf("change-log line %d missing fields: %s", i, line)
 		}
 	}
 }

@@ -1,8 +1,13 @@
 // Command zeroedd runs the ZeroED detection service: a long-running HTTP
-// server that accepts CSV uploads as asynchronous detection jobs, runs them
-// on one shared bounded worker pool, and serves per-cell verdicts and
+// server that accepts tabular uploads as asynchronous detection jobs, runs
+// them on one shared bounded worker pool, and serves per-cell verdicts and
 // scores. Jobs with a fixed seed return verdicts bit-identical to a
 // cmd/zeroed run on the same input.
+//
+// Every upload endpoint accepts CSV (the default) or NDJSON — negotiated
+// by the Content-Type header (parameters like "; charset=utf-8" are fine)
+// or forced with ?format=csv|ndjson — and verdicts are byte-identical
+// across formats and chunkings of the same rows.
 //
 // Usage:
 //
@@ -22,12 +27,23 @@
 //	curl -s localhost:8080/v1/jobs/j-000001/result     # verdicts + scores
 //
 // Online scoring ("fit once, score forever"): POST /v1/models fits a model
-// from a CSV and registers it (persisted under -model-dir when set); POST
-// /v1/models/{id}/score then scores small CSV bodies synchronously against
-// the fitted model at a latency orders of magnitude below a fit job:
+// from an upload and registers it (persisted under -model-dir when set);
+// POST /v1/models/{id}/score then scores small bodies synchronously against
+// the fitted model at a latency orders of magnitude below a fit job. Score,
+// stream, and repair uploads may permute the model's columns or carry
+// extras (dropped and reported; missing schema columns are a typed 400):
 //
 //	curl -s -X POST --data-binary @dirty.csv 'localhost:8080/v1/models?seed=1'
 //	curl -s -X POST --data-binary @fresh.csv 'localhost:8080/v1/models/m-000001/score'
+//
+// Served repair: POST /v1/models/{id}/repair scores an upload (no refit)
+// and applies the repair strategies to the flagged cells, returning the
+// corrected table plus a cell-level change log — bit-identical to
+// `zeroed -model-in ... -repair -repair-log ...` on the same artifact and
+// bytes. ?table=0 suppresses the corrected table when only the change log
+// is wanted:
+//
+//	curl -s -X POST --data-binary @fresh.csv 'localhost:8080/v1/models/m-000001/repair'
 //
 // Streaming detection: POST /v1/models/{id}/stream scores a chunked CSV or
 // NDJSON body row-by-row (one JSON line per row) against a registered
@@ -71,16 +87,16 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "shared worker-pool size all jobs draw from (0 = GOMAXPROCS)")
-		shards    = flag.Int("shards", 0, "per-job scoring-shard count (0 = auto); results are identical for any value")
-		maxConc   = flag.Int("max-concurrent", 2, "jobs detecting concurrently (they share the one pool)")
-		maxQueue  = flag.Int("max-queue", 16, "admission-queue depth; beyond it submissions get 429")
-		maxBytes  = flag.Int64("max-upload-bytes", 32<<20, "request-body byte cap (413 beyond it)")
-		maxRows   = flag.Int("max-rows", 1_000_000, "per-upload row cap")
-		maxCols   = flag.Int("max-cols", 256, "per-upload column cap")
-		maxModels = flag.Int("max-models", 32, "fitted-model registry capacity (409 beyond it)")
-		modelDir  = flag.String("model-dir", "", "persist fitted models as artifacts under this directory and restore them on startup")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "shared worker-pool size all jobs draw from (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "per-job scoring-shard count (0 = auto); results are identical for any value")
+		maxConc     = flag.Int("max-concurrent", 2, "jobs detecting concurrently (they share the one pool)")
+		maxQueue    = flag.Int("max-queue", 16, "admission-queue depth; beyond it submissions get 429")
+		maxBytes    = flag.Int64("max-upload-bytes", 32<<20, "request-body byte cap (413 beyond it)")
+		maxRows     = flag.Int("max-rows", 1_000_000, "per-upload row cap")
+		maxCols     = flag.Int("max-cols", 256, "per-upload column cap")
+		maxModels   = flag.Int("max-models", 32, "fitted-model registry capacity (409 beyond it)")
+		modelDir    = flag.String("model-dir", "", "persist fitted models as artifacts under this directory and restore them on startup")
 		streamChunk = flag.Int("stream-chunk", 256, "rows per streaming-detection batch (chunk-invariant; latency knob only)")
 		driftThresh = flag.Float64("drift-threshold", 0, "drift gauge level that triggers a background refit + hot swap (0 = never refit; gauges still export)")
 		driftMin    = flag.Int("drift-min-rows", 256, "minimum streamed rows before the drift threshold may trip")

@@ -7,6 +7,14 @@
 // the unflagged portion of the data, frequent-value domains for typo
 // correction, and column medians for numeric outliers. Cells without a
 // confident fix are left untouched (repair must not invent data).
+//
+// Evidence mining and fix lookup run on the dataset's value-ID path: column
+// statistics are computed once per distinct dictionary value (weighted by
+// occurrence count), dependency rules are indexed by determinant value ID,
+// and non-FD fixes are memoized per (column, value ID) — so repairing a
+// table costs O(rows) ID scans plus O(distinct values) string work, like
+// the detector's own featurization. Proposals are deterministic: the same
+// dataset and mask always produce the same fixes in the same order.
 package repair
 
 import (
@@ -89,6 +97,15 @@ type columnEvidence struct {
 	totalClean int
 }
 
+// memoFix caches the non-FD fix for one distinct flagged value of one
+// column: typo, median, and mode repairs depend only on the old value and
+// the column evidence, so every later cell holding the same value ID reuses
+// the lookup.
+type memoFix struct {
+	val   string
+	strat Strategy
+}
+
 // Propose returns repair suggestions for every flagged cell it can fix
 // confidently. It does not modify the dataset.
 func (r *Repairer) Propose(d *table.Dataset, mask [][]bool) []Fix {
@@ -98,9 +115,10 @@ func (r *Repairer) Propose(d *table.Dataset, mask [][]bool) []Fix {
 		ev[j] = mineColumn(d, mask, j, r.cfg)
 	}
 
-	// Mine dependencies on the unflagged rows only.
+	// Mine dependencies with the flagged cells nulled out (cloning keeps
+	// d's value IDs intact, so the rules below can be indexed by d's IDs).
 	var fds []fdRule
-	cleanView := unflaggedSubset(d, mask)
+	cleanView := unflaggedView(d, mask)
 	for det := 0; det < m; det++ {
 		if ev[det].totalClean == 0 || len(ev[det].counts) > cleanView.NumRows()/2 {
 			continue // near-key determinants repair nothing reliably
@@ -111,11 +129,12 @@ func (r *Repairer) Propose(d *table.Dataset, mask [][]bool) []Fix {
 			}
 			fd := stats.FindFD(cleanView, det, dep)
 			if fd.Support >= r.cfg.FDMinSupport && len(fd.Mapping) >= 2 {
-				fds = append(fds, fdRule{det, dep, fd.Mapping})
+				fds = append(fds, newFDRule(d, det, dep, fd.Mapping))
 			}
 		}
 	}
 
+	memo := make([]map[uint32]memoFix, m)
 	var fixes []Fix
 	for i := 0; i < d.NumRows(); i++ {
 		for j := 0; j < m; j++ {
@@ -123,7 +142,7 @@ func (r *Repairer) Propose(d *table.Dataset, mask [][]bool) []Fix {
 				continue
 			}
 			old := d.Value(i, j)
-			if fix, strat := r.fixCell(d, i, j, old, &ev[j], fds, mask); strat != StrategyNone && fix != old {
+			if fix, strat := r.fixCell(d, i, j, old, &ev[j], fds, mask, memo); strat != StrategyNone && fix != old {
 				fixes = append(fixes, Fix{Row: i, Col: j, Old: old, New: fix, Strategy: strat})
 			}
 		}
@@ -131,23 +150,56 @@ func (r *Repairer) Propose(d *table.Dataset, mask [][]bool) []Fix {
 	return fixes
 }
 
+// fdRule is one mined dependency det -> dep, its replacement values indexed
+// by the determinant's value ID in the dirty dataset.
 type fdRule struct {
 	det, dep int
-	mapping  map[string]string
+	want     []string // want[id] replaces dep when det holds value ID id
+	has      []bool   // has[id] marks a usable (non-empty) replacement
+}
+
+func newFDRule(d *table.Dataset, det, dep int, mapping map[string]string) fdRule {
+	n := d.DictSize(det)
+	rule := fdRule{det: det, dep: dep, want: make([]string, n), has: make([]bool, n)}
+	for id := 0; id < n; id++ {
+		if w, ok := mapping[d.DictValue(det, uint32(id))]; ok && w != "" {
+			rule.want[id] = w
+			rule.has[id] = true
+		}
+	}
+	return rule
 }
 
 // fixCell tries the repair strategies in priority order.
-func (r *Repairer) fixCell(d *table.Dataset, i, j int, old string, ev *columnEvidence, fds []fdRule, mask [][]bool) (string, Strategy) {
+func (r *Repairer) fixCell(d *table.Dataset, i, j int, old string, ev *columnEvidence, fds []fdRule, mask [][]bool, memo []map[uint32]memoFix) (string, Strategy) {
 	// 1. Dependency-implied value: the strongest evidence — an unflagged
-	// determinant value whose group has a dominant dependent value.
+	// determinant value whose group has a dominant dependent value. This is
+	// the one per-cell lookup (the determinant varies by row); it costs one
+	// value-ID index per rule.
 	for _, fd := range fds {
 		if fd.dep != j || mask[i][fd.det] {
 			continue
 		}
-		if want, ok := fd.mapping[d.Value(i, fd.det)]; ok && want != "" {
-			return want, StrategyFD
+		if id := d.ValueID(i, fd.det); fd.has[id] {
+			return fd.want[id], StrategyFD
 		}
 	}
+	// The remaining strategies depend only on (column, old value): resolve
+	// once per distinct flagged value ID and replay from the memo.
+	oldID := d.ValueID(i, j)
+	if f, ok := memo[j][oldID]; ok {
+		return f.val, f.strat
+	}
+	val, strat := r.fixValue(old, ev)
+	if memo[j] == nil {
+		memo[j] = make(map[uint32]memoFix)
+	}
+	memo[j][oldID] = memoFix{val: val, strat: strat}
+	return val, strat
+}
+
+// fixValue resolves the value-level strategies for one distinct old value.
+func (r *Repairer) fixValue(old string, ev *columnEvidence) (string, Strategy) {
 	// 2. Typo correction: nearest frequent value within the edit bound.
 	if !text.IsNullLike(old) {
 		bestVal, bestDist := "", r.cfg.TypoMaxDist+1
@@ -187,21 +239,37 @@ func (r *Repairer) Apply(d *table.Dataset, mask [][]bool) (*table.Dataset, []Fix
 }
 
 // mineColumn builds repair evidence for one attribute from unflagged cells.
+// It scans the column's value IDs once, then does all string work — null
+// detection, numeric parsing, frequency ranking — per distinct dictionary
+// value, weighted by its clean occurrence count.
 func mineColumn(d *table.Dataset, mask [][]bool, j int, cfg Config) columnEvidence {
 	ev := columnEvidence{counts: map[string]int{}}
-	var vals []string
-	for i := 0; i < d.NumRows(); i++ {
+	idCounts := make([]int, d.DictSize(j))
+	for i, id := range d.ColumnIDs(j) {
 		if mask[i][j] {
 			continue
 		}
-		v := d.Value(i, j)
+		idCounts[id]++
+	}
+	numericTotal := 0
+	var nums []float64
+	for id, c := range idCounts {
+		if c == 0 {
+			continue
+		}
+		v := d.DictValue(j, uint32(id))
 		if text.IsNullLike(v) {
 			continue
 		}
-		vals = append(vals, v)
-		ev.counts[v]++
+		ev.counts[v] = c // dictionary values are distinct; no accumulation
+		ev.totalClean += c
+		if f, ok := text.ParseFloat(v); ok {
+			numericTotal += c
+			for k := 0; k < c; k++ {
+				nums = append(nums, f)
+			}
+		}
 	}
-	ev.totalClean = len(vals)
 	if ev.totalClean == 0 {
 		return ev
 	}
@@ -224,25 +292,26 @@ func mineColumn(d *table.Dataset, mask [][]bool, j int, cfg Config) columnEviden
 		ev.frequent = ev.frequent[:200]
 	}
 	ev.modeShare = float64(ev.counts[ev.mode]) / float64(ev.totalClean)
-	if text.IsNumericColumn(vals, 0.9) {
+	// Numeric when at least 90% of the clean non-null occurrences parse —
+	// the same threshold text.IsNumericColumn applies to raw value slices.
+	if float64(numericTotal)/float64(ev.totalClean) >= 0.9 {
 		ev.numeric = true
-		ev.median = stats.Quantile(stats.NumericColumn(vals), 0.5)
+		ev.median = stats.Quantile(nums, 0.5)
 	}
 	return ev
 }
 
-// unflaggedSubset builds a dataset view with flagged cells nulled out so
-// dependency mining ignores them.
-func unflaggedSubset(d *table.Dataset, mask [][]bool) *table.Dataset {
-	out := table.New(d.Name, d.Attrs)
-	for i := 0; i < d.NumRows(); i++ {
-		row := d.Row(i) // Row returns a fresh slice; safe to mutate
-		for j := range row {
+// unflaggedView clones the dataset with flagged cells nulled out so
+// dependency mining ignores them. Cloning (rather than re-interning every
+// row) keeps the original value IDs valid in the view.
+func unflaggedView(d *table.Dataset, mask [][]bool) *table.Dataset {
+	out := d.Clone()
+	for i := 0; i < out.NumRows(); i++ {
+		for j := 0; j < out.NumCols(); j++ {
 			if mask[i][j] {
-				row[j] = ""
+				out.SetValue(i, j, "")
 			}
 		}
-		out.MustAppendRow(row)
 	}
 	return out
 }

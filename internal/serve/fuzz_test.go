@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/nn"
+	"repro/internal/table"
 	"repro/internal/zeroed"
 )
 
@@ -43,10 +44,11 @@ func FuzzDetect(f *testing.F) {
 	})
 }
 
-// FuzzStreamNDJSON throws arbitrary bytes at the streaming NDJSON row
-// decoder: it must never panic, never emit a row with the wrong arity, and
-// never return more rows per call than asked for — the memory bound the
-// streaming endpoint relies on to stay O(chunk), not O(body).
+// FuzzStreamNDJSON throws arbitrary bytes at the schema-bound NDJSON row
+// source the streaming endpoint decodes with: it must never panic, never
+// emit a row with the wrong arity, and never return more rows per call
+// than asked for — the memory bound the streaming endpoint relies on to
+// stay O(chunk), not O(body).
 func FuzzStreamNDJSON(f *testing.F) {
 	f.Add([]byte(`["a","b"]`))
 	f.Add([]byte(`{"x":"a","y":null}`))
@@ -59,10 +61,13 @@ func FuzzStreamNDJSON(f *testing.F) {
 	f.Add(bytes.Repeat([]byte(`["a","b"]`+"\n"), 100))
 	attrs := []string{"x", "y"}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		src := newNDJSONSource(bytes.NewReader(data), attrs)
+		src, err := table.NewNDJSONSource(bytes.NewReader(data), attrs)
+		if err != nil {
+			t.Fatalf("schema-bound source must open without reading the body: %v", err)
+		}
 		const max = 8
-		for i := 0; i < 1<<20; i++ { // hard stop: next must terminate
-			rows, err := src.next(max)
+		for i := 0; i < 1<<20; i++ { // hard stop: Next must terminate
+			rows, err := src.Next(max)
 			if len(rows) > max {
 				t.Fatalf("next(%d) returned %d rows", max, len(rows))
 			}

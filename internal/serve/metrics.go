@@ -47,6 +47,16 @@ type metrics struct {
 	refitsSwapped  atomic.Int64
 	refitFailures  atomic.Int64
 
+	// Schema-mapped uploads (headers that were permutations or supersets
+	// of the model schema) and the extra columns they dropped.
+	mappedUploads  atomic.Int64
+	droppedColumns atomic.Int64
+
+	// Served detect→repair loop.
+	repairRuns    atomic.Int64
+	repairNanos   atomic.Int64
+	repairedCells atomic.Int64
+
 	// Per-stage fit wall-clock, accumulated from FitInfo.Stages across
 	// fits. Stage names arrive with the fit, so this is the one map-backed
 	// family; fits are rare enough that a mutex is fine.
@@ -188,6 +198,23 @@ func (m *metrics) render(w io.Writer, byState map[JobState]int, modelCount int, 
 	fmt.Fprintln(w, "# HELP zeroedd_stream_rows_total Rows scored through streaming detection.")
 	fmt.Fprintln(w, "# TYPE zeroedd_stream_rows_total counter")
 	fmt.Fprintf(w, "zeroedd_stream_rows_total %d\n", m.streamRows.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_mapped_uploads_total Uploads whose header needed schema mapping (permutation or superset of the model schema).")
+	fmt.Fprintln(w, "# TYPE zeroedd_mapped_uploads_total counter")
+	fmt.Fprintf(w, "zeroedd_mapped_uploads_total %d\n", m.mappedUploads.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_dropped_columns_total Extra upload columns dropped by schema mapping.")
+	fmt.Fprintln(w, "# TYPE zeroedd_dropped_columns_total counter")
+	fmt.Fprintf(w, "zeroedd_dropped_columns_total %d\n", m.droppedColumns.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_repair_seconds Repair-phase wall-clock across served repair calls (excludes the scoring pass).")
+	fmt.Fprintln(w, "# TYPE zeroedd_repair_seconds summary")
+	fmt.Fprintf(w, "zeroedd_repair_seconds_sum %g\n", time.Duration(m.repairNanos.Load()).Seconds())
+	fmt.Fprintf(w, "zeroedd_repair_seconds_count %d\n", m.repairRuns.Load())
+
+	fmt.Fprintln(w, "# HELP zeroedd_repaired_cells_total Cells changed by served repair calls.")
+	fmt.Fprintln(w, "# TYPE zeroedd_repaired_cells_total counter")
+	fmt.Fprintf(w, "zeroedd_repaired_cells_total %d\n", m.repairedCells.Load())
 
 	fmt.Fprintln(w, "# HELP zeroedd_model_refits_total Drift-triggered background refits, by outcome.")
 	fmt.Fprintln(w, "# TYPE zeroedd_model_refits_total counter")

@@ -412,9 +412,12 @@ type ScoreResult struct {
 	Flagged int      `json:"flagged"`
 	// Pred[i][j] is the verdict for cell (i, j); Scores[i][j] the error
 	// probability, round-tripping through JSON bit-exactly.
-	Pred    [][]bool    `json:"pred"`
-	Scores  [][]float64 `json:"scores,omitempty"`
-	ScoreMS int64       `json:"score_ms"`
+	Pred   [][]bool    `json:"pred"`
+	Scores [][]float64 `json:"scores,omitempty"`
+	// DroppedCols lists upload columns outside the model schema that the
+	// header mapping dropped before scoring.
+	DroppedCols []string `json:"dropped_cols,omitempty"`
+	ScoreMS     int64    `json:"score_ms"`
 }
 
 // handleModelFit runs the Fit phase on an uploaded CSV and registers the
@@ -434,7 +437,7 @@ func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
 	// Ingest before taking a fit slot: body reads run at the client's pace,
 	// and a slow upload must not hold fit concurrency hostage.
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
-	ds, err := ingestCSV(params.Name, body, ingestLimits{maxRows: s.cfg.MaxRows, maxCols: s.cfg.MaxCols})
+	ds, _, err := s.ingestUpload(params.Name, r, body, nil)
 	if err != nil {
 		writeIngestErr(w, err, s.cfg.MaxUploadBytes)
 		return
@@ -546,12 +549,13 @@ func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, e.status())
 }
 
-// handleModelScore scores a CSV body synchronously against a registered
-// model — the cheap phase only, no retraining. The uploaded header must
-// match the model's schema. The model is pinned for the duration of the
-// request: a concurrent DELETE makes the id 404 for new requests but never
-// tears this one — the captured entry keeps scoring and its artifacts stay
-// on disk until the pin drains.
+// handleModelScore scores a CSV or NDJSON body synchronously against a
+// registered model — the cheap phase only, no retraining. The uploaded
+// header may be a permutation or superset of the model's schema (extras
+// are dropped and reported; missing columns are a typed 400). The model is
+// pinned for the duration of the request: a concurrent DELETE makes the id
+// 404 for new requests but never tears this one — the captured entry keeps
+// scoring and its artifacts stay on disk until the pin drains.
 func (s *Server) handleModelScore(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	e, ok := s.reg.acquire(id)
@@ -568,7 +572,7 @@ func (s *Server) handleModelScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
-	ds, err := ingestCSV("score", body, ingestLimits{maxRows: s.cfg.MaxRows, maxCols: s.cfg.MaxCols})
+	ds, mapping, err := s.ingestUpload("score", r, body, e.m.Attrs())
 	if err != nil {
 		writeIngestErr(w, err, s.cfg.MaxUploadBytes)
 		return
@@ -597,6 +601,9 @@ func (s *Server) handleModelScore(w http.ResponseWriter, r *http.Request) {
 		Rows:    len(res.Pred),
 		Pred:    res.Pred,
 		ScoreMS: res.Runtime.Milliseconds(),
+	}
+	if mapping != nil {
+		out.DroppedCols = mapping.Dropped
 	}
 	if r.URL.Query().Get("scores") != "0" {
 		out.Scores = res.Scores

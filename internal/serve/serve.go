@@ -12,16 +12,25 @@
 // scores bit-identical to a cmd/zeroed run on the same input, for any
 // worker, shard, or concurrency configuration.
 //
+// Every upload endpoint is format-agnostic: bodies are CSV or NDJSON
+// (negotiated from the Content-Type media type or forced with ?format=...)
+// and enter through the shared table.RowSource ingest layer. Model-bound
+// endpoints (score, stream, repair) accept headers that are permutations or
+// supersets of the model's columns via table.MapColumns: extra columns are
+// dropped (and reported), missing columns are a typed 400.
+//
 // API (see the README "Serving" section for the full reference):
 //
-//	POST   /v1/jobs          submit a CSV (streamed body) -> 202 {id, state}
+//	POST   /v1/jobs          submit a CSV/NDJSON body -> 202 {id, state}
 //	GET    /v1/jobs          list retained jobs, newest first
 //	GET    /v1/jobs/{id}     job lifecycle status
 //	GET    /v1/jobs/{id}/result   per-cell verdicts + scores (done jobs)
 //	DELETE /v1/jobs/{id}     cancel a queued/running job; delete a finished one
 //	POST   /v1/models        fit + register a model -> 201 {id, version, ...}
-//	POST   /v1/models/{id}/score    score a CSV body synchronously
+//	POST   /v1/models/{id}/score    score a CSV/NDJSON body synchronously
 //	POST   /v1/models/{id}/stream   streaming detection with drift tracking
+//	POST   /v1/models/{id}/repair   score with no refit, then apply repair
+//	                         strategies: corrected table + cell change log
 //	DELETE /v1/models/{id}   evict a model (artifacts reaped after in-flight
 //	                         requests drain)
 //	GET    /healthz          liveness
@@ -161,6 +170,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/models/{id}", s.handleModelInfo)
 	mux.HandleFunc("POST /v1/models/{id}/score", s.handleModelScore)
 	mux.HandleFunc("POST /v1/models/{id}/stream", s.handleModelStream)
+	mux.HandleFunc("POST /v1/models/{id}/repair", s.handleModelRepair)
 	mux.HandleFunc("DELETE /v1/models/{id}", s.handleModelDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -260,8 +270,10 @@ func (s *Server) classifyFailure(r *http.Request) requestFailure {
 	}
 }
 
-// writeIngestErr maps a CSV-ingestion failure to its structured response:
-// 413 for oversized bodies, 400 for everything malformed.
+// writeIngestErr maps an upload-ingestion failure to its structured
+// response: 413 for oversized bodies, a typed 400 "missing_columns" when a
+// model-bound upload lacks schema columns, and 400 "bad_upload" for
+// everything malformed.
 func writeIngestErr(w http.ResponseWriter, err error, maxBytes int64) {
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
@@ -269,7 +281,12 @@ func writeIngestErr(w http.ResponseWriter, err error, maxBytes int64) {
 			fmt.Sprintf("upload exceeds the %d-byte limit", maxBytes))
 		return
 	}
-	writeErr(w, http.StatusBadRequest, "bad_csv", err.Error())
+	var missing *table.MissingColumnsError
+	if errors.As(err, &missing) {
+		writeErr(w, http.StatusBadRequest, "missing_columns", err.Error())
+		return
+	}
+	writeErr(w, http.StatusBadRequest, "bad_upload", err.Error())
 }
 
 // jobConfig resolves a job's zeroed configuration. It mirrors cmd/zeroed's
@@ -342,23 +359,64 @@ func parseParams(r *http.Request) (JobParams, error) {
 	return p, nil
 }
 
-// ingestLimits bound one CSV ingestion.
+// ingestLimits bound one upload ingestion.
 type ingestLimits struct {
 	maxRows int
 	maxCols int
 }
 
-// ingestCSV streams a CSV body straight into a columnar dataset via
-// table.NewCSVStream — rows are interned into the per-column dictionaries
-// as they are decoded, never materialized as a record set — enforcing the
-// row and column limits as the stream advances. Every malformed input
-// (missing header, ragged rows, quoting errors, oversized shapes, empty
-// data) comes back as an error, not a panic.
-func ingestCSV(name string, r io.Reader, lim ingestLimits) (*table.Dataset, error) {
-	stream, err := table.NewCSVStream(name, r)
-	if err != nil {
-		return nil, err
+// requestFormat resolves an upload's ingest format: the ?format query
+// parameter wins; otherwise the Content-Type media type decides, parsed
+// with mime.ParseMediaType (inside table.FormatForMediaType) so parameters
+// like "; charset=utf-8" never defeat the match. Absent or unrecognized
+// media types default to CSV, the historical wire format.
+func requestFormat(r *http.Request) (string, error) {
+	if f := r.URL.Query().Get("format"); f != "" {
+		if f != table.FormatCSV && f != table.FormatNDJSON {
+			return "", fmt.Errorf("unknown format %q (want %s or %s)", f, table.FormatCSV, table.FormatNDJSON)
+		}
+		return f, nil
 	}
+	if f, ok := table.FormatForMediaType(r.Header.Get("Content-Type")); ok {
+		return f, nil
+	}
+	return table.FormatCSV, nil
+}
+
+// uploadSource opens the negotiated row source over a request body. With a
+// nil schema the source is self-describing (jobs, fits). With a model
+// schema (score, stream, repair) rows arrive projected onto it: a CSV
+// header may be a permutation or superset of the model's columns — extras
+// are dropped and reported in the returned mapping, missing columns are a
+// typed *table.MissingColumnsError — and NDJSON lines bind directly to the
+// schema (arrays in model order, objects keyed by attribute name).
+func uploadSource(r *http.Request, body io.Reader, schema []string) (table.RowSource, *table.ColumnMapping, error) {
+	format, err := requestFormat(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if format == table.FormatNDJSON {
+		src, err := table.NewNDJSONSource(body, schema)
+		return src, nil, err
+	}
+	src, err := table.NewCSVSource(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if schema != nil {
+		return table.MapSource(schema, src)
+	}
+	return src, nil, nil
+}
+
+// ingestSource streams a row source straight into a columnar dataset via
+// table.NewStream — rows are interned into the per-column dictionaries as
+// they are decoded, never materialized as a record set — enforcing the row
+// and column limits as the stream advances. Every malformed input (missing
+// header, ragged rows, quoting or JSON errors, oversized shapes, empty
+// data) comes back as an error, not a panic.
+func ingestSource(name string, src table.RowSource, lim ingestLimits) (*table.Dataset, error) {
+	stream := table.NewStream(name, src)
 	ds := stream.Dataset()
 	if lim.maxCols > 0 && ds.NumCols() > lim.maxCols {
 		return nil, fmt.Errorf("serve: %d columns exceeds the limit of %d", ds.NumCols(), lim.maxCols)
@@ -382,7 +440,36 @@ func ingestCSV(name string, r io.Reader, lim ingestLimits) (*table.Dataset, erro
 	return ds, nil
 }
 
-// handleSubmit accepts a CSV upload and enqueues a detection job.
+// ingestCSV is the CSV-only ingest path, retained for callers (and fuzz
+// corpora) that feed raw CSV bytes without a request.
+func ingestCSV(name string, r io.Reader, lim ingestLimits) (*table.Dataset, error) {
+	src, err := table.NewCSVSource(r)
+	if err != nil {
+		return nil, err
+	}
+	return ingestSource(name, src, lim)
+}
+
+// ingestUpload is the shared entry point for the whole-body endpoints
+// (jobs, fit, score, repair): negotiate the format, open the source, map it
+// onto the schema when given, and stream it into a dataset under limits.
+func (s *Server) ingestUpload(name string, r *http.Request, body io.Reader, schema []string) (*table.Dataset, *table.ColumnMapping, error) {
+	src, mapping, err := uploadSource(r, body, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := ingestSource(name, src, ingestLimits{maxRows: s.cfg.MaxRows, maxCols: s.cfg.MaxCols})
+	if err != nil {
+		return nil, nil, err
+	}
+	if mapping != nil && len(mapping.Dropped) > 0 {
+		s.met.mappedUploads.Add(1)
+		s.met.droppedColumns.Add(int64(len(mapping.Dropped)))
+	}
+	return ds, mapping, nil
+}
+
+// handleSubmit accepts a CSV or NDJSON upload and enqueues a detection job.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	params, err := parseParams(r)
 	if err != nil {
@@ -397,7 +484,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
-	ds, err := ingestCSV(params.Name, body, ingestLimits{maxRows: s.cfg.MaxRows, maxCols: s.cfg.MaxCols})
+	ds, _, err := s.ingestUpload(params.Name, r, body, nil)
 	if err != nil {
 		writeIngestErr(w, err, s.cfg.MaxUploadBytes)
 		return

@@ -1,9 +1,7 @@
 package serve
 
 import (
-	"bufio"
 	"context"
-	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -118,14 +116,11 @@ type streamSummary struct {
 	Refits  int               `json:"refits,omitempty"`
 }
 
-// rowSource yields raw rows in the model's attribute order, up to max per
-// call. It returns io.EOF (possibly alongside a last batch) at end of body.
-type rowSource interface {
-	next(max int) ([][]string, error)
-}
-
 // handleModelStream scores a chunked CSV or NDJSON body row-by-row against
-// a registered model, writing one JSON line per row as chunks arrive.
+// a registered model, writing one JSON line per row as chunks arrive. The
+// body decodes through the shared table.RowSource layer: a CSV header may
+// be a permutation or superset of the model's schema (table.MapSource
+// projects it), NDJSON lines bind directly to the schema.
 func (s *Server) handleModelStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	e, ok := s.reg.acquire(id)
@@ -154,7 +149,7 @@ func (s *Server) handleModelStream(w http.ResponseWriter, r *http.Request) {
 		}
 		chunkRows = n
 	}
-	src, err := newRowSource(r, e.m.Attrs())
+	src, _, err := uploadSource(r, r.Body, e.m.Attrs())
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "bad_stream", err.Error())
 		return
@@ -177,7 +172,7 @@ func (s *Server) handleModelStream(w http.ResponseWriter, r *http.Request) {
 	rows, refits := 0, 0
 	var st zeroed.ChunkStatus
 	for {
-		chunk, rerr := src.next(chunkRows)
+		chunk, rerr := src.Next(chunkRows)
 		if len(chunk) > 0 {
 			res, cst, err := s.scoreChunk(r.Context(), ss, chunk)
 			if err != nil {
@@ -309,195 +304,4 @@ func (s *Server) runRefit(id string, ss *zeroed.StreamScorer) {
 	if s.cfg.ModelDir != "" {
 		s.reg.writeManifest(s.met)
 	}
-}
-
-// newRowSource picks the body decoder: NDJSON when the Content-Type or the
-// format query parameter says so, CSV otherwise.
-func newRowSource(r *http.Request, attrs []string) (rowSource, error) {
-	format := r.URL.Query().Get("format")
-	if format == "" {
-		switch r.Header.Get("Content-Type") {
-		case "application/x-ndjson", "application/jsonl", "application/json":
-			format = "ndjson"
-		default:
-			format = "csv"
-		}
-	}
-	switch format {
-	case "csv":
-		return newCSVSource(r.Body, attrs)
-	case "ndjson":
-		return newNDJSONSource(r.Body, attrs), nil
-	default:
-		return nil, fmt.Errorf("unknown stream format %q (want csv or ndjson)", format)
-	}
-}
-
-// csvSource decodes a CSV stream whose header must match the model schema.
-type csvSource struct {
-	r *csv.Reader
-}
-
-func newCSVSource(body io.Reader, attrs []string) (*csvSource, error) {
-	cr := csv.NewReader(body)
-	cr.ReuseRecord = true
-	cr.FieldsPerRecord = -1
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("reading CSV header: %v", err)
-	}
-	if len(header) != len(attrs) {
-		return nil, fmt.Errorf("CSV header has %d columns, model expects %d", len(header), len(attrs))
-	}
-	for i, h := range header {
-		if h != attrs[i] {
-			return nil, fmt.Errorf("CSV header column %d is %q, model expects %q", i, h, attrs[i])
-		}
-	}
-	cr.FieldsPerRecord = len(attrs)
-	return &csvSource{r: cr}, nil
-}
-
-func (c *csvSource) next(max int) ([][]string, error) {
-	var rows [][]string
-	for len(rows) < max {
-		rec, err := c.r.Read()
-		if err == io.EOF {
-			return rows, io.EOF
-		}
-		if err != nil {
-			return rows, err
-		}
-		rows = append(rows, append([]string(nil), rec...))
-	}
-	return rows, nil
-}
-
-// ndjsonSource decodes one JSON value per line: either an array of cell
-// values in attribute order, or an object keyed by attribute name (every
-// attribute required). Non-string scalars are rendered as their JSON text;
-// null becomes the empty string.
-type ndjsonSource struct {
-	sc    *bufio.Scanner
-	attrs []string
-	line  int
-}
-
-func newNDJSONSource(body io.Reader, attrs []string) *ndjsonSource {
-	sc := bufio.NewScanner(body)
-	sc.Buffer(make([]byte, 64<<10), 4<<20)
-	return &ndjsonSource{sc: sc, attrs: attrs}
-}
-
-func (n *ndjsonSource) next(max int) ([][]string, error) {
-	var rows [][]string
-	for len(rows) < max {
-		if !n.sc.Scan() {
-			if err := n.sc.Err(); err != nil {
-				return rows, err
-			}
-			return rows, io.EOF
-		}
-		n.line++
-		raw := n.sc.Bytes()
-		if len(trimSpaceBytes(raw)) == 0 {
-			continue
-		}
-		row, err := n.decodeLine(raw)
-		if err != nil {
-			return rows, fmt.Errorf("NDJSON line %d: %v", n.line, err)
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
-}
-
-func (n *ndjsonSource) decodeLine(raw []byte) ([]string, error) {
-	t := trimSpaceBytes(raw)
-	switch t[0] {
-	case '[':
-		var cells []json.RawMessage
-		if err := json.Unmarshal(t, &cells); err != nil {
-			return nil, err
-		}
-		if len(cells) != len(n.attrs) {
-			return nil, fmt.Errorf("array has %d cells, model expects %d", len(cells), len(n.attrs))
-		}
-		row := make([]string, len(cells))
-		for i, c := range cells {
-			v, err := jsonCell(c)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		return row, nil
-	case '{':
-		var obj map[string]json.RawMessage
-		if err := json.Unmarshal(t, &obj); err != nil {
-			return nil, err
-		}
-		row := make([]string, len(n.attrs))
-		for i, a := range n.attrs {
-			c, ok := obj[a]
-			if !ok {
-				return nil, fmt.Errorf("object is missing attribute %q", a)
-			}
-			v, err := jsonCell(c)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		if len(obj) > len(n.attrs) {
-			for k := range obj {
-				known := false
-				for _, a := range n.attrs {
-					if k == a {
-						known = true
-						break
-					}
-				}
-				if !known {
-					return nil, fmt.Errorf("object has unknown attribute %q", k)
-				}
-			}
-		}
-		return row, nil
-	default:
-		return nil, fmt.Errorf("line must be a JSON array or object, got %q", t[0])
-	}
-}
-
-// jsonCell renders one JSON scalar as its cell string.
-func jsonCell(raw json.RawMessage) (string, error) {
-	t := trimSpaceBytes(raw)
-	if len(t) == 0 {
-		return "", fmt.Errorf("empty cell value")
-	}
-	switch t[0] {
-	case '"':
-		var s string
-		if err := json.Unmarshal(t, &s); err != nil {
-			return "", err
-		}
-		return s, nil
-	case '[', '{':
-		return "", fmt.Errorf("cell value must be a scalar, got %q", t[0])
-	default:
-		if string(t) == "null" {
-			return "", nil
-		}
-		return string(t), nil // numbers and booleans keep their JSON text
-	}
-}
-
-func trimSpaceBytes(b []byte) []byte {
-	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r' || b[0] == '\n') {
-		b = b[1:]
-	}
-	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r' || b[len(b)-1] == '\n') {
-		b = b[:len(b)-1]
-	}
-	return b
 }

@@ -428,7 +428,7 @@ func TestStreamHotSwapUnderLoad(t *testing.T) {
 		ModelDir:        dir,
 		MaxRows:         400, // bounds the refit accumulator, keeps refits fast
 		StreamChunkRows: 64,
-		DriftThreshold: 0.15,
+		DriftThreshold:  0.15,
 		// The shift gauge over a PARTIAL replay of the fit data reads high
 		// (sampling variance), so tripping is deferred until the warm phase
 		// has streamed in full.

@@ -7,27 +7,22 @@ import (
 	"os"
 )
 
-// CSVStream incrementally parses a headered CSV into a columnar Dataset.
-// Unlike a ReadAll-style loader it never materializes the full row-oriented
-// record set: each record is appended straight into the dataset's per-column
-// ID slices and intern-pool dictionaries as it is decoded. Because the pools
-// are append-only, value IDs handed out for early chunks stay valid as later
-// chunks arrive, so row shards can be cut (SubsetRows, Snapshot) between
-// chunks while the load is still in flight.
-type CSVStream struct {
-	d  *Dataset
-	cr *csv.Reader
+// csvSource decodes a headered CSV body as a RowSource.
+type csvSource struct {
+	cr     *csv.Reader
+	header []string
+	row    int // data rows delivered, for error positions
 }
 
-// NewCSVStream starts a streaming CSV parse: it reads the header row
-// immediately and leaves the data rows for ReadChunk/ReadAll. The dataset
-// name is taken from the caller, not the file.
-func NewCSVStream(name string, r io.Reader) (*CSVStream, error) {
+// NewCSVSource opens a CSV RowSource: the header row is read immediately,
+// data rows are delivered by Next. Every malformed input — missing header,
+// ragged rows, quoting errors — comes back as an error, not a panic.
+func NewCSVSource(r io.Reader) (RowSource, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
-	// The record slice is reused across rows; AppendRow interns the field
-	// strings (copying them into the pools), so nothing from the reader's
-	// buffers is retained.
+	// The record slice is reused across rows; Next copies the slice header
+	// (the field strings themselves are freshly allocated by encoding/csv),
+	// so nothing aliases the reader's state.
 	cr.ReuseRecord = true
 	hdr, err := cr.Read()
 	if err == io.EOF {
@@ -36,84 +31,56 @@ func NewCSVStream(name string, r io.Reader) (*CSVStream, error) {
 	if err != nil {
 		return nil, fmt.Errorf("table: reading csv header: %w", err)
 	}
-	return &CSVStream{d: New(name, append([]string(nil), hdr...)), cr: cr}, nil
+	return &csvSource{cr: cr, header: append([]string(nil), hdr...)}, nil
 }
 
-// Dataset returns the dataset being loaded. It grows as chunks are read;
-// take a Snapshot (or SubsetRows) to hand a stable view to concurrent
-// readers while the stream continues.
-func (s *CSVStream) Dataset() *Dataset { return s.d }
+func (c *csvSource) Header() []string { return c.header }
 
-// ReadChunk appends up to maxRows data rows and returns the number
-// appended. maxRows must be positive: a caller whose computed chunk budget
-// reaches zero almost certainly wants "read nothing", and silently draining
-// the whole stream instead (the historical maxRows<=0 sentinel) turned that
-// arithmetic slip into an unbounded read — use ReadAll when draining is
-// what you mean. It returns io.EOF once the input is exhausted and a
-// wrapped parse error on malformed or ragged rows; rows appended before the
-// error remain in the dataset.
-func (s *CSVStream) ReadChunk(maxRows int) (int, error) {
-	if maxRows <= 0 {
-		return 0, fmt.Errorf("table: ReadChunk needs a positive row budget, got %d (use ReadAll to drain the stream)", maxRows)
-	}
-	return s.readChunk(maxRows)
-}
-
-// readChunk is the budgeted read loop; maxRows <= 0 drains to EOF.
-func (s *CSVStream) readChunk(maxRows int) (int, error) {
-	appended := 0
-	for maxRows <= 0 || appended < maxRows {
-		rec, err := s.cr.Read()
+func (c *csvSource) Next(max int) ([][]string, error) {
+	var rows [][]string
+	for len(rows) < max {
+		rec, err := c.cr.Read()
 		if err == io.EOF {
-			return appended, io.EOF
+			return rows, io.EOF
 		}
 		if err != nil {
-			return appended, fmt.Errorf("table: reading csv: %w", err)
+			return rows, fmt.Errorf("table: reading csv: %w", err)
 		}
-		if len(rec) != len(s.d.Attrs) {
-			return appended, fmt.Errorf("table: row %d has %d fields, want %d",
-				s.d.NumRows()+1, len(rec), len(s.d.Attrs))
+		if len(rec) != len(c.header) {
+			return rows, fmt.Errorf("table: row %d has %d fields, want %d",
+				c.row+1, len(rec), len(c.header))
 		}
-		if err := s.d.AppendRow(rec); err != nil {
-			return appended, err
-		}
-		appended++
+		rows = append(rows, append([]string(nil), rec...))
+		c.row++
 	}
-	return appended, nil
+	return rows, nil
 }
 
-// ReadAll drains the remaining rows into the dataset. It is the one
-// explicit "no budget" entry point; ReadChunk always bounds its read.
-func (s *CSVStream) ReadAll() error {
-	_, err := s.readChunk(0)
-	if err == io.EOF {
-		return nil
+// CSVStream is the CSV instantiation of Stream, kept as a named alias for
+// the many call sites that predate the format-agnostic ingest layer.
+type CSVStream = Stream
+
+// NewCSVStream starts a streaming CSV parse: it reads the header row
+// immediately and leaves the data rows for ReadChunk/ReadAll. The dataset
+// name is taken from the caller, not the file.
+func NewCSVStream(name string, r io.Reader) (*CSVStream, error) {
+	src, err := NewCSVSource(r)
+	if err != nil {
+		return nil, err
 	}
-	return err
+	return NewStream(name, src), nil
 }
 
 // ReadCSV parses a dataset from CSV with a header row. It is the one-shot
 // form of CSVStream: chunked and whole-file loads produce identical
 // datasets, including identical dictionary IDs.
 func ReadCSV(name string, r io.Reader) (*Dataset, error) {
-	s, err := NewCSVStream(name, r)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.ReadAll(); err != nil {
-		return nil, err
-	}
-	return s.d, nil
+	return Read(name, FormatCSV, r)
 }
 
 // ReadCSVFile loads a dataset from a CSV file path.
 func ReadCSVFile(name, path string) (*Dataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return ReadCSV(name, f)
+	return ReadFile(name, path, FormatCSV)
 }
 
 // WriteCSV serializes the dataset as CSV with a header row. Records that

@@ -3,6 +3,7 @@ package zeroed
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -219,6 +220,44 @@ func (ss *StreamScorer) ScoreChunk(ctx context.Context, p *Pool, rows [][]string
 		st.ShouldRefit = true
 	}
 	return res, st, nil
+}
+
+// ScoreSource drains a table.RowSource through ScoreChunk: rows arrive in
+// chunks of chunkRows (default 256 when <= 0), each chunk is scored against
+// the current model, and emit — when non-nil — runs once per scored chunk
+// with the chunk's first row index, its result, and the post-chunk status.
+// emit may Refit/Install synchronously between chunks (the CLI's in-place
+// refit does exactly that: the next chunk scores on the successor); a
+// non-nil emit error aborts the drain. Verdicts stay chunk-invariant for
+// any chunkRows. Returns the total rows scored and the last chunk status.
+func (ss *StreamScorer) ScoreSource(ctx context.Context, p *Pool, src table.RowSource, chunkRows int, emit func(start int, res *Result, st ChunkStatus) error) (int, ChunkStatus, error) {
+	if chunkRows <= 0 {
+		chunkRows = 256
+	}
+	rows := 0
+	var last ChunkStatus
+	for {
+		chunk, rerr := src.Next(chunkRows)
+		if len(chunk) > 0 {
+			res, st, err := ss.ScoreChunk(ctx, p, chunk)
+			if err != nil {
+				return rows, last, err
+			}
+			last = st
+			if emit != nil {
+				if err := emit(rows, res, st); err != nil {
+					return rows, last, err
+				}
+			}
+			rows += len(chunk)
+		}
+		if rerr == io.EOF {
+			return rows, last, nil
+		}
+		if rerr != nil {
+			return rows, last, rerr
+		}
+	}
 }
 
 // refitAllowedLocked reports whether failure containment permits another

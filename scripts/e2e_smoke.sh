@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # End-to-end smoke for the detection service: build zeroedd, start it,
 # submit a small CSV job, poll it to completion, and check the result and
-# metrics endpoints; then fit a model over the socket, score fresh rows
+# metrics endpoints; resubmit the same rows as NDJSON and assert identical
+# verdicts; then fit a model over the socket, score fresh rows
 # against it, and assert the scored verdicts match a direct
-# `cmd/zeroed -model-in` run on the persisted artifact; finally stream
+# `cmd/zeroed -model-in` run on the persisted artifact; round-trip the
+# served repair endpoint against `cmd/zeroed -model-in -repair
+# -repair-log` (change logs must match byte for byte); finally stream
 # chunked rows against a registered model, trip a drift-triggered refit
 # with a novel-value burst, and assert the model hot-swapped to a new
 # version (old artifact retained) with zero non-200 responses. Exercises
@@ -59,6 +62,38 @@ curl -fsS "$BASE/v1/jobs/$ID/result" | grep -q '"pred":' || { echo "e2e: result 
 curl -fsS "$BASE/metrics" | grep -q 'zeroedd_jobs_finished_total{outcome="done"} 1' \
   || { echo "e2e: metrics missing finished job"; exit 1; }
 
+# --- Ingest formats: the same rows as NDJSON give identical verdicts. ---
+
+# Convert the CSV to NDJSON array framing (header line first).
+NDJ="$WORK/smoke.ndjson"
+awk -F, '{
+  printf "[";
+  for (i = 1; i <= NF; i++) printf "%s\"%s\"", (i > 1 ? "," : ""), $i;
+  print "]";
+}' "$CSV" > "$NDJ"
+NID="$(curl -fsS -X POST -H 'Content-Type: application/x-ndjson; charset=utf-8' \
+  --data-binary @"$NDJ" "$BASE/v1/jobs?seed=1&name=smoke-ndjson" \
+  | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+[ -n "$NID" ] || { echo "e2e: no job id in ndjson submit response"; exit 1; }
+NSTATE=""
+for _ in $(seq 1 150); do
+  NSTATE="$(curl -fsS "$BASE/v1/jobs/$NID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')"
+  case "$NSTATE" in
+    done) break ;;
+    failed|canceled) echo "e2e: ndjson job ended $NSTATE"; exit 1 ;;
+  esac
+  sleep 0.2
+done
+[ "$NSTATE" = done ] || { echo "e2e: ndjson job timeout in state '$NSTATE'"; exit 1; }
+PRED_CSV="$(curl -fsS "$BASE/v1/jobs/$ID/result?scores=0" | sed -n 's/.*"pred":\(\[\[.*\]\]\).*/\1/p')"
+PRED_NDJ="$(curl -fsS "$BASE/v1/jobs/$NID/result?scores=0" | sed -n 's/.*"pred":\(\[\[.*\]\]\).*/\1/p')"
+[ -n "$PRED_CSV" ] || { echo "e2e: could not extract csv job pred"; exit 1; }
+if [ "$PRED_CSV" != "$PRED_NDJ" ]; then
+  echo "e2e: NDJSON job verdicts differ from the CSV job"
+  exit 1
+fi
+echo "e2e: NDJSON job verdicts match the CSV job"
+
 # --- Models: fit once over the socket, score forever. ---
 
 # Fit a model from the same CSV; the response carries the ready model's id.
@@ -86,10 +121,44 @@ if [ "$SRV_MASK" != "$CLI_MASK" ]; then
 fi
 echo "e2e: model verdicts match cmd/zeroed -model-in ($SRV_MASK)"
 
-# Model metrics must account for the fit and the score call.
+# Model metrics must account for the fit and the score call (checked
+# before repair, which scores internally and bumps the same counter).
 METRICS="$(curl -fsS "$BASE/metrics")"
 echo "$METRICS" | grep -q 'zeroedd_models_current 1' || { echo "e2e: metrics missing model gauge"; exit 1; }
 echo "$METRICS" | grep -q 'zeroedd_score_seconds_count 1' || { echo "e2e: metrics missing score latency"; exit 1; }
+
+# --- Served repair: bit-identical to the CLI detect -> repair loop. ---
+
+# A repair input with a typo'd novel value ("chicagoo") next to a frequent
+# clean one: the model flags the novel cell and the repairer must propose
+# the typo fix, so the change-log equality below is exercised on a
+# nonzero log.
+REPCSV="$WORK/repair.csv"
+{
+  printf 'city,state,zip\n'
+  printf 'chicago,IL,60601\nchicago,IL,60601\nchicago,IL,60601\n'
+  printf 'springfield,IL,62701\nmadison,WI,53703\nchicagoo,IL,60601\n'
+} > "$REPCSV"
+REPAIRED="$WORK/cli_repaired.csv"
+RLOG="$WORK/cli_changes.ndjson"
+"$CLI" -dirty "$REPCSV" -model-in "$MODELDIR/$MID.zedm" -repair "$REPAIRED" -repair-log "$RLOG" >/dev/null
+[ -f "$REPAIRED" ] || { echo "e2e: CLI wrote no repaired CSV"; exit 1; }
+[ -s "$RLOG" ] || { echo "e2e: CLI repair change log is empty"; exit 1; }
+SRV_REPAIR="$(curl -fsS -X POST --data-binary @"$REPCSV" "$BASE/v1/models/$MID/repair?table=0")"
+echo "$SRV_REPAIR" | grep -q '"repaired":' || { echo "e2e: repair response missing repaired count"; exit 1; }
+# The server's changes array, one object per line, must equal the CLI's
+# change log byte for byte (same artifact, same input bytes).
+SRV_CHANGES="$(echo "$SRV_REPAIR" | sed -n 's/.*"changes":\[\(.*\)\].*/\1/p' | sed 's/},{/}\n{/g')"
+if [ "$SRV_CHANGES" != "$(cat "$RLOG")" ]; then
+  echo "e2e: served repair change log differs from cmd/zeroed -repair-log"
+  echo "  server: $SRV_CHANGES"
+  echo "  cli:    $(cat "$RLOG")"
+  exit 1
+fi
+echo "e2e: repair change log matches cmd/zeroed -repair-log ($(grep -c . "$RLOG" || true) changes)"
+METRICS="$(curl -fsS "$BASE/metrics")"
+echo "$METRICS" | grep -q 'zeroedd_repair_seconds_count 1' \
+  || { echo "e2e: metrics missing repair latency"; exit 1; }
 
 # --- Streaming & drift: stream chunks, trip a refit, assert the hot swap. ---
 # Every curl below uses -f, so any non-200 during streaming aborts the smoke.
