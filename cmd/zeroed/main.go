@@ -58,6 +58,14 @@
 //
 //	zeroed -dataset Tax -size 20000 -cpuprofile cpu.out -memprofile mem.out
 //	go tool pprof cpu.out
+//
+// Tracing: -trace FILE records a span tree over the whole run — input
+// read, every fit stage, the sharded scoring pass, repair, output writes —
+// and saves it as Chrome trace_event JSON, loadable in chrome://tracing or
+// Perfetto. Tracing is a pure observer: verdicts and score bits are
+// identical with and without it:
+//
+//	zeroed -dataset Hospital -trace trace.json
 package main
 
 import (
@@ -78,6 +86,7 @@ import (
 	"repro/internal/knowledge"
 	"repro/internal/llm"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/repair"
 	"repro/internal/table"
 	"repro/internal/zeroed"
@@ -105,6 +114,7 @@ type runOpts struct {
 	modelIn    string
 	cpuProfile string
 	memProfile string
+	tracePath  string
 
 	stream         bool
 	streamChunk    int
@@ -134,6 +144,7 @@ func main() {
 	flag.StringVar(&o.modelIn, "model-in", "", "skip fitting: load a model artifact and score the input with it (ZeroED only; pipeline flags like -seed and -label-rate are taken from the artifact)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
+	flag.StringVar(&o.tracePath, "trace", "", "write a Chrome trace_event JSON trace of the run to this file (open in chrome://tracing; results are bit-identical with tracing on or off)")
 	flag.BoolVar(&o.stream, "stream", false, "streaming mode: score -dirty (or stdin with '-') chunk by chunk against -model-in, one JSON verdict line per row")
 	flag.IntVar(&o.streamChunk, "stream-chunk", 256, "rows per streaming chunk (verdicts are chunk-invariant; latency knob only)")
 	flag.Float64Var(&o.driftThreshold, "drift-threshold", 0, "streaming drift level that triggers an in-place refit on the accumulated rows (0 = never refit)")
@@ -152,10 +163,26 @@ func main() {
 		}
 	}
 
-	err := run(o)
+	ctx := context.Background()
+	var tr *obs.Trace
+	if o.tracePath != "" {
+		obs.SetEnabled(true)
+		ctx, tr = obs.NewTrace(ctx, "zeroed")
+	}
+
+	err := run(ctx, o)
 
 	if o.cpuProfile != "" {
 		pprof.StopCPUProfile()
+	}
+	if tr != nil {
+		tr.Finish()
+		if terr := writeTrace(o.tracePath, tr); terr != nil {
+			fmt.Fprintln(os.Stderr, "zeroed: trace:", terr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "zeroed: wrote trace (%d spans, %v) to %s\n",
+			tr.Spans(), tr.Duration().Round(1e6), o.tracePath)
 	}
 	if o.memProfile != "" {
 		f, merr := os.Create(o.memProfile)
@@ -177,6 +204,19 @@ func main() {
 	}
 }
 
+// writeTrace saves a finished trace as Chrome trace_event JSON.
+func writeTrace(path string, tr *obs.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func (o runOpts) zeroedConfig() zeroed.Config {
 	return zeroed.Config{
 		LabelRate: o.labelRate, CorrK: o.corrK, Seed: o.seed,
@@ -184,7 +224,7 @@ func (o runOpts) zeroedConfig() zeroed.Config {
 	}
 }
 
-func run(o runOpts) error {
+func run(ctx context.Context, o runOpts) error {
 	profile, ok := llm.ProfileByName(o.model)
 	if !ok {
 		return fmt.Errorf("unknown model %q", o.model)
@@ -214,7 +254,7 @@ func run(o runOpts) error {
 		case o.repairLog != "":
 			return fmt.Errorf("-stream cannot be combined with -repair-log")
 		}
-		return runStream(o)
+		return runStream(ctx, o)
 	}
 	if o.batch != "" {
 		// Flags that only apply to single-dataset runs would be silently
@@ -236,23 +276,26 @@ func run(o runOpts) error {
 				return fmt.Errorf("%s cannot be combined with -batch", c.name)
 			}
 		}
-		return runBatch(o, profile)
+		return runBatch(ctx, o, profile)
 	}
 
 	var dirty, clean *table.Dataset
 	var kb *knowledge.Base
 	var fdPairs [][2]int
 
+	_, readSpan := obs.Start(ctx, "read_input")
 	switch {
 	case o.dataset != "":
 		gen, err := datasetGen(o.dataset)
 		if err != nil {
+			readSpan.End()
 			return err
 		}
 		b := gen(o.size, o.seed)
 		dirty, clean, kb, fdPairs = b.Dirty, b.Clean, b.KB, b.FDPairs
 		rate, err := b.ErrorRate()
 		if err != nil {
+			readSpan.End()
 			return err
 		}
 		fmt.Printf("generated %s: %d tuples x %d attributes, %.2f%% cell errors\n",
@@ -261,18 +304,23 @@ func run(o runOpts) error {
 		var err error
 		dirty, err = table.ReadFile("input", o.dirtyPath, o.format)
 		if err != nil {
+			readSpan.End()
 			return err
 		}
 		if o.cleanPath != "" {
 			clean, err = table.ReadFile("truth", o.cleanPath, "")
 			if err != nil {
+				readSpan.End()
 				return err
 			}
 		}
 		kb = knowledge.NewBase()
 	default:
+		readSpan.End()
 		return fmt.Errorf("either -dirty, -dataset, or -batch is required")
 	}
+	readSpan.SetInt("rows", int64(dirty.NumRows()))
+	readSpan.End()
 
 	var pred [][]bool
 	switch strings.ToLower(o.method) {
@@ -286,7 +334,9 @@ func run(o runOpts) error {
 			// The input header may be a permutation or superset of the model
 			// schema — it is projected onto the schema before scoring, like
 			// an upload to the service's score endpoint.
+			_, loadSpan := obs.Start(ctx, "model.load")
 			m, err := model.LoadFile(o.modelIn)
+			loadSpan.End()
 			if err != nil {
 				return err
 			}
@@ -305,7 +355,7 @@ func run(o runOpts) error {
 					return fmt.Errorf("projecting -clean onto the model schema: %w", err)
 				}
 			}
-			res, err := m.Score(dirty)
+			res, err := m.ScoreContext(ctx, dirty)
 			if err != nil {
 				return err
 			}
@@ -314,11 +364,14 @@ func run(o runOpts) error {
 				dirty.NumRows(), o.modelIn, m.FitRows(), m.Config().Seed, res.Runtime.Round(1e6))
 		case o.modelOut != "":
 			// Fit, persist the artifact, then score with the fitted model.
-			m, err := det.Fit(dirty)
+			m, err := det.FitContext(ctx, dirty)
 			if err != nil {
 				return err
 			}
-			if err := model.SaveFile(o.modelOut, m); err != nil {
+			_, saveSpan := obs.Start(ctx, "model.save")
+			err = model.SaveFile(o.modelOut, m)
+			saveSpan.End()
+			if err != nil {
 				return err
 			}
 			info := m.Info()
@@ -326,7 +379,7 @@ func run(o runOpts) error {
 				info.SampledCells, info.TrainingCells, info.AugmentedErrs, info.CriteriaCount)
 			fmt.Printf("LLM usage: %d calls, %d input + %d output tokens; fit runtime %v\n",
 				info.Usage.Calls, info.Usage.InputTokens, info.Usage.OutputTokens, info.FitRuntime.Round(1e6))
-			res, err := m.Score(dirty)
+			res, err := m.ScoreContext(ctx, dirty)
 			if err != nil {
 				return err
 			}
@@ -336,7 +389,7 @@ func run(o runOpts) error {
 					o.modelOut, fi.Size(), res.Runtime.Round(1e6))
 			}
 		default:
-			res, err := det.Detect(dirty)
+			res, err := det.DetectContext(ctx, dirty)
 			if err != nil {
 				return err
 			}
@@ -377,7 +430,10 @@ func run(o runOpts) error {
 	}
 
 	if o.repairOut != "" {
+		_, repSpan := obs.Start(ctx, "repair.apply")
 		repaired, fixes := repair.New(repair.Config{}).Apply(dirty, pred)
+		repSpan.SetInt("changes", int64(len(fixes)))
+		repSpan.End()
 		if err := repaired.WriteCSVFile(o.repairOut); err != nil {
 			return err
 		}
@@ -396,6 +452,7 @@ func run(o runOpts) error {
 	}
 
 	if o.outPath != "" {
+		_, outSpan := obs.Start(ctx, "write_out")
 		mask := table.New("mask", dirty.Attrs)
 		for i := range pred {
 			row := make([]string, len(pred[i]))
@@ -408,7 +465,9 @@ func run(o runOpts) error {
 			}
 			mask.MustAppendRow(row)
 		}
-		if err := mask.WriteCSVFile(o.outPath); err != nil {
+		err := mask.WriteCSVFile(o.outPath)
+		outSpan.End()
+		if err != nil {
 			return err
 		}
 		fmt.Println("wrote mask to", o.outPath)
@@ -455,8 +514,10 @@ func writeRepairLog(path string, attrs []string, fixes []repair.Fix) error {
 // model in place on the rows accumulated so far (synchronously — this is a
 // CLI, not a server); the successor scores all later chunks and is saved
 // to -model-out when given.
-func runStream(o runOpts) error {
+func runStream(ctx context.Context, o runOpts) error {
+	_, loadSpan := obs.Start(ctx, "model.load")
 	m, err := model.LoadFile(o.modelIn)
+	loadSpan.End()
 	if err != nil {
 		return err
 	}
@@ -523,7 +584,7 @@ func runStream(o runOpts) error {
 		Scores  []float64 `json:"scores"`
 	}
 	refits := 0
-	rows, st, err := ss.ScoreSource(context.Background(), nil, src, o.streamChunk,
+	rows, st, err := ss.ScoreSource(ctx, nil, src, o.streamChunk,
 		func(start int, res *zeroed.Result, cst zeroed.ChunkStatus) error {
 			for i := range res.Pred {
 				if err := enc.Encode(verdict{Row: start + i, Version: cst.Version, Pred: res.Pred[i], Scores: res.Scores[i]}); err != nil {
@@ -533,7 +594,7 @@ func runStream(o runOpts) error {
 			if cst.ShouldRefit && ss.BeginRefit() {
 				fmt.Fprintf(os.Stderr, "zeroed: drift tripped at row %d (unseen %.3f, shift %.3f); refitting on %d accumulated rows\n",
 					start+len(res.Pred), cst.Drift.UnseenRate, cst.Drift.Shift, cst.Drift.Rows)
-				m2, err := ss.Refit(context.Background(), nil)
+				m2, err := ss.Refit(ctx, nil)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "zeroed: refit failed, keeping the current model: %v\n", err)
 					ss.AbortRefit()
@@ -570,7 +631,7 @@ func runStream(o runOpts) error {
 // (zeroed.DetectBatch). The batch is either a replica count over -dataset
 // (seeds seed..seed+n-1) or a comma-separated list of dirty CSV paths,
 // each loaded through the chunked CSV reader.
-func runBatch(o runOpts, profile llm.Profile) error {
+func runBatch(ctx context.Context, o runOpts, profile llm.Profile) error {
 	if strings.ToLower(o.method) != "zeroed" {
 		return fmt.Errorf("-batch supports only -method zeroed")
 	}
@@ -621,7 +682,7 @@ func runBatch(o runOpts, profile llm.Profile) error {
 
 	cfg := o.zeroedConfig()
 	cfg.Profile = profile
-	results, err := zeroed.New(cfg).DetectBatch(ds)
+	results, err := zeroed.New(cfg).DetectBatchContext(ctx, ds)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -26,7 +27,7 @@ func TestRunOnGeneratedDataset(t *testing.T) {
 	dir := t.TempDir()
 	mask := filepath.Join(dir, "mask.csv")
 	repaired := filepath.Join(dir, "repaired.csv")
-	err := run(opts(func(o *runOpts) {
+	err := run(context.Background(), opts(func(o *runOpts) {
 		o.dataset = "Hospital"
 		o.size = 250
 		o.labelRate = 0.08
@@ -72,7 +73,7 @@ func TestRunOnCSVFiles(t *testing.T) {
 	if err := os.WriteFile(clean, []byte(cb.String()), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := run(opts(func(o *runOpts) {
+	err := run(context.Background(), opts(func(o *runOpts) {
 		o.dirtyPath = dirty
 		o.cleanPath = clean
 		o.method = "dboost"
@@ -83,16 +84,16 @@ func TestRunOnCSVFiles(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(opts(nil)); err == nil {
+	if err := run(context.Background(), opts(nil)); err == nil {
 		t.Error("missing input must error")
 	}
-	if err := run(opts(func(o *runOpts) { o.dataset = "NoSuchSet" })); err == nil {
+	if err := run(context.Background(), opts(func(o *runOpts) { o.dataset = "NoSuchSet" })); err == nil {
 		t.Error("unknown dataset must error")
 	}
-	if err := run(opts(func(o *runOpts) { o.dataset = "Hospital"; o.size = 100; o.model = "NoSuchModel" })); err == nil {
+	if err := run(context.Background(), opts(func(o *runOpts) { o.dataset = "Hospital"; o.size = 100; o.model = "NoSuchModel" })); err == nil {
 		t.Error("unknown model must error")
 	}
-	if err := run(opts(func(o *runOpts) { o.dataset = "Hospital"; o.size = 100; o.method = "nosuchmethod" })); err == nil {
+	if err := run(context.Background(), opts(func(o *runOpts) { o.dataset = "Hospital"; o.size = 100; o.method = "nosuchmethod" })); err == nil {
 		t.Error("unknown method must error")
 	}
 	// Raha without -clean has no oracle.
@@ -101,13 +102,13 @@ func TestRunValidation(t *testing.T) {
 	if err := os.WriteFile(dirty, []byte("A\nx\ny\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(opts(func(o *runOpts) { o.dirtyPath = dirty; o.method = "raha" })); err == nil {
+	if err := run(context.Background(), opts(func(o *runOpts) { o.dirtyPath = dirty; o.method = "raha" })); err == nil {
 		t.Error("raha without clean labels must error")
 	}
 }
 
 func TestRunBatchReplicas(t *testing.T) {
-	err := run(opts(func(o *runOpts) {
+	err := run(context.Background(), opts(func(o *runOpts) {
 		o.dataset = "Hospital"
 		o.size = 150
 		o.batch = "2"
@@ -137,7 +138,7 @@ func TestRunBatchCSVList(t *testing.T) {
 		}
 		paths = append(paths, p)
 	}
-	err := run(opts(func(o *runOpts) { o.batch = strings.Join(paths, ",") }))
+	err := run(context.Background(), opts(func(o *runOpts) { o.batch = strings.Join(paths, ",") }))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestRunNDJSONInput(t *testing.T) {
 		"ndjson-forced": {"dirty.dat", "ndjson"},
 	} {
 		mask := filepath.Join(dir, name+".mask.csv")
-		err := run(opts(func(o *runOpts) {
+		err := run(context.Background(), opts(func(o *runOpts) {
 			o.dirtyPath = filepath.Join(dir, in.file)
 			o.cleanPath = filepath.Join(dir, "clean.csv")
 			o.format = in.format
@@ -205,19 +206,19 @@ func TestRunNDJSONInput(t *testing.T) {
 }
 
 func TestRunBatchValidation(t *testing.T) {
-	if err := run(opts(func(o *runOpts) { o.batch = "3" })); err == nil {
+	if err := run(context.Background(), opts(func(o *runOpts) { o.batch = "3" })); err == nil {
 		t.Error("replica batch without -dataset must error")
 	}
-	if err := run(opts(func(o *runOpts) { o.batch = "2"; o.dataset = "Hospital"; o.method = "dboost" })); err == nil {
+	if err := run(context.Background(), opts(func(o *runOpts) { o.batch = "2"; o.dataset = "Hospital"; o.method = "dboost" })); err == nil {
 		t.Error("batch with a baseline method must error")
 	}
-	if err := run(opts(func(o *runOpts) { o.batch = " , " })); err == nil {
+	if err := run(context.Background(), opts(func(o *runOpts) { o.batch = " , " })); err == nil {
 		t.Error("batch listing no paths must error")
 	}
-	if err := run(opts(func(o *runOpts) { o.batch = "0"; o.dataset = "Hospital" })); err == nil {
+	if err := run(context.Background(), opts(func(o *runOpts) { o.batch = "0"; o.dataset = "Hospital" })); err == nil {
 		t.Error("batch replica count of 0 must error")
 	}
-	if err := run(opts(func(o *runOpts) { o.batch = "x.csv"; o.dataset = "Hospital" })); err == nil ||
+	if err := run(context.Background(), opts(func(o *runOpts) { o.batch = "x.csv"; o.dataset = "Hospital" })); err == nil ||
 		!strings.Contains(err.Error(), "CSV list") {
 		t.Errorf("-dataset with a -batch CSV list must be rejected, got %v", err)
 	}
@@ -229,7 +230,7 @@ func TestRunBatchValidation(t *testing.T) {
 		func(o *runOpts) { o.format = "ndjson" },
 		func(o *runOpts) { o.repairOut = "x.csv"; o.repairLog = "x.ndjson" },
 	} {
-		err := run(opts(func(o *runOpts) { o.batch = "2"; o.dataset = "Hospital"; mod(o) }))
+		err := run(context.Background(), opts(func(o *runOpts) { o.batch = "2"; o.dataset = "Hospital"; mod(o) }))
 		if err == nil || !strings.Contains(err.Error(), "-batch") {
 			t.Errorf("single-run flag combined with -batch must be rejected, got %v", err)
 		}
@@ -258,7 +259,7 @@ func TestRunModelOutIn(t *testing.T) {
 		o.labelRate = 0.08
 		o.seed = 5
 	}
-	if err := run(opts(func(o *runOpts) {
+	if err := run(context.Background(), opts(func(o *runOpts) {
 		base(o)
 		o.modelOut = artifact
 		o.outPath = fitMask
@@ -268,7 +269,7 @@ func TestRunModelOutIn(t *testing.T) {
 	if fi, err := os.Stat(artifact); err != nil || fi.Size() == 0 {
 		t.Fatalf("artifact missing: %v", err)
 	}
-	if err := run(opts(func(o *runOpts) {
+	if err := run(context.Background(), opts(func(o *runOpts) {
 		base(o)
 		o.modelIn = artifact
 		o.outPath = scoreMask
@@ -301,7 +302,7 @@ func TestRunModelFlagValidation(t *testing.T) {
 		"log-without-pass":  func(o *runOpts) { o.dataset = "Hospital"; o.size = 50; o.repairLog = "c.ndjson" },
 		"stream+repair-log": func(o *runOpts) { o.stream = true; o.modelIn = "a"; o.repairOut = ""; o.repairLog = "c.ndjson" },
 	} {
-		if err := run(opts(mod)); err == nil {
+		if err := run(context.Background(), opts(mod)); err == nil {
 			t.Errorf("%s: expected an error", name)
 		}
 	}
@@ -321,10 +322,10 @@ func TestRunScoreOnlyRepair(t *testing.T) {
 		o.labelRate = 0.08
 		o.seed = 5
 	}
-	if err := run(opts(func(o *runOpts) { base(o); o.modelOut = artifact })); err != nil {
+	if err := run(context.Background(), opts(func(o *runOpts) { base(o); o.modelOut = artifact })); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(opts(func(o *runOpts) {
+	if err := run(context.Background(), opts(func(o *runOpts) {
 		base(o)
 		o.modelIn = artifact
 		o.repairOut = repaired

@@ -17,6 +17,8 @@
 //	        [-max-models 32] [-model-dir DIR]
 //	        [-stream-chunk 256] [-drift-threshold 0] [-drift-min-rows 256]
 //	        [-request-timeout 0] [-refit-backoff 1s] [-refit-breaker-after 5]
+//	        [-log-format text|json] [-debug-addr ADDR]
+//	        [-trace-dir DIR] [-trace-slow 100ms]
 //	        [-list-failpoints]
 //
 // Quickstart:
@@ -66,6 +68,16 @@
 // this is armed via ZEROED_FAILPOINTS (see -list-failpoints and
 // internal/faultpoint).
 //
+// Observability: every request carries an X-Request-ID (honored or
+// generated, echoed on responses and in error envelopes) and a span tree
+// covering queue wait, ingest, and each pipeline stage — ?trace=1 embeds
+// it in synchronous responses, GET /v1/jobs/{id}/trace serves a finished
+// job's tree, and /metrics exports per-route RED series. -log-format json
+// switches the structured log to JSON lines. -debug-addr starts a second,
+// operator-only listener with net/http/pprof, /debug/failpoints, and
+// /debug/traces (slow-request Chrome traces, also dumped under -trace-dir
+// when requests cross -trace-slow; load them in chrome://tracing).
+//
 // SIGINT/SIGTERM shut the server down gracefully: the listener stops, and
 // in-flight jobs are canceled through their contexts.
 package main
@@ -75,6 +87,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -105,6 +118,11 @@ func main() {
 		refitBackoff = flag.Duration("refit-backoff", time.Second, "base backoff after a failed drift refit, doubling per consecutive failure")
 		refitBreaker = flag.Int("refit-breaker-after", 5, "consecutive refit failures that open a per-model breaker until the next successful install (negative = never)")
 
+		logFormat = flag.String("log-format", "text", "structured-log format: text or json")
+		debugAddr = flag.String("debug-addr", "", "serve pprof, /debug/failpoints, and /debug/traces on this extra listener (keep it internal; empty = off)")
+		traceDir  = flag.String("trace-dir", "", "dump slow-request traces as Chrome trace_event JSON files under this directory")
+		traceSlow = flag.Duration("trace-slow", 100*time.Millisecond, "retain traces of requests at or above this duration in the debug ring (and -trace-dir)")
+
 		listFailpoints = flag.Bool("list-failpoints", false, "print the registered fault-injection points ("+faultpoint.EnvVar+" arms them) and exit")
 	)
 	flag.Parse()
@@ -114,6 +132,17 @@ func main() {
 			fmt.Println(name)
 		}
 		return
+	}
+
+	var logger *slog.Logger
+	switch *logFormat {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "zeroedd: bad -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
 	}
 
 	svc := serve.New(serve.Config{
@@ -132,11 +161,30 @@ func main() {
 		RequestTimeout:    *reqTimeout,
 		RefitBackoff:      *refitBackoff,
 		RefitBreakerAfter: *refitBreaker,
+		Logger:            logger,
+		TraceDir:          *traceDir,
+		TraceSlow:         *traceSlow,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The debug surface is a separate server on purpose: pprof and
+	// fault-injection state never share a port with client traffic.
+	if *debugAddr != "" {
+		dbgSrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           svc.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "zeroedd: debug listener:", err)
+			}
+		}()
+		fmt.Printf("zeroedd: debug listener on %s\n", *debugAddr)
 	}
 
 	errCh := make(chan error, 1)

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Chrome trace_event export: the span tree rendered as "X" (complete)
+// events that chrome://tracing, Perfetto, and speedscope all load. Every
+// span becomes one event with microsecond ts/dur; the tree structure is
+// conveyed through tid lanes — nested spans share their parent's lane
+// (the viewers stack contained intervals), while overlapping siblings
+// (pool workers scoring shards concurrently) are pushed to distinct lanes
+// so they render side by side instead of garbling one track.
+
+// chromeEvent is one trace_event entry.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	TS   float64           `json:"ts"`  // microseconds since trace start
+	Dur  float64           `json:"dur"` // microseconds
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the object form of the trace_event format ({"traceEvents":
+// [...]}), which every viewer accepts and which leaves room for metadata.
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// flatSpan is one span snapshotted out of the tree for lane assignment.
+type flatSpan struct {
+	name     string
+	startNS  int64
+	endNS    int64
+	attrs    []Attr
+	children []*flatSpan
+}
+
+// WriteChrome writes the trace as Chrome trace_event JSON. Unended spans
+// are clamped to "now", so a live trace still renders.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte(`{"traceEvents":[]}` + "\n"))
+		return err
+	}
+	t.mu.Lock()
+	root := t.root.flatten(t.start, time.Now())
+	t.mu.Unlock()
+
+	la := &laneAssigner{}
+	var events []chromeEvent
+	var walk func(s *flatSpan, parentLane int)
+	walk = func(s *flatSpan, parentLane int) {
+		lane := la.assign(s.startNS, s.endNS, parentLane)
+		ev := chromeEvent{
+			Name: s.name,
+			Ph:   "X",
+			PID:  1,
+			TID:  lane,
+			TS:   float64(s.startNS) / 1e3,
+			Dur:  float64(s.endNS-s.startNS) / 1e3,
+		}
+		if len(s.attrs) > 0 {
+			ev.Args = make(map[string]string, len(s.attrs))
+			for _, a := range s.attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		events = append(events, ev)
+		for _, c := range s.children {
+			walk(c, lane)
+		}
+	}
+	walk(root, 0)
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayUnit: "ms"})
+}
+
+// ChromeJSON renders the trace as a trace_event JSON byte slice plus the
+// span count, for ring retention and file dumps.
+func (t *Trace) ChromeJSON() ([]byte, int) {
+	if t == nil {
+		return []byte(`{"traceEvents":[]}` + "\n"), 0
+	}
+	var buf writerBuf
+	_ = t.WriteChrome(&buf)
+	return buf.b, t.Spans()
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// flatten snapshots one span subtree relative to t0 (caller holds the
+// trace mutex).
+func (s *Span) flatten(t0, now time.Time) *flatSpan {
+	end := s.start.Add(s.dur)
+	if !s.ended {
+		end = now
+	}
+	f := &flatSpan{
+		name:    s.name,
+		startNS: s.start.Sub(t0).Nanoseconds(),
+		endNS:   end.Sub(t0).Nanoseconds(),
+		attrs:   append([]Attr(nil), s.attrs...),
+	}
+	if f.endNS < f.startNS {
+		f.endNS = f.startNS
+	}
+	for _, c := range s.children {
+		f.children = append(f.children, c.flatten(t0, now))
+	}
+	return f
+}
+
+// laneAssigner packs spans onto tid lanes: a span prefers its parent's
+// lane (ancestors contain it, so they never conflict) and is bumped to the
+// first lane where it partially overlaps nothing. Two intervals conflict
+// only when they overlap without either containing the other — the one
+// arrangement the stacking viewers cannot draw on a single track.
+type laneAssigner struct {
+	lanes [][][2]int64 // lanes[i] = placed [start, end) intervals
+}
+
+func (la *laneAssigner) assign(start, end int64, preferred int) int {
+	if preferred < len(la.lanes) && !conflicts(la.lanes[preferred], start, end) {
+		la.lanes[preferred] = append(la.lanes[preferred], [2]int64{start, end})
+		return preferred
+	}
+	for i := range la.lanes {
+		if i == preferred {
+			continue
+		}
+		if !conflicts(la.lanes[i], start, end) {
+			la.lanes[i] = append(la.lanes[i], [2]int64{start, end})
+			return i
+		}
+	}
+	la.lanes = append(la.lanes, [][2]int64{{start, end}})
+	return len(la.lanes) - 1
+}
+
+func conflicts(placed [][2]int64, start, end int64) bool {
+	for _, p := range placed {
+		overlap := start < p[1] && p[0] < end
+		if !overlap {
+			continue
+		}
+		contained := (p[0] <= start && end <= p[1]) || (start <= p[0] && p[1] <= end)
+		if !contained {
+			return true
+		}
+	}
+	return false
+}

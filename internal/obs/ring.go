@@ -1,0 +1,73 @@
+package obs
+
+import "sync"
+
+// Ring is the bounded buffer of retained traces behind GET /debug/traces:
+// the serve layer drops finished request traces in (subject to its
+// slow-request threshold) and the newest N survive.
+
+// Retained is one trace kept in the ring, already rendered: the Chrome
+// JSON is materialized at retention time so serving it later is a byte
+// copy, never a walk of live spans.
+type Retained struct {
+	Seq       int     `json:"seq"`
+	Name      string  `json:"name"`
+	RequestID string  `json:"request_id,omitempty"`
+	DurMS     float64 `json:"dur_ms"`
+	Spans     int     `json:"spans"`
+	Chrome    []byte  `json:"-"`
+}
+
+// Ring holds the last N retained traces. Seq numbers are monotone across
+// the process, so /debug/traces/{seq} URLs stay stable until evicted.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*Retained
+	next int
+	seq  int
+}
+
+// NewRing creates a ring retaining up to n traces (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]*Retained, n)}
+}
+
+// Add retains one trace, assigning and returning its sequence number.
+func (r *Ring) Add(t *Retained) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	t.Seq = r.seq
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	return t.Seq
+}
+
+// List snapshots the retained traces, newest first.
+func (r *Ring) List() []*Retained {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Retained, 0, len(r.buf))
+	for i := 0; i < len(r.buf); i++ {
+		idx := (r.next - 1 - i + 2*len(r.buf)) % len(r.buf)
+		if r.buf[idx] != nil {
+			out = append(out, r.buf[idx])
+		}
+	}
+	return out
+}
+
+// Get returns the retained trace with the given sequence number.
+func (r *Ring) Get(seq int) (*Retained, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.buf {
+		if t != nil && t.Seq == seq {
+			return t, true
+		}
+	}
+	return nil, false
+}

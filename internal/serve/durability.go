@@ -3,8 +3,8 @@ package serve
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -88,7 +88,7 @@ func (r *registry) writeManifest(met *metrics) {
 		err = model.WriteFileAtomic(filepath.Join(r.dir, manifestFile), append(data, '\n'))
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "zeroedd: manifest write failed (registry unaffected): %v\n", err)
+		r.log.Error("manifest write failed, registry unaffected", "dir", r.dir, "err", err)
 		met.manifestWriteFailures.Add(1)
 	}
 }
@@ -96,25 +96,26 @@ func (r *registry) writeManifest(met *metrics) {
 // quarantine renames a corrupt artifact aside, once. Later boots skip the
 // renamed file entirely — one corruption event is one log line and one
 // counter increment, not one per restart.
-func quarantine(path string, met *metrics) {
+func quarantine(path string, met *metrics, log *slog.Logger) {
 	if err := os.Rename(path, path+corruptSuffix); err != nil {
-		fmt.Fprintf(os.Stderr, "zeroedd: failed to quarantine corrupt artifact %s: %v\n", path, err)
+		log.Error("failed to quarantine corrupt artifact", "path", path, "err", err)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "zeroedd: quarantined corrupt artifact %s -> %s%s\n", path, filepath.Base(path), corruptSuffix)
+	log.Warn("quarantined corrupt artifact",
+		"path", path, "renamed_to", filepath.Base(path)+corruptSuffix)
 	met.modelsQuarantined.Add(1)
 }
 
 // sweepTmp removes stranded atomic-write temp files — debris of a crash
 // mid-save, never a committed artifact.
-func sweepTmp(dir string, entries []fs.DirEntry) {
+func sweepTmp(dir string, entries []fs.DirEntry, log *slog.Logger) {
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), model.TmpSuffix) {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())
 		if err := os.Remove(path); err == nil {
-			fmt.Fprintf(os.Stderr, "zeroedd: removed stranded temp file %s\n", path)
+			log.Warn("removed stranded temp file", "path", path)
 		}
 	}
 }

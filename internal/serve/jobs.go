@@ -3,10 +3,12 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime/debug"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/table"
 	"repro/internal/zeroed"
 )
@@ -60,6 +62,15 @@ type job struct {
 	started time.Time
 	done    time.Time
 	cancel  context.CancelFunc
+
+	// trace is the submit request's trace, adopted by the job because it
+	// outlives the request: the middleware leaves it open and the job
+	// finalizes it. qspan spans the admission-queue wait; traceTree is the
+	// finished snapshot served by GET /v1/jobs/{id}/trace.
+	trace     *obs.Trace
+	qspan     *obs.Span
+	rid       string
+	traceTree *obs.Node
 }
 
 // snapshot returns a consistent copy of the job's reportable state.
@@ -113,6 +124,11 @@ type manager struct {
 	cfg  Config
 	pool *zeroed.Pool
 	met  *metrics
+	log  *slog.Logger
+
+	// retain, when set (by serve.New), offers a finished job trace for
+	// slow-request retention in the debug ring.
+	retain func(tr *obs.Trace, route, rid string, dur time.Duration)
 
 	mu     sync.Mutex
 	cond   *sync.Cond // signals runners when queue gains a job or close() runs
@@ -127,12 +143,13 @@ type manager struct {
 	wg      sync.WaitGroup
 }
 
-func newManager(cfg Config, met *metrics) *manager {
+func newManager(cfg Config, met *metrics, log *slog.Logger) *manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &manager{
 		cfg:     cfg,
 		pool:    zeroed.NewPool(cfg.Workers),
 		met:     met,
+		log:     log,
 		jobs:    make(map[string]*job),
 		baseCtx: ctx,
 		stop:    cancel,
@@ -169,7 +186,11 @@ var errQueueFull = fmt.Errorf("serve: job queue is full, retry later")
 // submit admits a parsed dataset as a queued job, or rejects it when the
 // bounded queue is full. Only jobs actually waiting count against the
 // queue bound — canceling a queued job frees its slot immediately.
-func (m *manager) submit(ds *table.Dataset, p JobParams) (*job, error) {
+//
+// The submit request's trace is adopted here: the job outlives the request,
+// so the middleware must not finish the trace at response time. A
+// queue_wait span opens now and closes when a runner picks the job up.
+func (m *manager) submit(ctx context.Context, ds *table.Dataset, p JobParams) (*job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -188,6 +209,12 @@ func (m *manager) submit(ds *table.Dataset, p JobParams) (*job, error) {
 		cols:    ds.NumCols(),
 		state:   JobQueued,
 		created: time.Now(),
+	}
+	if tr := obs.TraceFromContext(ctx); tr != nil {
+		tr.Adopt()
+		j.trace = tr
+		j.rid = reqIDFrom(ctx)
+		_, j.qspan = obs.Start(ctx, "queue_wait")
 	}
 	m.queue = append(m.queue, j)
 	m.jobs[j.id] = j
@@ -277,6 +304,7 @@ func (m *manager) cancelJob(id string) (JobState, bool) {
 		j.errMsg = "canceled before start"
 		j.done = time.Now()
 		j.ds = nil
+		m.finishTraceLocked(j)
 		j.mu.Unlock()
 		// Free the admission slot right away; a runner that races the
 		// removal and pops the job anyway skips it on the state check.
@@ -365,14 +393,24 @@ func (m *manager) runJob(j *job) {
 	j.state = JobRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.qspan.End()
+	m.met.queueWait.observe(j.started.Sub(j.created).Seconds())
 	ds, p := j.ds, j.params
+	trace := j.trace
 	j.mu.Unlock()
 	defer cancel()
 
-	res, err := m.detect(ctx, ds, p)
+	// Re-root the detection context on the adopted trace so the engine's
+	// fit/score spans land in the submit request's tree.
+	dctx := ctx
+	if trace != nil {
+		dctx = obs.ContextWithSpan(ctx, trace.Root())
+	}
+	dctx, dspan := obs.Start(dctx, "detect")
+	res, err := m.detect(dctx, ds, p)
+	dspan.End()
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.done = time.Now()
 	j.ds = nil // the dataset is only needed for the run; drop it early
 	j.cancel = nil
@@ -392,6 +430,25 @@ func (m *manager) runJob(j *job) {
 		m.met.detectRuns.Add(1)
 		m.met.detectNanos.Add(int64(res.Runtime))
 	}
+	m.finishTraceLocked(j)
+	j.mu.Unlock()
+}
+
+// finishTraceLocked (j.mu held) finalizes an adopted trace: ends the
+// queue-wait span if still open, snapshots the tree for
+// GET /v1/jobs/{id}/trace, and offers the trace for slow-request retention.
+func (m *manager) finishTraceLocked(j *job) {
+	if j.trace == nil {
+		return
+	}
+	j.qspan.End()
+	j.trace.Finish()
+	j.traceTree = j.trace.Tree()
+	if m.retain != nil {
+		m.retain(j.trace, "POST /v1/jobs", j.rid, j.trace.Duration())
+	}
+	j.trace = nil
+	j.qspan = nil
 }
 
 // detect runs one job's detection on the shared pool, converting any stray

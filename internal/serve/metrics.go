@@ -63,6 +63,150 @@ type metrics struct {
 	stageMu      sync.Mutex
 	stageSeconds map[string]float64
 	stageOrder   []string
+
+	// RED: per-route request rate, error rate (via the code label), and
+	// duration histograms, observed by the middleware around every request.
+	red redTable
+
+	// queueWait is the admission-queue wait histogram — time from submit to
+	// runner pickup, split out from handler time so queueing pressure is
+	// visible separately from detection cost.
+	queueWait histogram
+}
+
+// latencyBuckets are the shared histogram bounds, in seconds. They span
+// sub-10ms scores to multi-second fits on large uploads.
+var latencyBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// histogram is a fixed-bucket Prometheus histogram. A mutex over a small
+// int64 slice: observation cost is one lock and one increment, far below
+// the request work it measures. The bucket slice is lazily sized on first
+// observe so the zero value is usable.
+type histogram struct {
+	mu     sync.Mutex
+	counts []int64 // len(latencyBuckets)+1; last is +Inf
+	sum    float64
+	n      int64
+}
+
+func (h *histogram) observe(sec float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		h.counts = make([]int64, len(latencyBuckets)+1)
+	}
+	i := 0
+	for i < len(latencyBuckets) && sec > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += sec
+	h.n++
+}
+
+// render writes the cumulative-bucket exposition for one histogram series.
+// labels is the rendered label set without the le pair ("" or
+// `route="POST /v1/jobs"`).
+func (h *histogram) render(w io.Writer, name, labels string) {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	sum, n := h.sum, h.n
+	h.mu.Unlock()
+	if counts == nil {
+		counts = make([]int64, len(latencyBuckets)+1)
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for i, b := range latencyBuckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, b, cum)
+	}
+	cum += counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, n)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, n)
+	}
+}
+
+// routeRED holds one route's request counters by status code plus its
+// duration histogram.
+type routeRED struct {
+	codes map[int]int64
+	hist  histogram
+}
+
+// redTable is the per-route RED store. Routes are mux patterns (bounded by
+// the route table, plus "unmatched"), so the map stays small.
+type redTable struct {
+	mu      sync.Mutex
+	byRoute map[string]*routeRED
+}
+
+func (t *redTable) observe(route string, code int, dur time.Duration) {
+	t.mu.Lock()
+	if t.byRoute == nil {
+		t.byRoute = map[string]*routeRED{}
+	}
+	rr := t.byRoute[route]
+	if rr == nil {
+		rr = &routeRED{codes: map[int]int64{}}
+		t.byRoute[route] = rr
+	}
+	rr.codes[code]++
+	t.mu.Unlock()
+	rr.hist.observe(dur.Seconds())
+}
+
+// render writes the RED families: request totals by route and code, and
+// per-route duration histograms.
+func (t *redTable) render(w io.Writer) {
+	t.mu.Lock()
+	routes := make([]string, 0, len(t.byRoute))
+	for r := range t.byRoute {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	type codeCount struct {
+		code int
+		n    int64
+	}
+	counts := make(map[string][]codeCount, len(routes))
+	for _, r := range routes {
+		rr := t.byRoute[r]
+		cc := make([]codeCount, 0, len(rr.codes))
+		for c, n := range rr.codes {
+			cc = append(cc, codeCount{c, n})
+		}
+		sort.Slice(cc, func(i, j int) bool { return cc[i].code < cc[j].code })
+		counts[r] = cc
+	}
+	t.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP zeroedd_http_requests_total HTTP requests served, by route pattern and status code.")
+	fmt.Fprintln(w, "# TYPE zeroedd_http_requests_total counter")
+	for _, r := range routes {
+		for _, cc := range counts[r] {
+			fmt.Fprintf(w, "zeroedd_http_requests_total{route=%q,code=\"%d\"} %d\n", r, cc.code, cc.n)
+		}
+	}
+	fmt.Fprintln(w, "# HELP zeroedd_http_request_seconds HTTP request duration by route pattern, queue wait included.")
+	fmt.Fprintln(w, "# TYPE zeroedd_http_request_seconds histogram")
+	t.mu.Lock()
+	hists := make([]*routeRED, len(routes))
+	for i, r := range routes {
+		hists[i] = t.byRoute[r]
+	}
+	t.mu.Unlock()
+	for i, r := range routes {
+		hists[i].hist.render(w, "zeroedd_http_request_seconds", fmt.Sprintf("route=%q", r))
+	}
 }
 
 // addFitStages folds one fit's per-stage breakdown into the cumulative
@@ -118,6 +262,21 @@ func (s *Server) modelGauges() []modelGauge {
 // render writes the Prometheus text exposition of the counters plus the
 // jobs-by-state and model-count gauges.
 func (m *metrics) render(w io.Writer, byState map[JobState]int, modelCount int, models []modelGauge) {
+	bm := readBuildMeta
+	pgo := 0
+	if bm.pgo {
+		pgo = 1
+	}
+	fmt.Fprintln(w, "# HELP zeroedd_build_info Build identity of the running binary; always 1.")
+	fmt.Fprintln(w, "# TYPE zeroedd_build_info gauge")
+	fmt.Fprintf(w, "zeroedd_build_info{version=%q,go_version=%q,pgo=\"%d\"} 1\n", bm.version, bm.goVersion, pgo)
+
+	m.red.render(w)
+
+	fmt.Fprintln(w, "# HELP zeroedd_queue_wait_seconds Admission-queue wait from job submit to runner pickup.")
+	fmt.Fprintln(w, "# TYPE zeroedd_queue_wait_seconds histogram")
+	m.queueWait.render(w, "zeroedd_queue_wait_seconds", "")
+
 	fmt.Fprintln(w, "# HELP zeroedd_jobs_submitted_total Jobs accepted into the admission queue.")
 	fmt.Fprintln(w, "# TYPE zeroedd_jobs_submitted_total counter")
 	fmt.Fprintf(w, "zeroedd_jobs_submitted_total %d\n", m.submitted.Load())

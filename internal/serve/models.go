@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/table"
 	"repro/internal/zeroed"
 )
@@ -86,17 +88,19 @@ type registry struct {
 	nextID int64
 	max    int
 	dir    string
+	log    *slog.Logger
 	pins   map[string]int      // in-flight scoring requests per id
 	doomed map[string][]string // deleted-while-pinned id -> artifact paths
 
 	fitSem chan struct{}
 }
 
-func newRegistry(cfg Config, met *metrics) *registry {
+func newRegistry(cfg Config, met *metrics, log *slog.Logger) *registry {
 	r := &registry{
 		models: make(map[string]*regEntry),
 		max:    cfg.MaxModels,
 		dir:    cfg.ModelDir,
+		log:    log,
 		pins:   make(map[string]int),
 		doomed: make(map[string][]string),
 		fitSem: make(chan struct{}, cfg.MaxConcurrentJobs),
@@ -124,16 +128,16 @@ func (r *registry) loadDir(met *metrics) {
 	if err != nil {
 		// Unreadable directory is NOT a first boot — surface it in the
 		// load-failure metric instead of silently serving an empty registry.
-		fmt.Fprintf(os.Stderr, "zeroedd: model dir %s unreadable: %v\n", r.dir, err)
+		r.log.Error("model dir unreadable", "dir", r.dir, "err", err)
 		met.modelLoadFailures.Add(1)
 		return
 	}
-	sweepTmp(r.dir, entries)
+	sweepTmp(r.dir, entries, r.log)
 	man, err := loadManifest(r.dir)
 	if err != nil {
 		// A corrupt manifest never blocks recovery: the artifacts are the
 		// source of truth and the scan below restores from them alone.
-		fmt.Fprintf(os.Stderr, "zeroedd: manifest unreadable (recovering from directory scan): %v\n", err)
+		r.log.Error("manifest unreadable, recovering from directory scan", "dir", r.dir, "err", err)
 		met.manifestWriteFailures.Add(1)
 		man = &manifest{Models: map[string]int{}}
 	}
@@ -185,7 +189,7 @@ func (r *registry) loadDir(met *metrics) {
 			if err != nil {
 				met.modelLoadFailures.Add(1)
 				if model.IsCorrupt(err) {
-					quarantine(path, met)
+					quarantine(path, met, r.log)
 				}
 				continue // fall back to the previous version, if any
 			}
@@ -205,8 +209,8 @@ func (r *registry) loadDir(met *metrics) {
 		// less means a committed artifact vanished or rotted — say so
 		// explicitly instead of silently serving the older version.
 		if committed := man.Models[id]; committed > restored {
-			fmt.Fprintf(os.Stderr, "zeroedd: model %s: manifest committed v%d but recovered v%d\n",
-				id, committed, restored)
+			r.log.Error("manifest committed version not recovered",
+				"model", id, "committed", committed, "recovered", restored)
 			met.manifestMissing.Add(1)
 		}
 	}
@@ -418,6 +422,9 @@ type ScoreResult struct {
 	// header mapping dropped before scoring.
 	DroppedCols []string `json:"dropped_cols,omitempty"`
 	ScoreMS     int64    `json:"score_ms"`
+	// Trace is the request's span tree, embedded when the client asked for
+	// it with ?trace=1.
+	Trace *obs.Node `json:"trace,omitempty"`
 }
 
 // handleModelFit runs the Fit phase on an uploaded CSV and registers the
@@ -426,11 +433,11 @@ type ScoreResult struct {
 func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
 	params, err := parseParams(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_param", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "bad_param", err.Error())
 		return
 	}
 	if s.reg.full() {
-		writeErr(w, http.StatusConflict, "registry_full",
+		writeErr(w, r, http.StatusConflict, "registry_full",
 			fmt.Sprintf("model registry holds the maximum of %d models; DELETE one first", s.cfg.MaxModels))
 		return
 	}
@@ -439,19 +446,19 @@ func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	ds, _, err := s.ingestUpload(params.Name, r, body, nil)
 	if err != nil {
-		writeIngestErr(w, err, s.cfg.MaxUploadBytes)
+		writeIngestErr(w, r, err, s.cfg.MaxUploadBytes)
 		return
 	}
 	cfg, err := s.mgr.jobConfig(params)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_param", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "bad_param", err.Error())
 		return
 	}
 	select {
 	case s.reg.fitSem <- struct{}{}:
 		defer func() { <-s.reg.fitSem }()
 	default:
-		writeBusy(w, "busy_fitting", "too many fits in flight, retry later", retryAfterFit)
+		writeBusy(w, r, "busy_fitting", "too many fits in flight, retry later", retryAfterFit)
 		return
 	}
 	start := time.Now()
@@ -460,33 +467,38 @@ func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch s.classifyFailure(r) {
 		case failDeadline:
-			s.writeDeadline(w)
+			s.writeDeadline(w, r)
 			return
 		case failClientGone:
 			return // client gone; nothing useful to write
 		}
 		if errors.Is(err, errInternalPanic) {
-			writeErr(w, http.StatusInternalServerError, "internal", "internal error during fit")
+			writeErr(w, r, http.StatusInternalServerError, "internal", "internal error during fit")
 			return
 		}
-		writeErr(w, http.StatusBadRequest, "fit_failed", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "fit_failed", err.Error())
 		return
 	}
+	_, encSpan := obs.Start(r.Context(), "encode")
 	data, err := model.Encode(m)
+	encSpan.SetInt("bytes", int64(len(data)))
+	encSpan.End()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "encode_failed", err.Error())
+		writeErr(w, r, http.StatusInternalServerError, "encode_failed", err.Error())
 		return
 	}
 	e, err := s.reg.add(params.Name, m, len(data))
 	if err != nil {
-		writeErr(w, http.StatusConflict, "registry_full", err.Error())
+		writeErr(w, r, http.StatusConflict, "registry_full", err.Error())
 		return
 	}
 	if s.cfg.ModelDir != "" {
+		_, perSpan := obs.Start(r.Context(), "persist")
 		err := fpFitPersist.Eval()
 		if err == nil {
 			err = s.persistArtifact(artifactFile(e.id, e.version), data)
 		}
+		perSpan.End()
 		if err != nil {
 			// Roll the registration back completely: a failure after the
 			// commit point (rename) may have left the artifact on disk, and
@@ -496,7 +508,7 @@ func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
 					_ = os.Remove(p)
 				}
 			}
-			writeErr(w, http.StatusInternalServerError, "persist_failed", err.Error())
+			writeErr(w, r, http.StatusInternalServerError, "persist_failed", err.Error())
 			return
 		}
 		s.reg.writeManifest(s.met)
@@ -505,11 +517,19 @@ func (s *Server) handleModelFit(w http.ResponseWriter, r *http.Request) {
 	s.met.fitRuns.Add(1)
 	s.met.fitNanos.Add(int64(fitDur))
 	s.met.addFitStages(m.Info().Stages)
-	writeJSON(w, http.StatusCreated, e.status())
+	out := e.status()
+	if wantTrace(r) {
+		writeJSON(w, http.StatusCreated, struct {
+			ModelStatus
+			Trace *obs.Node `json:"trace,omitempty"`
+		}{out, traceTree(r)})
+		return
+	}
+	writeJSON(w, http.StatusCreated, out)
 }
 
 // errInternalPanic marks a recovered server-side panic: the client gets a
-// generic 500, the stack stays on the server's stderr (stack traces are
+// generic 500, the stack stays in the server log (stack traces are
 // internals, not API responses).
 var errInternalPanic = errors.New("serve: internal panic")
 
@@ -518,7 +538,8 @@ var errInternalPanic = errors.New("serve: internal panic")
 func (s *Server) fitModel(r *http.Request, cfg zeroed.Config, ds *table.Dataset) (m *zeroed.Model, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			fmt.Fprintf(os.Stderr, "zeroedd: fit panicked: %v\n%s", rec, debug.Stack())
+			s.log.Error("fit panicked", "request_id", reqIDFrom(r.Context()),
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			err = errInternalPanic
 		}
 	}()
@@ -543,7 +564,7 @@ func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.reg.get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "not_found", "unknown model id")
+		writeErr(w, r, http.StatusNotFound, "not_found", "unknown model id")
 		return
 	}
 	writeJSON(w, http.StatusOK, e.status())
@@ -560,37 +581,37 @@ func (s *Server) handleModelScore(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	e, ok := s.reg.acquire(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "not_found", "unknown model id")
+		writeErr(w, r, http.StatusNotFound, "not_found", "unknown model id")
 		return
 	}
 	defer s.reg.release(id)
 	// A degenerate model has no trained detector — its fallback labels are
 	// positional in the fitting data and meaningless for arbitrary uploads.
 	if e.m.Degenerate() {
-		writeErr(w, http.StatusConflict, "degenerate_model",
+		writeErr(w, r, http.StatusConflict, "degenerate_model",
 			"model was fitted on single-class data and cannot score new rows; refit on richer data")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	ds, mapping, err := s.ingestUpload("score", r, body, e.m.Attrs())
 	if err != nil {
-		writeIngestErr(w, err, s.cfg.MaxUploadBytes)
+		writeIngestErr(w, r, err, s.cfg.MaxUploadBytes)
 		return
 	}
 	res, err := s.scoreModel(r, e, ds)
 	if err != nil {
 		switch s.classifyFailure(r) {
 		case failDeadline:
-			s.writeDeadline(w)
+			s.writeDeadline(w, r)
 			return
 		case failClientGone:
 			return
 		}
 		if errors.Is(err, errInternalPanic) {
-			writeErr(w, http.StatusInternalServerError, "internal", "internal error during scoring")
+			writeErr(w, r, http.StatusInternalServerError, "internal", "internal error during scoring")
 			return
 		}
-		writeErr(w, http.StatusBadRequest, "score_failed", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "score_failed", err.Error())
 		return
 	}
 	s.met.scoreRuns.Add(1)
@@ -615,6 +636,9 @@ func (s *Server) handleModelScore(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	if wantTrace(r) {
+		out.Trace = traceTree(r)
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -623,7 +647,8 @@ func (s *Server) handleModelScore(w http.ResponseWriter, r *http.Request) {
 func (s *Server) scoreModel(r *http.Request, e *regEntry, ds *table.Dataset) (res *zeroed.Result, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			fmt.Fprintf(os.Stderr, "zeroedd: scoring panicked: %v\n%s", rec, debug.Stack())
+			s.log.Error("scoring panicked", "request_id", reqIDFrom(r.Context()),
+				"model", e.id, "panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			err = errInternalPanic
 		}
 	}()
@@ -639,7 +664,7 @@ func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	paths, ok := s.reg.remove(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "not_found", "unknown model id")
+		writeErr(w, r, http.StatusNotFound, "not_found", "unknown model id")
 		return
 	}
 	s.dropScorer(id)

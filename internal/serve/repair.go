@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/repair"
 )
 
@@ -47,6 +48,9 @@ type RepairResult struct {
 	DroppedCols []string `json:"dropped_cols,omitempty"`
 	ScoreMS     int64    `json:"score_ms"`
 	RepairMS    int64    `json:"repair_ms"`
+	// Trace is the request's span tree, embedded when the client asked for
+	// it with ?trace=1.
+	Trace *obs.Node `json:"trace,omitempty"`
 }
 
 // handleModelRepair scores an uploaded CSV or NDJSON body against a
@@ -57,42 +61,45 @@ func (s *Server) handleModelRepair(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	e, ok := s.reg.acquire(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "not_found", "unknown model id")
+		writeErr(w, r, http.StatusNotFound, "not_found", "unknown model id")
 		return
 	}
 	defer s.reg.release(id)
 	if e.m.Degenerate() {
-		writeErr(w, http.StatusConflict, "degenerate_model",
+		writeErr(w, r, http.StatusConflict, "degenerate_model",
 			"model was fitted on single-class data and cannot score new rows; refit on richer data")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	ds, mapping, err := s.ingestUpload("repair", r, body, e.m.Attrs())
 	if err != nil {
-		writeIngestErr(w, err, s.cfg.MaxUploadBytes)
+		writeIngestErr(w, r, err, s.cfg.MaxUploadBytes)
 		return
 	}
 	res, err := s.scoreModel(r, e, ds)
 	if err != nil {
 		switch s.classifyFailure(r) {
 		case failDeadline:
-			s.writeDeadline(w)
+			s.writeDeadline(w, r)
 			return
 		case failClientGone:
 			return
 		}
 		if errors.Is(err, errInternalPanic) {
-			writeErr(w, http.StatusInternalServerError, "internal", "internal error during scoring")
+			writeErr(w, r, http.StatusInternalServerError, "internal", "internal error during scoring")
 			return
 		}
-		writeErr(w, http.StatusBadRequest, "score_failed", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "score_failed", err.Error())
 		return
 	}
 	s.met.scoreRuns.Add(1)
 	s.met.scoreNanos.Add(int64(res.Runtime))
 
 	start := time.Now()
+	_, repSpan := obs.Start(r.Context(), "repair.apply")
 	fixed, fixes := repair.New(repair.Config{}).Apply(ds, res.Pred)
+	repSpan.SetInt("changes", int64(len(fixes)))
+	repSpan.End()
 	repairDur := time.Since(start)
 	s.met.repairRuns.Add(1)
 	s.met.repairNanos.Add(int64(repairDur))
@@ -133,6 +140,9 @@ func (s *Server) handleModelRepair(w http.ResponseWriter, r *http.Request) {
 			}
 			out.Table[i] = row
 		}
+	}
+	if wantTrace(r) {
+		out.Trace = traceTree(r)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

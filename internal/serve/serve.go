@@ -33,8 +33,17 @@
 //	                         strategies: corrected table + cell change log
 //	DELETE /v1/models/{id}   evict a model (artifacts reaped after in-flight
 //	                         requests drain)
+//	GET    /v1/jobs/{id}/trace    span tree of a finished job's pipeline
 //	GET    /healthz          liveness
+//	GET    /readyz           readiness (model-dir writability, model count)
 //	GET    /metrics          Prometheus text metrics
+//
+// Observability: every request carries a correlation ID (X-Request-ID,
+// honored or generated, echoed on the response and inside every error
+// envelope), runs under a span tree covering queue wait, ingest, and each
+// pipeline stage (?trace=1 embeds it in synchronous responses), and is
+// counted in per-route RED metrics. Slow requests are retained as Chrome
+// trace_event JSON, browsable through the gated DebugHandler.
 package serve
 
 import (
@@ -43,11 +52,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/table"
 	"repro/internal/zeroed"
 )
@@ -109,6 +120,19 @@ type Config struct {
 	// serving — until a successful refit or operator action installs a
 	// fresh model.
 	RefitBreakerAfter int
+	// Logger receives the structured access, panic, and model-lifecycle
+	// log lines (nil = text to stderr).
+	Logger *slog.Logger
+	// TraceDir, when set, dumps each retained slow-request trace as a
+	// Chrome trace_event JSON file under this directory.
+	TraceDir string
+	// TraceSlow is the retention threshold: requests at or above this
+	// duration keep their trace in the debug ring (and TraceDir). 0 retains
+	// every request's trace.
+	TraceSlow time.Duration
+	// TraceRing bounds how many slow-request traces the debug ring retains
+	// (default 32).
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +163,9 @@ func (c Config) withDefaults() Config {
 	if c.DriftMinRows <= 0 {
 		c.DriftMinRows = 256
 	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 32
+	}
 	return c
 }
 
@@ -146,24 +173,37 @@ func (c Config) withDefaults() Config {
 // fitted-model registry behind it.
 type Server struct {
 	cfg     Config
+	log     *slog.Logger
 	mgr     *manager
 	reg     *registry
 	met     *metrics
 	mux     *http.ServeMux
+	ring    *obs.Ring
 	streams streamTable
 }
 
 // New creates a service with its runner goroutines started and any
-// persisted model artifacts restored from Config.ModelDir.
+// persisted model artifacts restored from Config.ModelDir. Tracing is
+// enabled process-wide here: the engine's bit-identity contract makes span
+// collection a pure observer, so the service always traces.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	obs.SetEnabled(true)
+	log := newLogger(cfg)
 	met := &metrics{}
-	s := &Server{cfg: cfg, met: met, mgr: newManager(cfg, met), reg: newRegistry(cfg, met)}
+	s := &Server{
+		cfg: cfg, log: log, met: met,
+		mgr:  newManager(cfg, met, log),
+		reg:  newRegistry(cfg, met, log),
+		ring: obs.NewRing(cfg.TraceRing),
+	}
+	s.mgr.retain = s.retainTrace
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/models", s.handleModelFit)
 	mux.HandleFunc("GET /v1/models", s.handleModelList)
@@ -173,39 +213,29 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/models/{id}/repair", s.handleModelRepair)
 	mux.HandleFunc("DELETE /v1/models/{id}", s.handleModelDelete)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
 	return s
 }
 
-// Handler returns the service's HTTP handler, wrapped in a last-resort
-// recovery layer: the request paths are built to return errors, and if a
-// panic slips through anyway the client gets a structured 500 instead of a
-// dropped connection from a crashed process.
+// Handler returns the service's HTTP handler: the observability middleware
+// (request IDs, tracing, RED metrics, access log, last-resort panic
+// recovery, request timeout) wrapped around the route mux.
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		defer func() {
-			if rec := recover(); rec != nil {
-				writeErr(w, http.StatusInternalServerError, "internal",
-					fmt.Sprintf("internal error: %v", rec))
-			}
-		}()
-		if s.cfg.RequestTimeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-			defer cancel()
-			r = r.WithContext(ctx)
-		}
-		s.mux.ServeHTTP(w, r)
-	})
+	return http.HandlerFunc(s.serveHTTP)
 }
 
 // Close cancels all in-flight jobs and stops the runners.
 func (s *Server) Close() { s.mgr.close() }
 
 // apiError is the structured error envelope every failure path returns.
+// RequestID carries the request's correlation ID so a client can quote one
+// string and an operator can grep straight to the matching log lines.
 type apiError struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -215,8 +245,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // client gone is not a server error
 }
 
-func writeErr(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, map[string]apiError{"error": {Code: code, Message: msg}})
+// writeErr emits the structured error envelope. The request resolves the
+// correlation ID; every error path passes it so no envelope ships without
+// one.
+func writeErr(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	writeJSON(w, status, map[string]apiError{"error": apiErrorFor(r, code, msg)})
+}
+
+// apiErrorFor builds an envelope body stamped with the request's ID — used
+// directly by the stream endpoint, whose in-band NDJSON error lines bypass
+// writeErr.
+func apiErrorFor(r *http.Request, code, msg string) apiError {
+	var rid string
+	if r != nil {
+		rid = reqIDFrom(r.Context())
+	}
+	return apiError{Code: code, Message: msg, RequestID: rid}
 }
 
 // Backpressure retry hints, in seconds: a queue slot frees as soon as a
@@ -229,9 +273,9 @@ const (
 // writeBusy is the single 429 path. Every backpressure rejection — job
 // queue full, fit semaphore saturated — carries the same structured error
 // envelope plus a Retry-After hint, so clients get one retry contract.
-func writeBusy(w http.ResponseWriter, code, msg string, retryAfterSec int) {
+func writeBusy(w http.ResponseWriter, r *http.Request, code, msg string, retryAfterSec int) {
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
-	writeErr(w, http.StatusTooManyRequests, code, msg)
+	writeErr(w, r, http.StatusTooManyRequests, code, msg)
 }
 
 // retryAfterDeadline hints how long a deadline-exceeded client should wait
@@ -241,10 +285,10 @@ const retryAfterDeadline = 2
 // writeDeadline is the single request-timeout path: a typed 503 with a
 // Retry-After hint. The deadline is a capacity signal (the work was sound,
 // the box was slow), so it must never surface as a generic 500.
-func (s *Server) writeDeadline(w http.ResponseWriter) {
+func (s *Server) writeDeadline(w http.ResponseWriter, r *http.Request) {
 	s.met.deadlines.Add(1)
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfterDeadline))
-	writeErr(w, http.StatusServiceUnavailable, "deadline",
+	writeErr(w, r, http.StatusServiceUnavailable, "deadline",
 		fmt.Sprintf("request exceeded the %s server-side deadline", s.cfg.RequestTimeout))
 }
 
@@ -274,19 +318,19 @@ func (s *Server) classifyFailure(r *http.Request) requestFailure {
 // response: 413 for oversized bodies, a typed 400 "missing_columns" when a
 // model-bound upload lacks schema columns, and 400 "bad_upload" for
 // everything malformed.
-func writeIngestErr(w http.ResponseWriter, err error, maxBytes int64) {
+func writeIngestErr(w http.ResponseWriter, r *http.Request, err error, maxBytes int64) {
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
-		writeErr(w, http.StatusRequestEntityTooLarge, "too_large",
+		writeErr(w, r, http.StatusRequestEntityTooLarge, "too_large",
 			fmt.Sprintf("upload exceeds the %d-byte limit", maxBytes))
 		return
 	}
 	var missing *table.MissingColumnsError
 	if errors.As(err, &missing) {
-		writeErr(w, http.StatusBadRequest, "missing_columns", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "missing_columns", err.Error())
 		return
 	}
-	writeErr(w, http.StatusBadRequest, "bad_upload", err.Error())
+	writeErr(w, r, http.StatusBadRequest, "bad_upload", err.Error())
 }
 
 // jobConfig resolves a job's zeroed configuration. It mirrors cmd/zeroed's
@@ -454,6 +498,8 @@ func ingestCSV(name string, r io.Reader, lim ingestLimits) (*table.Dataset, erro
 // (jobs, fit, score, repair): negotiate the format, open the source, map it
 // onto the schema when given, and stream it into a dataset under limits.
 func (s *Server) ingestUpload(name string, r *http.Request, body io.Reader, schema []string) (*table.Dataset, *table.ColumnMapping, error) {
+	_, span := obs.Start(r.Context(), "ingest")
+	defer span.End()
 	src, mapping, err := uploadSource(r, body, schema)
 	if err != nil {
 		return nil, nil, err
@@ -462,6 +508,8 @@ func (s *Server) ingestUpload(name string, r *http.Request, body io.Reader, sche
 	if err != nil {
 		return nil, nil, err
 	}
+	span.SetInt("rows", int64(ds.NumRows()))
+	span.SetInt("cols", int64(ds.NumCols()))
 	if mapping != nil && len(mapping.Dropped) > 0 {
 		s.met.mappedUploads.Add(1)
 		s.met.droppedColumns.Add(int64(len(mapping.Dropped)))
@@ -473,29 +521,29 @@ func (s *Server) ingestUpload(name string, r *http.Request, body io.Reader, sche
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	params, err := parseParams(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_param", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "bad_param", err.Error())
 		return
 	}
 	// Advisory fast-path: when the queue is already full, reject before
 	// paying for the upload parse. submit re-checks authoritatively under
 	// its lock, so a slot freed in between still admits the job.
 	if s.mgr.queueFull() {
-		writeBusy(w, "queue_full", errQueueFull.Error(), retryAfterQueue)
+		writeBusy(w, r, "queue_full", errQueueFull.Error(), retryAfterQueue)
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	ds, _, err := s.ingestUpload(params.Name, r, body, nil)
 	if err != nil {
-		writeIngestErr(w, err, s.cfg.MaxUploadBytes)
+		writeIngestErr(w, r, err, s.cfg.MaxUploadBytes)
 		return
 	}
-	j, err := s.mgr.submit(ds, params)
+	j, err := s.mgr.submit(r.Context(), ds, params)
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
-			writeBusy(w, "queue_full", err.Error(), retryAfterQueue)
+			writeBusy(w, r, "queue_full", err.Error(), retryAfterQueue)
 			return
 		}
-		writeErr(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+		writeErr(w, r, http.StatusServiceUnavailable, "shutting_down", err.Error())
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.snapshot())
@@ -508,7 +556,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "not_found", "unknown job id")
+		writeErr(w, r, http.StatusNotFound, "not_found", "unknown job id")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.snapshot())
@@ -538,7 +586,7 @@ type JobResult struct {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "not_found", "unknown job id")
+		writeErr(w, r, http.StatusNotFound, "not_found", "unknown job id")
 		return
 	}
 	j.mu.Lock()
@@ -547,10 +595,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j.mu.Unlock()
 	switch state {
 	case JobQueued, JobRunning:
-		writeErr(w, http.StatusConflict, "not_done", fmt.Sprintf("job is %s", state))
+		writeErr(w, r, http.StatusConflict, "not_done", fmt.Sprintf("job is %s", state))
 		return
 	case JobFailed, JobCanceled:
-		writeErr(w, http.StatusConflict, fmt.Sprintf("job_%s", state), errMsg)
+		writeErr(w, r, http.StatusConflict, fmt.Sprintf("job_%s", state), errMsg)
 		return
 	}
 	out := JobResult{
@@ -583,7 +631,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	state, ok := s.mgr.cancelJob(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "not_found", "unknown job id")
+		writeErr(w, r, http.StatusNotFound, "not_found", "unknown job id")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "state": state})

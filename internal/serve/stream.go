@@ -125,25 +125,25 @@ func (s *Server) handleModelStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	e, ok := s.reg.acquire(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, "not_found", "unknown model id")
+		writeErr(w, r, http.StatusNotFound, "not_found", "unknown model id")
 		return
 	}
 	defer s.reg.release(id)
 	if e.m.Degenerate() {
-		writeErr(w, http.StatusConflict, "degenerate_model",
+		writeErr(w, r, http.StatusConflict, "degenerate_model",
 			"model was fitted on single-class data and cannot score new rows; refit on richer data")
 		return
 	}
 	ss, err := s.scorerFor(id, e)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "stream_failed", err.Error())
+		writeErr(w, r, http.StatusInternalServerError, "stream_failed", err.Error())
 		return
 	}
 	chunkRows := s.cfg.StreamChunkRows
 	if v := r.URL.Query().Get("chunk"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 || n > s.cfg.MaxRows {
-			writeErr(w, http.StatusBadRequest, "bad_param",
+			writeErr(w, r, http.StatusBadRequest, "bad_param",
 				fmt.Sprintf("bad chunk %q: must be an int in [1, %d]", v, s.cfg.MaxRows))
 			return
 		}
@@ -151,7 +151,7 @@ func (s *Server) handleModelStream(w http.ResponseWriter, r *http.Request) {
 	}
 	src, _, err := uploadSource(r, r.Body, e.m.Attrs())
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_stream", err.Error())
+		writeErr(w, r, http.StatusBadRequest, "bad_stream", err.Error())
 		return
 	}
 	withScores := r.URL.Query().Get("scores") != "0"
@@ -181,13 +181,13 @@ func (s *Server) handleModelStream(w http.ResponseWriter, r *http.Request) {
 					// The 200 is already on the wire: the deadline surfaces
 					// as a typed terminal NDJSON line instead of a status.
 					s.met.deadlines.Add(1)
-					_ = enc.Encode(map[string]apiError{"error": {Code: "deadline",
-						Message: fmt.Sprintf("stream exceeded the %s server-side deadline", s.cfg.RequestTimeout)}})
+					_ = enc.Encode(map[string]apiError{"error": apiErrorFor(r, "deadline",
+						fmt.Sprintf("stream exceeded the %s server-side deadline", s.cfg.RequestTimeout))})
 					return
 				case failClientGone:
 					return // client gone
 				}
-				_ = enc.Encode(map[string]apiError{"error": {Code: "score_failed", Message: err.Error()}})
+				_ = enc.Encode(map[string]apiError{"error": apiErrorFor(r, "score_failed", err.Error())})
 				return
 			}
 			st = cst
@@ -214,13 +214,13 @@ func (s *Server) handleModelStream(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if rerr != nil {
-			_ = enc.Encode(map[string]apiError{"error": {Code: "bad_stream", Message: rerr.Error()}})
+			_ = enc.Encode(map[string]apiError{"error": apiErrorFor(r, "bad_stream", rerr.Error())})
 			return
 		}
 		// A long-lived stream ends gracefully when its model is deleted:
 		// the chunk that was in flight finished above, nothing tears.
 		if _, ok := s.reg.get(id); !ok {
-			_ = enc.Encode(map[string]apiError{"error": {Code: "model_deleted", Message: "model was deleted mid-stream"}})
+			_ = enc.Encode(map[string]apiError{"error": apiErrorFor(r, "model_deleted", "model was deleted mid-stream")})
 			return
 		}
 	}
@@ -237,7 +237,8 @@ func (s *Server) handleModelStream(w http.ResponseWriter, r *http.Request) {
 func (s *Server) scoreChunk(ctx context.Context, ss *zeroed.StreamScorer, chunk [][]string) (res *zeroed.Result, st zeroed.ChunkStatus, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			fmt.Fprintf(os.Stderr, "zeroedd: stream scoring panicked: %v\n%s", rec, debug.Stack())
+			s.log.Error("stream scoring panicked", "request_id", reqIDFrom(ctx),
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			err = errInternalPanic
 		}
 	}()
@@ -253,7 +254,8 @@ func (s *Server) runRefit(id string, ss *zeroed.StreamScorer) {
 	ok := false
 	defer func() {
 		if rec := recover(); rec != nil {
-			fmt.Fprintf(os.Stderr, "zeroedd: refit panicked: %v\n%s", rec, debug.Stack())
+			s.log.Error("refit panicked", "model", id,
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 		}
 		if !ok {
 			s.met.refitFailures.Add(1)
@@ -264,12 +266,12 @@ func (s *Server) runRefit(id string, ss *zeroed.StreamScorer) {
 	defer func() { <-s.reg.fitSem }()
 	m2, err := ss.Refit(context.Background(), s.mgr.pool)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "zeroedd: refit of %s failed: %v\n", id, err)
+		s.log.Error("refit failed", "model", id, "err", err)
 		return
 	}
 	data, err := model.Encode(m2)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "zeroedd: refit of %s failed to encode: %v\n", id, err)
+		s.log.Error("refit failed to encode", "model", id, "err", err)
 		return
 	}
 	version := m2.Lineage().Version
@@ -279,7 +281,7 @@ func (s *Server) runRefit(id string, ss *zeroed.StreamScorer) {
 			err = s.persistArtifact(artifactFile(id, version), data)
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "zeroedd: refit of %s failed to persist: %v\n", id, err)
+			s.log.Error("refit failed to persist", "model", id, "err", err)
 			// A post-commit failure may have left the successor artifact on
 			// disk without a swap; remove it so restart recovers the version
 			// that was actually serving.
@@ -296,11 +298,12 @@ func (s *Server) runRefit(id string, ss *zeroed.StreamScorer) {
 		return
 	}
 	if err := ss.Install(m2); err != nil {
-		fmt.Fprintf(os.Stderr, "zeroedd: refit of %s failed to install: %v\n", id, err)
+		s.log.Error("refit failed to install", "model", id, "err", err)
 		return
 	}
 	ok = true
 	s.met.refitsSwapped.Add(1)
+	s.log.Info("refit swapped", "model", id, "version", version)
 	if s.cfg.ModelDir != "" {
 		s.reg.writeManifest(s.met)
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/llm"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/randx"
 	"repro/internal/table"
 )
@@ -127,6 +128,14 @@ func (dt *Detector) fit(ctx context.Context, d *table.Dataset, pool *workPool) (
 	if d.NumRows() == 0 || d.NumCols() == 0 {
 		return nil, fmt.Errorf("zeroed: empty dataset")
 	}
+	// The fit span carries every stage span below it. Spans observe wall
+	// time and allocs strictly out of band — RNG streams, dedup caches, and
+	// every computed value are untouched, so tracing on ≡ tracing off
+	// bit-for-bit (pinned by TestTraceOnOffBitIdentical).
+	ctx, fitSpan := obs.Start(ctx, "fit")
+	defer fitSpan.End()
+	fitSpan.SetInt("rows", int64(d.NumRows()))
+	fitSpan.SetInt("cols", int64(d.NumCols()))
 	e := &engine{
 		cfg:    dt.cfg,
 		ctx:    ctx,
@@ -161,12 +170,18 @@ func (dt *Detector) fit(ctx context.Context, d *table.Dataset, pool *workPool) (
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("zeroed: detection canceled: %w", err)
 		}
+		_, span := obs.Start(ctx, "fit."+stage.name)
 		runtime.ReadMemStats(&ms0)
 		t0 := time.Now()
 		if err := stage.fn(); err != nil {
+			span.End()
 			return nil, err
 		}
 		runtime.ReadMemStats(&ms1)
+		span.End()
+		// The span and the StageTiming record the same phase: the timing
+		// keeps feeding FitInfo.Stages (benchjson fit_stages, the
+		// zeroedd_fit_stage_seconds family), the span feeds the trace tree.
 		timings = append(timings, StageTiming{
 			Name:       stage.name,
 			Seconds:    time.Since(t0).Seconds(),

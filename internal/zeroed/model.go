@@ -10,6 +10,7 @@ import (
 	"repro/internal/feature"
 	"repro/internal/llm"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/table"
 )
 
@@ -231,6 +232,7 @@ func (m *Model) scoreOn(ctx context.Context, pool *workPool, d *table.Dataset) (
 	if err != nil {
 		return nil, err
 	}
+	_, bindSpan := obs.Start(ctx, "score.bind")
 	row := make([]string, d.NumCols())
 	for i := 0; i < d.NumRows(); i++ {
 		for j := range row {
@@ -238,6 +240,7 @@ func (m *Model) scoreOn(ctx context.Context, pool *workPool, d *table.Dataset) (
 		}
 		sd.MustAppendRow(row)
 	}
+	bindSpan.End()
 	return m.scoreBound(ctx, pool, sd)
 }
 
@@ -269,6 +272,10 @@ func (m *Model) scoreBound(ctx context.Context, pool *workPool, sd *table.Datase
 	if n == 0 || cols == 0 {
 		return nil, fmt.Errorf("zeroed: empty dataset")
 	}
+	ctx, scoreSpan := obs.Start(ctx, "score")
+	defer scoreSpan.End()
+	scoreSpan.SetInt("rows", int64(n))
+	scoreSpan.SetInt("cols", int64(cols))
 	pred := newMask(sd)
 	scores := newMatrix(n, cols)
 	if m.mlp != nil {
@@ -322,8 +329,12 @@ func scoreCells(ctx context.Context, pool *workPool, cfg Config, ext *feature.Ex
 		if ctx.Err() != nil {
 			return
 		}
+		_, span := obs.Start(ctx, "score.shard")
+		span.SetInt("lo", int64(shards[s].lo))
+		span.SetInt("hi", int64(shards[s].hi))
 		sc := newShardScorer(ext, mlp, d, depCols, cfg.Threshold, scores, pred, shared)
 		sc.scoreRows(ctx, shards[s].lo, shards[s].hi)
+		span.End()
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/table"
 )
@@ -190,6 +191,11 @@ func (ss *StreamScorer) ScoreChunk(ctx context.Context, p *Pool, rows [][]string
 	ss.mu.Lock()
 	m, version := ss.m, ss.version
 	ss.mu.Unlock()
+
+	ctx, span := obs.Start(ctx, "stream.chunk")
+	defer span.End()
+	span.SetInt("rows", int64(len(rows)))
+	span.SetInt("version", int64(version))
 
 	var res *Result
 	var err error

@@ -9,22 +9,29 @@
 # -repair-log` (change logs must match byte for byte); finally stream
 # chunked rows against a registered model, trip a drift-triggered refit
 # with a novel-value burst, and assert the model hot-swapped to a new
-# version (old artifact retained) with zero non-200 responses. Exercises
-# the same paths CI pins with httptest, but against the real binaries over
-# a real socket.
+# version (old artifact retained) with zero non-200 responses. Along the
+# way it checks the observability surface: X-Request-ID echo on responses,
+# error envelopes, and JSON log lines; ?trace=1 span trees and
+# GET /v1/jobs/{id}/trace; per-route RED series on /metrics; /readyz; and
+# the /debug/traces ring on the debug listener. Exercises the same paths
+# CI pins with httptest, but against the real binaries over a real socket.
 set -euo pipefail
 
 ADDR="127.0.0.1:18080"
+DEBUG_ADDR="127.0.0.1:18081"
 BASE="http://$ADDR"
+DEBUG="http://$DEBUG_ADDR"
 WORK="$(mktemp -d)"
 BIN="$WORK/zeroedd"
 CLI="$WORK/zeroed"
 MODELDIR="$WORK/models"
+LOG="$WORK/zeroedd.log"
 
 go build -o "$BIN" ./cmd/zeroedd
 go build -o "$CLI" ./cmd/zeroed
 "$BIN" -addr "$ADDR" -workers 2 -model-dir "$MODELDIR" \
-  -drift-threshold 0.3 -drift-min-rows 30 -stream-chunk 16 &
+  -drift-threshold 0.3 -drift-min-rows 30 -stream-chunk 16 \
+  -log-format json -debug-addr "$DEBUG_ADDR" -trace-slow 0s 2> "$LOG" &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
 
@@ -34,6 +41,23 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 curl -fsS "$BASE/healthz" >/dev/null
+
+# --- Request IDs: honored, echoed, and in every error envelope. ---
+
+RID="smoke-rid-$$"
+ECHOED="$(curl -fsS -D - -o /dev/null -H "X-Request-ID: $RID" "$BASE/healthz" \
+  | tr -d '\r' | grep -i '^x-request-id:' | awk '{print $2}')"
+[ "$ECHOED" = "$RID" ] || { echo "e2e: X-Request-ID not echoed (got '$ECHOED')"; exit 1; }
+curl -s -H "X-Request-ID: $RID-err" "$BASE/v1/jobs/j-nope" \
+  | grep -q "\"request_id\":\"$RID-err\"" \
+  || { echo "e2e: 404 envelope missing request_id"; exit 1; }
+grep -q "\"request_id\":\"$RID\"" "$LOG" \
+  || { echo "e2e: JSON log missing the request-id line"; exit 1; }
+echo "e2e: request-id echoed in header, envelope, and JSON log"
+
+# Readiness: the model dir is writable, so the server reports ready.
+curl -fsS "$BASE/readyz" | grep -q '"status":"ready"' \
+  || { echo "e2e: readyz not ready"; exit 1; }
 
 # Submit a small dataset.
 CSV="$(mktemp)"
@@ -61,6 +85,15 @@ curl -fsS "$BASE/v1/jobs/$ID/result" | grep -q '"pred":' || { echo "e2e: result 
 # Metrics must account for the finished job.
 curl -fsS "$BASE/metrics" | grep -q 'zeroedd_jobs_finished_total{outcome="done"} 1' \
   || { echo "e2e: metrics missing finished job"; exit 1; }
+
+# The finished job's trace: the submit request's span tree, adopted by the
+# job, carrying the serve phases and the fit pipeline.
+TRACE="$(curl -fsS "$BASE/v1/jobs/$ID/trace")"
+for SPAN in queue_wait ingest detect fit.train score; do
+  echo "$TRACE" | grep -q "\"name\":\"$SPAN\"" \
+    || { echo "e2e: job trace missing span $SPAN"; exit 1; }
+done
+echo "e2e: job trace carries the serve phases and pipeline spans"
 
 # --- Ingest formats: the same rows as NDJSON give identical verdicts. ---
 
@@ -108,6 +141,15 @@ printf 'city,state,zip\nchicago,IL,60601\nnew-city-unseen,ZZ,00000\n' > "$FRESH"
 SCORED="$(curl -fsS -X POST --data-binary @"$FRESH" "$BASE/v1/models/$MID/score?scores=0")"
 echo "$SCORED" | grep -q '"pred":' || { echo "e2e: score response missing pred"; exit 1; }
 
+# ?trace=1 embeds the request's span tree in the synchronous envelope.
+TSCORED="$(curl -fsS -X POST --data-binary @"$FRESH" "$BASE/v1/models/$MID/score?scores=0&trace=1")"
+echo "$TSCORED" | grep -q '"trace":{' || { echo "e2e: ?trace=1 score has no trace"; exit 1; }
+for SPAN in ingest score score.shard; do
+  echo "$TSCORED" | grep -q "\"name\":\"$SPAN\"" \
+    || { echo "e2e: ?trace=1 score trace missing span $SPAN"; exit 1; }
+done
+echo "e2e: ?trace=1 embeds the score span tree"
+
 # The scored verdicts must match a direct cmd/zeroed -model-in run on the
 # artifact the server persisted. Normalize both to a 0/1 cell string.
 SRV_MASK="$(echo "$SCORED" | sed -n 's/.*"pred":\(\[\[[^]]*\]\(,\[[^]]*\]\)*\]\).*/\1/p' \
@@ -121,11 +163,11 @@ if [ "$SRV_MASK" != "$CLI_MASK" ]; then
 fi
 echo "e2e: model verdicts match cmd/zeroed -model-in ($SRV_MASK)"
 
-# Model metrics must account for the fit and the score call (checked
+# Model metrics must account for the fit and the two score calls (checked
 # before repair, which scores internally and bumps the same counter).
 METRICS="$(curl -fsS "$BASE/metrics")"
 echo "$METRICS" | grep -q 'zeroedd_models_current 1' || { echo "e2e: metrics missing model gauge"; exit 1; }
-echo "$METRICS" | grep -q 'zeroedd_score_seconds_count 1' || { echo "e2e: metrics missing score latency"; exit 1; }
+echo "$METRICS" | grep -q 'zeroedd_score_seconds_count 2' || { echo "e2e: metrics missing score latency"; exit 1; }
 
 # --- Served repair: bit-identical to the CLI detect -> repair loop. ---
 
@@ -225,5 +267,28 @@ MVER="$(echo "$METRICS" | sed -n "s/^zeroedd_model_version{model=\"$SMID\"} \([0
 [ -n "$MVER" ] && [ "$MVER" -ge "$VER" ] || { echo "e2e: metrics model version '$MVER' < $VER"; exit 1; }
 echo "$METRICS" | grep -q 'zeroedd_model_refits_total{outcome="swapped"}' \
   || { echo "e2e: metrics missing refit counter"; exit 1; }
+
+# --- Observability: RED series, build info, and the debug trace ring. ---
+
+echo "$METRICS" | grep -qF 'zeroedd_http_requests_total{route="POST /v1/jobs",code="202"}' \
+  || { echo "e2e: metrics missing RED request counter for POST /v1/jobs"; exit 1; }
+echo "$METRICS" | grep -qF 'zeroedd_http_request_seconds_bucket{route="POST /v1/models/{id}/score",le="+Inf"}' \
+  || { echo "e2e: metrics missing RED latency histogram for score route"; exit 1; }
+echo "$METRICS" | grep -qF 'zeroedd_queue_wait_seconds_count' \
+  || { echo "e2e: metrics missing queue-wait histogram"; exit 1; }
+echo "$METRICS" | grep -qF 'zeroedd_build_info{version=' \
+  || { echo "e2e: metrics missing build info"; exit 1; }
+echo "e2e: RED series, queue-wait histogram, and build info export"
+
+# The debug listener serves the slow-request ring (-trace-slow 0s retains
+# everything); the first retained trace loads as Chrome trace_event JSON.
+RING="$(curl -fsS "$DEBUG/debug/traces")"
+echo "$RING" | grep -q '"seq":' || { echo "e2e: debug trace ring is empty"; exit 1; }
+SEQ="$(echo "$RING" | sed -n 's/.*"seq":\([0-9]*\).*/\1/p' | head -1)"
+curl -fsS "$DEBUG/debug/traces/$SEQ" | grep -q '"traceEvents":' \
+  || { echo "e2e: retained trace $SEQ is not Chrome trace_event JSON"; exit 1; }
+curl -fsS "$DEBUG/debug/failpoints" | grep -q '"failpoints":' \
+  || { echo "e2e: debug listener missing failpoint registry"; exit 1; }
+echo "e2e: debug ring serves browsable Chrome traces"
 
 echo "e2e: OK"
